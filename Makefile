@@ -1,0 +1,34 @@
+# Convenience targets for the SFC reliability-augmentation reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as referenced by EXPERIMENTS.md.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Reproduce every figure and ablation at the paper's trial count (slow).
+experiments:
+	$(GO) run ./cmd/experiments -fig all -trials 1000 -csvdir results
+
+# Faster pass with tables, CSVs and SVG charts.
+figures:
+	$(GO) run ./cmd/experiments -fig all -trials 100 -csvdir results -svgdir results/svg
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

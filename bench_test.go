@@ -1,0 +1,223 @@
+// Package repro_test holds the benchmark harness: one testing.B benchmark
+// per figure/sub-plot series of the paper's evaluation (Section 7), plus
+// micro-benchmarks of the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks measure per-request solver latency on workloads sampled
+// exactly as in the corresponding experiment point; the reported reliability
+// series themselves are produced by `go run ./cmd/experiments` (see
+// EXPERIMENTS.md). Each benchmark pre-samples a pool of instances outside
+// the timer so only solving is measured.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lp"
+	"repro/internal/matching"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// instancePool pre-builds augmentation instances for a configuration.
+func instancePool(cfg workload.Config, fixedLen int, n int, seed int64) []*core.Instance {
+	pool := make([]*core.Instance, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		net := cfg.Network(rng)
+		var req = cfg.Request(rng, i, net.Catalog().Size())
+		if fixedLen > 0 {
+			req = cfg.RequestWithLength(rng, i, fixedLen, net.Catalog().Size())
+		}
+		workload.PlacePrimariesRandom(net, req, rng)
+		pool[i] = core.NewInstance(net, req, core.Params{L: cfg.HopBound})
+	}
+	return pool
+}
+
+const poolSize = 16
+
+func benchSolver(b *testing.B, pool []*core.Instance, alg string) {
+	rng := rand.New(rand.NewSource(99))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := pool[i%len(pool)]
+		var err error
+		switch alg {
+		case "ILP":
+			_, err = core.SolveILP(inst, core.ILPOptions{})
+		case "Randomized":
+			_, err = core.SolveRandomized(inst, rng, core.RandomizedOptions{})
+		case "Heuristic":
+			_, err = core.SolveHeuristic(inst, core.HeuristicOptions{})
+		case "Greedy":
+			_, err = core.SolveGreedy(inst)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 1: running time vs SFC length (sub-plot 1(c); the same sweep
+// regenerates 1(a)/1(b) via cmd/experiments). ---
+
+func BenchmarkFig1(b *testing.B) {
+	for _, length := range []int{2, 8, 14, 20} {
+		cfg := workload.NewDefaultConfig()
+		pool := instancePool(cfg, length, poolSize, 1000+int64(length))
+		for _, alg := range []string{"ILP", "Randomized", "Heuristic"} {
+			b.Run(fmt.Sprintf("SFCLen%d/%s", length, alg), func(b *testing.B) {
+				benchSolver(b, pool, alg)
+			})
+		}
+	}
+}
+
+// --- Figure 2: running time vs function reliability (sub-plot 2(c)). ---
+
+func BenchmarkFig2(b *testing.B) {
+	for _, iv := range []struct{ lo, hi float64 }{{0.55, 0.65}, {0.85, 0.95}} {
+		cfg := workload.NewDefaultConfig()
+		cfg.ReliabilityMin, cfg.ReliabilityMax = iv.lo, iv.hi
+		pool := instancePool(cfg, 0, poolSize, int64(2000+100*iv.lo))
+		for _, alg := range []string{"ILP", "Randomized", "Heuristic"} {
+			b.Run(fmt.Sprintf("Rel%02.0f/%s", iv.lo*100, alg), func(b *testing.B) {
+				benchSolver(b, pool, alg)
+			})
+		}
+	}
+}
+
+// --- Figure 3: running time vs residual capacity (sub-plot 3(c)). ---
+
+func BenchmarkFig3(b *testing.B) {
+	for _, frac := range []float64{1.0 / 16, 1.0 / 4, 1} {
+		cfg := workload.NewDefaultConfig()
+		cfg.ResidualFraction = frac
+		pool := instancePool(cfg, 0, poolSize, int64(3000+1000*frac))
+		for _, alg := range []string{"ILP", "Randomized", "Heuristic"} {
+			b.Run(fmt.Sprintf("Residual%.4f/%s", frac, alg), func(b *testing.B) {
+				benchSolver(b, pool, alg)
+			})
+		}
+	}
+}
+
+// --- Ablation: hop bound l (DESIGN.md experiment index, Ablation A). ---
+
+func BenchmarkAblationHops(b *testing.B) {
+	for _, l := range []int{1, 2, 4} {
+		cfg := workload.NewDefaultConfig()
+		cfg.HopBound = l
+		pool := instancePool(cfg, 0, poolSize, int64(4000+l))
+		for _, alg := range []string{"ILP", "Heuristic"} {
+			b.Run(fmt.Sprintf("L%d/%s", l, alg), func(b *testing.B) {
+				benchSolver(b, pool, alg)
+			})
+		}
+	}
+}
+
+// --- Ablation: ILP objective formulation (Ablation B). ---
+
+func BenchmarkAblationObjective(b *testing.B) {
+	cfg := workload.NewDefaultConfig()
+	pool := instancePool(cfg, 8, poolSize, 5000)
+	for _, obj := range []struct {
+		name string
+		o    core.Objective
+	}{{"LogGain", core.ObjectiveLogGain}, {"PaperCost", core.ObjectivePaperCost}} {
+		b.Run(obj.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveILP(pool[i%len(pool)], core.ILPOptions{Objective: obj.o}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks. ---
+
+func BenchmarkSimplexAssignmentLP(b *testing.B) {
+	build := func() *lp.Model {
+		rng := rand.New(rand.NewSource(7))
+		n := 12
+		m := lp.NewModel(lp.Minimize)
+		vars := make([][]int, n)
+		for i := 0; i < n; i++ {
+			vars[i] = make([]int, n)
+			for j := 0; j < n; j++ {
+				vars[i][j] = m.AddVar(0, 1, rng.Float64()*10, "x")
+			}
+		}
+		for i := 0; i < n; i++ {
+			var row, col []lp.Term
+			for j := 0; j < n; j++ {
+				row = append(row, lp.Term{Var: vars[i][j], Coeff: 1})
+				col = append(col, lp.Term{Var: vars[j][i], Coeff: 1})
+			}
+			m.AddConstr(row, lp.EQ, 1, "r")
+			m.AddConstr(col, lp.EQ, 1, "c")
+		}
+		return m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := build().Solve(); s.Status != lp.Optimal {
+			b.Fatalf("status %v", s.Status)
+		}
+	}
+}
+
+func BenchmarkHungarianMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	var edges []matching.Edge
+	nL, nR := 64, 16
+	for l := 0; l < nL; l++ {
+		for r := 0; r < nR; r++ {
+			if rng.Float64() < 0.4 {
+				edges = append(edges, matching.Edge{L: l, R: r, Cost: rng.Float64() * 5})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.MinCostMax(nL, nR, edges)
+	}
+}
+
+func BenchmarkWaxmanTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		topology.Waxman(topology.DefaultWaxman(100), rng)
+	}
+}
+
+func BenchmarkInstanceConstruction(b *testing.B) {
+	cfg := workload.NewDefaultConfig()
+	rng := rand.New(rand.NewSource(21))
+	net := cfg.Network(rng)
+	req := cfg.RequestWithLength(rng, 0, 10, net.Catalog().Size())
+	workload.PlacePrimariesRandom(net, req, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.NewInstance(net, req, core.Params{L: 1})
+	}
+}
+
+// BenchmarkSweepPoint measures a full experiment point end-to-end (all three
+// paper algorithms, one trial) — the unit of work cmd/experiments repeats.
+func BenchmarkSweepPoint(b *testing.B) {
+	opt := experiments.Options{Trials: 1, Seed: 7, Quiet: true, Algs: experiments.PaperAlgs()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2(opt)
+	}
+}

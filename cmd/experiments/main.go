@@ -1,0 +1,125 @@
+// Command experiments reproduces the evaluation of the paper (Section 7):
+//
+//	go run ./cmd/experiments -fig 1            # Figure 1 (SFC length sweep)
+//	go run ./cmd/experiments -fig 2            # Figure 2 (function reliability)
+//	go run ./cmd/experiments -fig 3            # Figure 3 (residual capacity)
+//	go run ./cmd/experiments -fig hops         # ablation: hop bound l
+//	go run ./cmd/experiments -fig objective    # ablation: ILP objective
+//	go run ./cmd/experiments -fig all          # everything
+//
+// Each figure prints its three sub-plot tables (reliability, capacity usage,
+// running time) and optionally writes a CSV per figure with -csvdir.
+// The paper averages 1,000 trials per point; -trials controls the trade-off
+// between fidelity and runtime (means are stable well before 1,000).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment to run: 1, 2, 3, hops, objective, all")
+	trials := flag.Int("trials", 100, "trials per data point (paper: 1000)")
+	seed := flag.Int64("seed", 42, "base RNG seed")
+	csvdir := flag.String("csvdir", "", "directory for per-figure CSV output (optional)")
+	svgdir := flag.String("svgdir", "", "directory for per-sub-plot SVG charts (optional)")
+	quiet := flag.Bool("q", false, "suppress progress lines")
+	withGreedy := flag.Bool("greedy", false, "also run the greedy baseline (not in the paper)")
+	flag.Parse()
+
+	opt := experiments.Options{
+		Trials: *trials,
+		Seed:   *seed,
+		Quiet:  *quiet,
+	}
+	if *withGreedy {
+		opt.Algs = experiments.AllAlgs()
+	} else {
+		opt.Algs = experiments.PaperAlgs()
+	}
+
+	runners := map[string]func(experiments.Options) *experiments.Sweep{
+		"1":         experiments.Fig1,
+		"2":         experiments.Fig2,
+		"3":         experiments.Fig3,
+		"hops":      experiments.AblationHops,
+		"objective": experiments.AblationObjective,
+	}
+	var order []string
+	switch strings.ToLower(*fig) {
+	case "all":
+		order = []string{"1", "2", "3", "hops", "objective", "theorem"}
+	default:
+		if _, ok := runners[*fig]; !ok && *fig != "theorem" {
+			fmt.Fprintf(os.Stderr, "unknown -fig %q (want 1, 2, 3, hops, objective, theorem, all)\n", *fig)
+			os.Exit(2)
+		}
+		order = []string{*fig}
+	}
+
+	for _, name := range order {
+		if name == "theorem" {
+			ts := experiments.TheoremCheck(opt)
+			fmt.Println()
+			if err := ts.RenderTables(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "render: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		sweep := runners[name](opt)
+		fmt.Println()
+		if err := sweep.RenderTables(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "render: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *csvdir != "" {
+			if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "csvdir: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvdir, sweep.Name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+			if err := sweep.RenderCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *svgdir != "" {
+			if err := os.MkdirAll(*svgdir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "svgdir: %v\n", err)
+				os.Exit(1)
+			}
+			for i, chart := range sweep.Charts() {
+				path := filepath.Join(*svgdir, fmt.Sprintf("%s_%c.svg", sweep.Name, 'a'+i))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "svg: %v\n", err)
+					os.Exit(1)
+				}
+				if err := chart.Render(f); err != nil {
+					f.Close()
+					fmt.Fprintf(os.Stderr, "svg: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+}

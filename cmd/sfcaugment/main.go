@@ -1,0 +1,166 @@
+// Command sfcaugment solves one service reliability augmentation instance
+// end-to-end and prints the placement plan: it samples (or loads) an MEC
+// network, admits one request with an SFC, places its primaries, and runs the
+// selected algorithm(s).
+//
+//	go run ./cmd/sfcaugment -sfc 4 -rho 0.995 -alg all -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/mec"
+	"repro/internal/netio"
+	"repro/internal/workload"
+)
+
+func main() {
+	sfcLen := flag.Int("sfc", 5, "SFC length of the request")
+	rho := flag.Float64("rho", 1.0, "reliability expectation ρ (1.0 = augment as much as possible)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	l := flag.Int("l", 1, "hop bound for secondary placement")
+	residual := flag.Float64("residual", 0.25, "residual capacity fraction")
+	alg := flag.String("alg", "all", "algorithm: ilp, randomized, heuristic, greedy, all")
+	admit := flag.String("admit", "random", "primary placement: random (paper §7) or maxrel (layered DAG)")
+	load := flag.String("load", "", "load the scenario (network + request) from a JSON file instead of sampling")
+	save := flag.String("save", "", "write the sampled scenario to a JSON file before solving")
+	dump := flag.String("dump", "", "write the solved placements to a JSON file")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+
+	var net *mec.Network
+	var req *mec.Request
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			os.Exit(1)
+		}
+		scen, err := netio.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			os.Exit(1)
+		}
+		var reqs []*mec.Request
+		net, reqs, err = scen.Build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			os.Exit(1)
+		}
+		if len(reqs) == 0 {
+			fmt.Fprintln(os.Stderr, "load: scenario has no requests")
+			os.Exit(1)
+		}
+		req = reqs[0]
+	} else {
+		cfg := workload.NewDefaultConfig()
+		cfg.ResidualFraction = *residual
+		cfg.HopBound = *l
+		cfg.Expectation = *rho
+		net = cfg.Network(rng)
+		req = cfg.RequestWithLength(rng, 0, *sfcLen, net.Catalog().Size())
+	}
+	if len(req.Primaries) == 0 {
+		switch *admit {
+		case "random":
+			workload.PlacePrimariesRandom(net, req, rng)
+		case "maxrel":
+			if err := admission.PlaceMaxReliability(net, req); err != nil {
+				fmt.Fprintf(os.Stderr, "admission failed: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -admit %q\n", *admit)
+			os.Exit(2)
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		if err := netio.Export(net, []*mec.Request{req}).Write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("scenario written to %s\n", *save)
+	}
+
+	inst := core.NewInstance(net, req, core.Params{L: *l})
+	fmt.Printf("network: %d APs, %d cloudlets; request: SFC length %d, ρ=%.4f\n",
+		net.G.N(), len(net.Cloudlets()), req.Len(), req.Expectation)
+	fmt.Printf("primaries: %v\n", req.Primaries)
+	fmt.Printf("initial reliability (primaries only): %.4f\n", inst.InitialReliability)
+	fmt.Printf("candidate secondary items: %d\n\n", inst.TotalItems())
+
+	type runner struct {
+		name string
+		run  func() (*core.Result, error)
+	}
+	var runs []runner
+	want := strings.ToLower(*alg)
+	add := func(name string, f func() (*core.Result, error)) {
+		if want == "all" || want == strings.ToLower(name) {
+			runs = append(runs, runner{name, f})
+		}
+	}
+	add("ILP", func() (*core.Result, error) { return core.SolveILP(inst, core.ILPOptions{}) })
+	add("Randomized", func() (*core.Result, error) {
+		return core.SolveRandomized(inst, rng, core.RandomizedOptions{})
+	})
+	add("Heuristic", func() (*core.Result, error) { return core.SolveHeuristic(inst, core.HeuristicOptions{}) })
+	add("Greedy", func() (*core.Result, error) { return core.SolveGreedy(inst) })
+	if len(runs) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown -alg %q\n", *alg)
+		os.Exit(2)
+	}
+
+	var dumps []netio.PlacementDump
+	for _, r := range runs {
+		res, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		dumps = append(dumps, netio.PlacementDump{
+			RequestID:   req.ID,
+			Algorithm:   res.Algorithm,
+			Reliability: res.Reliability,
+			MetRho:      res.MetExpectation,
+			Secondaries: res.Secondaries(),
+		})
+		fmt.Printf("== %s ==\n", res.Algorithm)
+		fmt.Printf("  reliability: %.6f (met ρ: %v)\n", res.Reliability, res.MetExpectation)
+		fmt.Printf("  backups per position: %v\n", res.Counts)
+		fmt.Printf("  placements: %v\n", res.Secondaries())
+		fmt.Printf("  capacity usage avg/min/max: %.2f/%.2f/%.2f (violated: %v)\n",
+			res.Usage.Avg, res.Usage.Min, res.Usage.Max, res.Violated)
+		fmt.Printf("  runtime: %v\n\n", res.Runtime)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dump: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dumps); err != nil {
+			fmt.Fprintf(os.Stderr, "dump: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("placements written to %s\n", *dump)
+	}
+}

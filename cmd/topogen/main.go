@@ -1,0 +1,82 @@
+// Command topogen generates MEC network topologies (Waxman / transit-stub /
+// Erdős–Rényi / grid) and dumps them as JSON or Graphviz DOT.
+//
+//	go run ./cmd/topogen -model waxman -n 100 -format dot > net.dot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/topology"
+)
+
+type dump struct {
+	Model  string       `json:"model"`
+	N      int          `json:"n"`
+	M      int          `json:"m"`
+	Edges  [][2]int     `json:"edges"`
+	Coords [][2]float64 `json:"coords"`
+}
+
+func main() {
+	model := flag.String("model", "waxman", "waxman, transitstub, er, grid, ring, star")
+	n := flag.Int("n", 100, "approximate node count")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	format := flag.String("format", "json", "json or dot")
+	p := flag.Float64("p", 0.05, "edge probability (er model)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var top *topology.Topology
+	switch *model {
+	case "waxman":
+		top = topology.Waxman(topology.DefaultWaxman(*n), rng)
+	case "transitstub":
+		top = topology.TransitStub(topology.DefaultTransitStub(*n), rng)
+	case "er":
+		top = topology.ErdosRenyi(*n, *p, rng)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		top = topology.Grid(side, side)
+	case "ring":
+		top = topology.Ring(*n)
+	case "star":
+		top = topology.Star(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -model %q\n", *model)
+		os.Exit(2)
+	}
+
+	switch *format {
+	case "json":
+		d := dump{Model: *model, N: top.G.N(), M: top.G.M(), Edges: top.G.Edges()}
+		for _, c := range top.Coords {
+			d.Coords = append(d.Coords, [2]float64{c.X, c.Y})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "dot":
+		fmt.Println("graph mec {")
+		for i, c := range top.Coords {
+			fmt.Printf("  n%d [pos=\"%.3f,%.3f!\"];\n", i, c.X*10, c.Y*10)
+		}
+		for _, e := range top.G.Edges() {
+			fmt.Printf("  n%d -- n%d;\n", e[0], e[1])
+		}
+		fmt.Println("}")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Failover: validates the paper's reliability model against a Monte-Carlo
+// failure simulator and explores what the model cannot see — correlated
+// cloudlet outages. A batch of requests is admitted (internal/batch), each
+// placement is stress-tested with 200k sampled failure scenarios
+// (internal/failsim), and the empirical availability is compared with the
+// analytical Π R_i the algorithms optimize.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/batch"
+	"repro/internal/failsim"
+	"repro/internal/mec"
+	"repro/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(31))
+	cfg := workload.NewDefaultConfig()
+	cfg.ResidualFraction = 1.0
+	cfg.Expectation = 0.999
+
+	net := cfg.Network(rng)
+	var reqs []*mec.Request
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, cfg.Request(rng, i, net.Catalog().Size()))
+	}
+
+	sum, err := batch.Run(net, reqs, rng, batch.Options{Solver: batch.ILP, RandomPrimaries: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-4s %-5s %-12s %-12s %-11s %s\n",
+		"req", "SFC", "analytical", "empirical", "Δ(σ units)", "weakest function")
+	for _, oc := range sum.Outcomes {
+		if !oc.Admitted || oc.Result == nil {
+			fmt.Printf("%-4d rejected: %v\n", oc.Request.ID, oc.Err)
+			continue
+		}
+		out := failsim.Simulate(oc.Result, 200000, rng)
+		sigma := math.Sqrt(out.Analytical*(1-out.Analytical)/float64(out.Trials)) + 1e-12
+		weak, count := out.WeakestLink()
+		weakName := "none (chain never failed)"
+		if weak >= 0 {
+			weakName = fmt.Sprintf("position %d (%d failures)", weak, count)
+		}
+		fmt.Printf("%-4d %-5d %-12.5f %-12.5f %-11.2f %s\n",
+			oc.Request.ID, oc.Request.Len(), out.Analytical, out.Availability,
+			(out.Availability-out.Analytical)/sigma, weakName)
+	}
+
+	// Blast radius of correlated cloudlet failures for the first placement —
+	// the independence assumption's blind spot.
+	for _, oc := range sum.Outcomes {
+		if oc.Result == nil {
+			continue
+		}
+		fmt.Printf("\nblast radius for request %d (baseline availability %.5f):\n",
+			oc.Request.ID, oc.Result.Reliability)
+		outage := failsim.CloudletOutage(oc.Result, 50000, rng)
+		var cls []int
+		for u := range outage {
+			cls = append(cls, u)
+		}
+		sort.Ints(cls)
+		for _, u := range cls {
+			fmt.Printf("  cloudlet %3d dark → availability %.5f\n", u, outage[u])
+		}
+		break
+	}
+	fmt.Println("\nΔ within a few σ confirms Eq. (1); the blast-radius table shows which")
+	fmt.Println("cloudlet a placement actually depends on despite meeting ρ on paper.")
+}

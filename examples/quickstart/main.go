@@ -1,0 +1,63 @@
+// Quickstart: build a small MEC network, admit one request with an SFC and a
+// reliability expectation, and augment its reliability with backup VNF
+// instances using the heuristic algorithm (Algorithm 2 of the paper).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mec"
+)
+
+func main() {
+	// A 6-AP network in a ring; cloudlets on APs 0, 2 and 4.
+	g := graph.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(i, (i+1)%6)
+	}
+	catalog := mec.NewCatalog([]mec.FunctionType{
+		{Name: "firewall", Demand: 300, Reliability: 0.85},
+		{Name: "nat", Demand: 250, Reliability: 0.90},
+		{Name: "ids", Demand: 400, Reliability: 0.80},
+	})
+	net := mec.NewNetwork(g, []float64{2000, 0, 2000, 0, 2000, 0}, catalog)
+
+	// A request traversing firewall → nat → ids, expecting 99.5% reliability.
+	req := mec.NewRequest(1, []int{0, 1, 2}, 0.995, 1, 5)
+
+	// Primaries were placed at admission time (here: spread across cloudlets),
+	// consuming their capacity.
+	req.Primaries = []int{0, 2, 4}
+	for i, v := range req.Primaries {
+		net.Consume(v, catalog.Type(req.SFC[i]).Demand)
+	}
+	fmt.Printf("chain reliability with primaries only: %.4f (expectation %.4f)\n",
+		0.85*0.90*0.80, req.Expectation)
+
+	// Augment: backups may go at most 1 hop from each primary's cloudlet.
+	inst := core.NewInstance(net, req, core.Params{L: 1})
+	res, err := core.SolveHeuristic(inst, core.HeuristicOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("augmented reliability: %.4f (met expectation: %v)\n",
+		res.Reliability, res.MetExpectation)
+	for i, hosts := range res.Secondaries() {
+		fmt.Printf("  %-8s primary@AP%d  backups@%v\n",
+			catalog.Type(req.SFC[i]).Name, req.Primaries[i], hosts)
+	}
+
+	// Commit the plan to the capacity ledger.
+	if err := res.Commit(net); err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range net.Cloudlets() {
+		fmt.Printf("cloudlet AP%d residual: %.0f MHz\n", v, net.Residual(v))
+	}
+}

@@ -1,0 +1,170 @@
+package admission
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mec"
+)
+
+func testCatalog() *mec.Catalog {
+	return mec.NewCatalog([]mec.FunctionType{
+		{Name: "fw", Demand: 200, Reliability: 0.8},
+		{Name: "nat", Demand: 300, Reliability: 0.9},
+		{Name: "ids", Demand: 400, Reliability: 0.85},
+	})
+}
+
+// line 0-1-2-3-4 with cloudlets at 1 and 3.
+func lineNet(c1, c3 float64) *mec.Network {
+	g := graph.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return mec.NewNetwork(g, []float64{0, c1, 0, c3, 0}, testCatalog())
+}
+
+func TestPlaceRandomBasic(t *testing.T) {
+	net := lineNet(4000, 4000)
+	req := mec.NewRequest(1, []int{0, 1, 2}, 0.99, 0, 4)
+	rng := rand.New(rand.NewSource(1))
+	if err := PlaceRandom(net, req, rng); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Primaries) != 3 {
+		t.Fatalf("primaries %v", req.Primaries)
+	}
+	totalDemand := 200.0 + 300 + 400
+	if got := (4000 - net.Residual(1)) + (4000 - net.Residual(3)); math.Abs(got-totalDemand) > 1e-9 {
+		t.Fatalf("consumed %v, want %v", got, totalDemand)
+	}
+	for _, v := range req.Primaries {
+		if v != 1 && v != 3 {
+			t.Fatalf("primary on non-cloudlet %d", v)
+		}
+	}
+}
+
+func TestPlaceRandomRespectsCapacity(t *testing.T) {
+	// only cloudlet 1 can host (cloudlet 3 too small for any function)
+	net := lineNet(4000, 100)
+	req := mec.NewRequest(1, []int{0, 0}, 0.99, 0, 4)
+	rng := rand.New(rand.NewSource(2))
+	if err := PlaceRandom(net, req, rng); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range req.Primaries {
+		if v != 1 {
+			t.Fatalf("primary should only fit on cloudlet 1, got %v", req.Primaries)
+		}
+	}
+}
+
+func TestPlaceRandomFailureRollsBack(t *testing.T) {
+	net := lineNet(450, 0) // fits fw(200) then nothing for ids(400)
+	req := mec.NewRequest(1, []int{0, 2}, 0.99, 0, 4)
+	rng := rand.New(rand.NewSource(3))
+	err := PlaceRandom(net, req, rng)
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err=%v, want ErrNoCapacity", err)
+	}
+	if net.Residual(1) != 450 {
+		t.Fatalf("ledger not rolled back: %v", net.Residual(1))
+	}
+	if req.Primaries != nil {
+		t.Fatal("primaries set despite failure")
+	}
+}
+
+func TestPlaceMaxReliabilityBasic(t *testing.T) {
+	net := lineNet(4000, 4000)
+	req := mec.NewRequest(1, []int{0, 1}, 0.99, 0, 4)
+	if err := PlaceMaxReliability(net, req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Primaries) != 2 {
+		t.Fatalf("primaries %v", req.Primaries)
+	}
+	consumed := (4000 - net.Residual(1)) + (4000 - net.Residual(3))
+	if math.Abs(consumed-500) > 1e-9 {
+		t.Fatalf("consumed %v, want 500", consumed)
+	}
+}
+
+func TestPlaceMaxReliabilitySplitsWhenCapacityTight(t *testing.T) {
+	// Each cloudlet can hold exactly one fw instance; a 2-fw chain must split.
+	net := lineNet(250, 250)
+	req := mec.NewRequest(1, []int{0, 0}, 0.99, 0, 4)
+	if err := PlaceMaxReliability(net, req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Primaries[0] == req.Primaries[1] {
+		t.Fatalf("both primaries on one cloudlet despite capacity: %v", req.Primaries)
+	}
+}
+
+func TestPlaceMaxReliabilityInfeasible(t *testing.T) {
+	net := lineNet(100, 100)
+	req := mec.NewRequest(1, []int{0}, 0.99, 0, 4)
+	err := PlaceMaxReliability(net, req)
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err=%v, want ErrNoCapacity", err)
+	}
+	if net.Residual(1) != 100 || net.Residual(3) != 100 {
+		t.Fatal("ledger changed on failure")
+	}
+}
+
+func TestPlaceMaxReliabilityNoCloudlets(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	net := mec.NewNetwork(g, []float64{0, 0, 0}, testCatalog())
+	req := mec.NewRequest(1, []int{0}, 0.99, 0, 2)
+	if err := PlaceMaxReliability(net, req); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err=%v, want ErrNoCapacity", err)
+	}
+}
+
+func TestPlaceMaxReliabilityPrefersCompactChains(t *testing.T) {
+	// Two cloudlets far apart; with ample capacity the hop penalty should
+	// keep consecutive functions co-located (all reliabilities identical, so
+	// only locality breaks ties).
+	net := lineNet(8000, 8000)
+	req := mec.NewRequest(1, []int{0, 0, 0}, 0.99, 0, 0) // src=dst=0, near cloudlet 1
+	if err := PlaceMaxReliability(net, req); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range req.Primaries {
+		if v != 1 {
+			t.Fatalf("expected all primaries near source on cloudlet 1, got %v", req.Primaries)
+		}
+	}
+}
+
+func TestInitialReliability(t *testing.T) {
+	net := lineNet(4000, 4000)
+	req := mec.NewRequest(1, []int{0, 1}, 0.99, 0, 4)
+	want := 0.8 * 0.9
+	if got := InitialReliability(net, req); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("initial reliability %v, want %v", got, want)
+	}
+}
+
+func TestPlaceRandomManySeedsAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		net := lineNet(4000, 8000)
+		req := mec.NewRequest(1, []int{0, 1, 2, 0}, 0.99, 0, 4)
+		rng := rand.New(rand.NewSource(seed))
+		if err := PlaceRandom(net, req, rng); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p := &mec.Placement{Request: req, Secondaries: make([][]int, req.Len())}
+		if err := p.Validate(net, 1); err != nil {
+			t.Fatalf("seed %d: invalid placement: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package batch runs the per-request augmentation machinery of the paper
+// over a stream of requests sharing one MEC network — the operating mode an
+// operator actually faces. The paper solves each admitted request in
+// isolation; batch adds the surrounding loop: admission (primary placement),
+// augmentation with a chosen solver, capacity commitment, and an ordering
+// policy that decides which request gets first pick of the remaining
+// capacity.
+package batch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/mec"
+)
+
+// Solver selects the augmentation algorithm.
+type Solver int
+
+const (
+	// Heuristic uses Algorithm 2 (default: fast, never violates capacity).
+	Heuristic Solver = iota
+	// ILP uses the exact solver.
+	ILP
+	// Greedy uses the marginal-gain baseline.
+	Greedy
+)
+
+func (s Solver) String() string {
+	switch s {
+	case Heuristic:
+		return "heuristic"
+	case ILP:
+		return "ilp"
+	case Greedy:
+		return "greedy"
+	}
+	return "unknown"
+}
+
+// Policy orders the batch before sequential augmentation.
+type Policy int
+
+const (
+	// Arrival keeps the input order (first come, first augmented).
+	Arrival Policy = iota
+	// NeediestFirst augments the request with the largest reliability
+	// deficit (ρ − Π r_i) first, spending contended capacity where it is
+	// most needed.
+	NeediestFirst
+	// ShortestFirst augments short chains first; they need the fewest
+	// backups to meet an expectation, maximizing the count of satisfied
+	// requests under scarcity.
+	ShortestFirst
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Arrival:
+		return "arrival"
+	case NeediestFirst:
+		return "neediest-first"
+	case ShortestFirst:
+		return "shortest-first"
+	}
+	return "unknown"
+}
+
+// Options configures a batch run.
+type Options struct {
+	Solver Solver
+	Policy Policy
+	// L is the hop bound for secondary placement (default 1).
+	L int
+	// RandomPrimaries uses the evaluation section's uniform primary
+	// placement instead of the layered-DAG admission framework.
+	RandomPrimaries bool
+}
+
+// RequestOutcome records what happened to one request.
+type RequestOutcome struct {
+	Request  *mec.Request
+	Admitted bool
+	// Result is nil when the request was not admitted.
+	Result *core.Result
+	Err    error
+}
+
+// Summary aggregates a batch run.
+type Summary struct {
+	Outcomes []RequestOutcome
+	Admitted int
+	// Met counts admitted requests whose final reliability reached ρ.
+	Met int
+	// MeanReliability averages final reliability over admitted requests.
+	MeanReliability float64
+	// ResidualLeft is the total residual capacity remaining (MHz).
+	ResidualLeft float64
+}
+
+// Run admits and augments the requests against net, committing capacity as
+// it goes. net is mutated (admission and commits consume the ledger);
+// requests that cannot be admitted are recorded and skipped.
+func Run(net *mec.Network, requests []*mec.Request, rng *rand.Rand, opt Options) (*Summary, error) {
+	if opt.L <= 0 {
+		opt.L = 1
+	}
+	order := make([]*mec.Request, len(requests))
+	copy(order, requests)
+	switch opt.Policy {
+	case Arrival:
+	case NeediestFirst:
+		sort.SliceStable(order, func(a, b int) bool {
+			return deficit(net, order[a]) > deficit(net, order[b])
+		})
+	case ShortestFirst:
+		sort.SliceStable(order, func(a, b int) bool {
+			return order[a].Len() < order[b].Len()
+		})
+	default:
+		return nil, fmt.Errorf("batch: unknown policy %d", opt.Policy)
+	}
+
+	sum := &Summary{}
+	relSum := 0.0
+	for _, req := range order {
+		oc := RequestOutcome{Request: req}
+		var err error
+		if opt.RandomPrimaries {
+			err = admission.PlaceRandom(net, req, rng)
+		} else {
+			err = admission.PlaceMaxReliability(net, req)
+		}
+		if err != nil {
+			oc.Err = err
+			sum.Outcomes = append(sum.Outcomes, oc)
+			continue
+		}
+		oc.Admitted = true
+		sum.Admitted++
+
+		inst := core.NewInstance(net, req, core.Params{L: opt.L})
+		var res *core.Result
+		switch opt.Solver {
+		case Heuristic:
+			res, err = core.SolveHeuristic(inst, core.HeuristicOptions{})
+		case ILP:
+			res, err = core.SolveILP(inst, core.ILPOptions{})
+		case Greedy:
+			res, err = core.SolveGreedy(inst)
+		default:
+			return nil, fmt.Errorf("batch: unknown solver %d", opt.Solver)
+		}
+		if err != nil {
+			oc.Err = err
+			sum.Outcomes = append(sum.Outcomes, oc)
+			continue
+		}
+		if err := res.Commit(net); err != nil {
+			oc.Err = err
+			sum.Outcomes = append(sum.Outcomes, oc)
+			continue
+		}
+		oc.Result = res
+		if res.MetExpectation {
+			sum.Met++
+		}
+		relSum += res.Reliability
+		sum.Outcomes = append(sum.Outcomes, oc)
+	}
+	if sum.Admitted > 0 {
+		sum.MeanReliability = relSum / float64(sum.Admitted)
+	}
+	for _, v := range net.Cloudlets() {
+		sum.ResidualLeft += net.Residual(v)
+	}
+	return sum, nil
+}
+
+// deficit is ρ − Π r_i, the reliability gap the request needs to close.
+func deficit(net *mec.Network, req *mec.Request) float64 {
+	u := 1.0
+	for _, f := range req.SFC {
+		u *= net.Catalog().Type(f).Reliability
+	}
+	return req.Expectation - u
+}

@@ -1,0 +1,153 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mec"
+	"repro/internal/workload"
+)
+
+func sampleWorld(seed int64, n int, rho float64) (*mec.Network, []*mec.Request, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.NewDefaultConfig()
+	cfg.ResidualFraction = 1.0 // batch starts with a fresh network
+	cfg.Expectation = rho
+	net := cfg.Network(rng)
+	var reqs []*mec.Request
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, cfg.Request(rng, i, net.Catalog().Size()))
+	}
+	return net, reqs, rng
+}
+
+func TestRunBasic(t *testing.T) {
+	net, reqs, rng := sampleWorld(1, 10, 0.99)
+	sum, err := Run(net, reqs, rng, Options{Solver: Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Admitted == 0 {
+		t.Fatal("nothing admitted on a fresh network")
+	}
+	if len(sum.Outcomes) != 10 {
+		t.Fatalf("outcomes %d, want 10", len(sum.Outcomes))
+	}
+	if sum.Met > sum.Admitted {
+		t.Fatalf("met %d > admitted %d", sum.Met, sum.Admitted)
+	}
+	if sum.MeanReliability <= 0 || sum.MeanReliability > 1 {
+		t.Fatalf("mean reliability %v", sum.MeanReliability)
+	}
+}
+
+func TestCapacityMonotoneDrain(t *testing.T) {
+	net, reqs, rng := sampleWorld(2, 8, 0.999)
+	before := 0.0
+	for _, v := range net.Cloudlets() {
+		before += net.Residual(v)
+	}
+	sum, err := Run(net, reqs, rng, Options{Solver: Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ResidualLeft >= before {
+		t.Fatalf("no capacity consumed: %v >= %v", sum.ResidualLeft, before)
+	}
+}
+
+func TestPoliciesProduceSameAdmittedSetSizeOrBetter(t *testing.T) {
+	// All policies must run cleanly; under scarcity, shortest-first should
+	// satisfy at least as many requests as arrival order (weak check: both
+	// runs complete and counts are sane).
+	for _, pol := range []Policy{Arrival, NeediestFirst, ShortestFirst} {
+		net, reqs, rng := sampleWorld(3, 20, 0.995)
+		net.SetResidualFraction(0.15)
+		sum, err := Run(net, reqs, rng, Options{Solver: Heuristic, Policy: pol, RandomPrimaries: true})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if sum.Met > sum.Admitted || sum.Admitted > 20 {
+			t.Fatalf("%v: inconsistent summary %+v", pol, sum)
+		}
+	}
+}
+
+func TestSolversAllWork(t *testing.T) {
+	for _, s := range []Solver{Heuristic, ILP, Greedy} {
+		net, reqs, rng := sampleWorld(4, 5, 0.99)
+		sum, err := Run(net, reqs, rng, Options{Solver: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if sum.Admitted == 0 {
+			t.Fatalf("%v: nothing admitted", s)
+		}
+	}
+}
+
+func TestILPAtLeastAsGoodAsGreedyPerRequest(t *testing.T) {
+	// Same seed, same order: ILP's first-request reliability must be >=
+	// greedy's (they see identical residual state for the first request).
+	netA, reqsA, rngA := sampleWorld(5, 1, 1.0)
+	sumA, err := Run(netA, reqsA, rngA, Options{Solver: ILP, RandomPrimaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, reqsB, rngB := sampleWorld(5, 1, 1.0)
+	sumB, err := Run(netB, reqsB, rngB, Options{Solver: Greedy, RandomPrimaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sumA.Outcomes[0].Admitted || !sumB.Outcomes[0].Admitted {
+		t.Skip("request not admitted under this seed")
+	}
+	if sumA.Outcomes[0].Result.Reliability < sumB.Outcomes[0].Result.Reliability-1e-9 {
+		t.Fatalf("ILP %v worse than greedy %v", sumA.Outcomes[0].Result.Reliability, sumB.Outcomes[0].Result.Reliability)
+	}
+}
+
+func TestRejectionRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := workload.NewDefaultConfig()
+	cfg.Expectation = 0.99
+	net := cfg.Network(rng)
+	net.SetResidualFraction(0.0) // no capacity at all
+	req := cfg.Request(rng, 0, net.Catalog().Size())
+	sum, err := Run(net, []*mec.Request{req}, rng, Options{Solver: Heuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Admitted != 0 {
+		t.Fatal("admission should fail with zero residual capacity")
+	}
+	if sum.Outcomes[0].Err == nil {
+		t.Fatal("rejection must carry an error")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Heuristic.String() != "heuristic" || ILP.String() != "ilp" || Greedy.String() != "greedy" {
+		t.Fatal("solver stringer")
+	}
+	if Solver(99).String() != "unknown" {
+		t.Fatal("unknown solver stringer")
+	}
+	if Arrival.String() != "arrival" || NeediestFirst.String() != "neediest-first" || ShortestFirst.String() != "shortest-first" {
+		t.Fatal("policy stringer")
+	}
+	if Policy(99).String() != "unknown" {
+		t.Fatal("unknown policy stringer")
+	}
+}
+
+func TestUnknownOptionsError(t *testing.T) {
+	net, reqs, rng := sampleWorld(7, 1, 0.99)
+	if _, err := Run(net, reqs, rng, Options{Policy: Policy(42)}); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	net2, reqs2, rng2 := sampleWorld(7, 1, 0.99)
+	if _, err := Run(net2, reqs2, rng2, Options{Solver: Solver(42)}); err == nil {
+		t.Fatal("unknown solver must error")
+	}
+}

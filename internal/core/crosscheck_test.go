@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ilp"
+	"repro/internal/lp"
+	"repro/internal/workload"
+)
+
+// TestCountBBMatchesGenericILP cross-checks the specialized count-space
+// branch-and-bound against the generic 0/1 solver on the same aggregated
+// model: both must find the same optimal objective on instances small enough
+// for the generic search to finish (the generic solver drowns in bin
+// symmetry on larger ones — the reason countBB exists).
+func TestCountBBMatchesGenericILP(t *testing.T) {
+	cfg := workload.NewDefaultConfig()
+	cfg.ResidualFraction = 1.0 / 8 // keep item counts small
+	checked := 0
+	for seed := int64(0); seed < 40 && checked < 12; seed++ {
+		rng := rand.New(rand.NewSource(500 + seed))
+		net := cfg.Network(rng)
+		req := cfg.RequestWithLength(rng, 0, 3, net.Catalog().Size())
+		workload.PlacePrimariesRandom(net, req, rng)
+		inst := NewInstance(net, req, Params{L: 1})
+		if inst.TotalItems() == 0 || inst.TotalItems() > 14 {
+			continue
+		}
+		checked++
+
+		perBin, objective, proven := solveCountBB(inst, ObjectiveLogGain, 0, 0)
+		if perBin == nil || !proven {
+			t.Fatalf("seed %d: countBB failed or unproven on a tiny instance", seed)
+		}
+
+		bm := buildModel(inst, ObjectiveLogGain)
+		r := ilp.Solve(bm.m, bm.intVars, ilp.Options{MaxNodes: 100000})
+		if r.Status != lp.Optimal || !r.Proven {
+			t.Fatalf("seed %d: generic ILP status %v proven %v", seed, r.Status, r.Proven)
+		}
+		if math.Abs(objective-r.Objective) > 1e-6 {
+			t.Fatalf("seed %d: countBB %v vs generic %v", seed, objective, r.Objective)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d instances were small enough; loosen the sampler", checked)
+	}
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mec"
+)
+
+// buildExampleWorld constructs the small deterministic network the examples
+// share: a 4-AP line with cloudlets on APs 0 and 2.
+func buildExampleWorld() (*mec.Network, *mec.Request) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	catalog := mec.NewCatalog([]mec.FunctionType{
+		{Name: "fw", Demand: 300, Reliability: 0.8},
+		{Name: "nat", Demand: 200, Reliability: 0.9},
+	})
+	net := mec.NewNetwork(g, []float64{1500, 0, 1500, 0}, catalog)
+	req := mec.NewRequest(1, []int{0, 1}, 0.99, 0, 3)
+	req.Primaries = []int{0, 2}
+	net.Consume(0, 300)
+	net.Consume(2, 200)
+	return net, req
+}
+
+func ExampleSolveHeuristic() {
+	net, req := buildExampleWorld()
+	inst := core.NewInstance(net, req, core.Params{L: 2})
+	res, err := core.SolveHeuristic(inst, core.HeuristicOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("initial %.3f augmented %.3f met %v\n",
+		inst.InitialReliability, res.Reliability, res.MetExpectation)
+	// Output: initial 0.720 augmented 0.991 met true
+}
+
+func ExampleSolveILP() {
+	net, req := buildExampleWorld()
+	inst := core.NewInstance(net, req, core.Params{L: 2})
+	res, err := core.SolveILP(inst, core.ILPOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("met %v proven %v violated %v\n", res.MetExpectation, res.Proven, res.Violated)
+	// Output: met true proven true violated false
+}
+
+func ExampleSolveRandomized() {
+	net, req := buildExampleWorld()
+	inst := core.NewInstance(net, req, core.Params{L: 2})
+	rng := rand.New(rand.NewSource(4))
+	res, err := core.SolveRandomized(inst, rng, core.RandomizedOptions{Repair: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("violated after repair: %v\n", res.Violated)
+	// Output: violated after repair: false
+}
+
+func ExampleResult_Commit() {
+	net, req := buildExampleWorld()
+	inst := core.NewInstance(net, req, core.Params{L: 2})
+	res, err := core.SolveHeuristic(inst, core.HeuristicOptions{})
+	if err != nil {
+		panic(err)
+	}
+	before := net.Residual(0) + net.Residual(2)
+	if err := res.Commit(net); err != nil {
+		panic(err)
+	}
+	after := net.Residual(0) + net.Residual(2)
+	fmt.Printf("consumed %.0f MHz for %d backups\n", before-after, totalBackups(res))
+	// Output: consumed 1000 MHz for 4 backups
+}
+
+func totalBackups(r *core.Result) int {
+	n := 0
+	for _, c := range r.Counts {
+		n += c
+	}
+	return n
+}

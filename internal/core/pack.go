@@ -1,0 +1,182 @@
+package core
+
+import "sort"
+
+// packBudget bounds the packing oracle's search nodes per call.
+const packBudget = 60000
+
+// packIncumbentBudget is the cheaper budget used for opportunistic incumbent
+// attempts at fractional nodes (a miss there costs nothing but a weaker warm
+// start).
+const packIncumbentBudget = 8000
+
+// packCounts decides whether counts (n_i secondary instances of each chain
+// position) can be packed integrally into the instance's bins without
+// exceeding the residual snapshot, and returns one such packing.
+//
+// Returns:
+//
+//	perBin != nil              — packable; perBin is a witness.
+//	perBin == nil, conclusive  — provably unpackable.
+//	perBin == nil, !conclusive — search budget exhausted (caller must fall
+//	                             back to an exact method).
+//
+// The search is depth-first over positions in decreasing demand order with
+// two prunes: per-position slot counting (a position whose remaining items
+// outnumber its bins' remaining slots fails immediately) and same-position
+// symmetry breaking (items of one position are placed in non-decreasing bin
+// order). A best-fit greedy pass runs first and usually succeeds without
+// any search.
+func packCounts(inst *Instance, counts []int, budget int) (perBin []map[int]int, conclusive bool) {
+	// Fast path: greedy best-fit.
+	if pb := greedyPack(inst, counts); pb != nil {
+		return pb, true
+	}
+
+	order := make([]int, 0, len(inst.Positions))
+	for i := range inst.Positions {
+		if counts[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return inst.Positions[order[a]].Func.Demand > inst.Positions[order[b]].Func.Demand
+	})
+
+	residual := append([]float64(nil), inst.Residual...)
+	assign := make([]map[int]int, len(inst.Positions))
+	for i := range assign {
+		assign[i] = make(map[int]int)
+	}
+
+	nodes := 0
+	exhausted := false
+	// failed caches residual states (at position boundaries) from which no
+	// completion exists, collapsing the exponential re-exploration that
+	// different same-total allocations of earlier positions would cause.
+	failed := make(map[string]bool)
+	stateKey := func(oi int) string {
+		b := make([]byte, 0, 4+8*len(inst.BinSet))
+		b = append(b, byte(oi), byte(oi>>8))
+		for _, u := range inst.BinSet {
+			q := int64(residual[u]*64 + 0.5) // 1/64-MHz resolution
+			for s := 0; s < 48; s += 8 {
+				b = append(b, byte(q>>s))
+			}
+		}
+		return string(b)
+	}
+	var placePos func(oi int) bool
+	placePos = func(oi int) bool {
+		if oi == len(order) {
+			return true
+		}
+		key := stateKey(oi)
+		if failed[key] {
+			return false
+		}
+		i := order[oi]
+		p := &inst.Positions[i]
+		need := counts[i]
+		// Slot prune across all later positions.
+		for _, j := range order[oi:] {
+			pj := &inst.Positions[j]
+			slots := 0
+			for _, u := range pj.Bins {
+				slots += int(residual[u] / pj.Func.Demand)
+			}
+			if slots < counts[j] {
+				failed[key] = true
+				return false
+			}
+		}
+		var placeItem func(itemIdx, minBin int) bool
+		placeItem = func(itemIdx, minBin int) bool {
+			nodes++
+			if nodes > budget {
+				exhausted = true
+				return false
+			}
+			if itemIdx == need {
+				return placePos(oi + 1)
+			}
+			for b := minBin; b < len(p.Bins); b++ {
+				u := p.Bins[b]
+				if residual[u] < p.Func.Demand {
+					continue
+				}
+				residual[u] -= p.Func.Demand
+				assign[i][u]++
+				if placeItem(itemIdx+1, b) {
+					return true
+				}
+				if exhausted {
+					// Unwind without exploring alternatives.
+					residual[u] += p.Func.Demand
+					decOrDelete(assign[i], u)
+					return false
+				}
+				residual[u] += p.Func.Demand
+				decOrDelete(assign[i], u)
+			}
+			return false
+		}
+		ok := placeItem(0, 0)
+		if !ok && !exhausted {
+			failed[key] = true
+		}
+		return ok
+	}
+	if placePos(0) {
+		return assign, true
+	}
+	if exhausted {
+		return nil, false
+	}
+	return nil, true
+}
+
+// greedyPack attempts a best-fit packing: positions by decreasing demand,
+// each item into the allowed bin with the most residual capacity.
+func greedyPack(inst *Instance, counts []int) []map[int]int {
+	order := make([]int, 0, len(inst.Positions))
+	for i := range inst.Positions {
+		if counts[i] > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return inst.Positions[order[a]].Func.Demand > inst.Positions[order[b]].Func.Demand
+	})
+	residual := append([]float64(nil), inst.Residual...)
+	assign := make([]map[int]int, len(inst.Positions))
+	for i := range assign {
+		assign[i] = make(map[int]int)
+	}
+	for _, i := range order {
+		p := &inst.Positions[i]
+		for item := 0; item < counts[i]; item++ {
+			best := -1
+			var bestRes float64
+			for _, u := range p.Bins {
+				if residual[u] >= p.Func.Demand && residual[u] > bestRes {
+					best, bestRes = u, residual[u]
+				}
+			}
+			if best < 0 {
+				return nil
+			}
+			residual[best] -= p.Func.Demand
+			assign[i][best]++
+		}
+	}
+	return assign
+}
+
+func decOrDelete(m map[int]int, u int) {
+	if m[u] <= 1 {
+		delete(m, u)
+	} else {
+		m[u]--
+	}
+}

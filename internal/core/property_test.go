@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// randomPaperInstance samples a paper-scale instance with randomized knobs.
+func randomPaperInstance(rng *rand.Rand) *Instance {
+	cfg := workload.NewDefaultConfig()
+	cfg.ResidualFraction = []float64{1.0 / 16, 0.25, 0.5, 1}[rng.Intn(4)]
+	cfg.ReliabilityMin = 0.55 + 0.3*rng.Float64()
+	cfg.ReliabilityMax = cfg.ReliabilityMin + 0.05
+	if rng.Intn(3) == 0 {
+		cfg.Expectation = 0.9 + 0.099*rng.Float64()
+	}
+	l := 1 + rng.Intn(2)
+	net := cfg.Network(rng)
+	req := cfg.RequestWithLength(rng, 0, 2+rng.Intn(8), net.Catalog().Size())
+	workload.PlacePrimariesRandom(net, req, rng)
+	return NewInstance(net, req, Params{L: l})
+}
+
+// Property: every solver returns a placement that validates against the
+// network and the hop bound, never lowers reliability below the primaries,
+// and (except Randomized) never violates capacity.
+func TestSolverInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomPaperInstance(rng)
+		type sr struct {
+			res       *Result
+			mayiolate bool
+		}
+		var all []sr
+		ilpRes, err := SolveILP(inst, ILPOptions{})
+		if err != nil {
+			return false
+		}
+		all = append(all, sr{ilpRes, false})
+		heuRes, err := SolveHeuristic(inst, HeuristicOptions{})
+		if err != nil {
+			return false
+		}
+		all = append(all, sr{heuRes, false})
+		greRes, err := SolveGreedy(inst)
+		if err != nil {
+			return false
+		}
+		all = append(all, sr{greRes, false})
+		rndRes, err := SolveRandomized(inst, rng, RandomizedOptions{})
+		if err != nil {
+			return false
+		}
+		all = append(all, sr{rndRes, true})
+
+		for _, s := range all {
+			if s.res.Reliability < inst.InitialReliability-1e-12 {
+				return false
+			}
+			if err := s.res.Placement().Validate(inst.Net, inst.Params.L); err != nil {
+				return false
+			}
+			if !s.mayiolate && s.res.Violated {
+				return false
+			}
+			// Counts and PerBin must be consistent.
+			for i, m := range s.res.PerBin {
+				total := 0
+				for _, c := range m {
+					total += c
+				}
+				if total != s.res.Counts[i] {
+					return false
+				}
+			}
+		}
+		// Feasible solutions never beat a proven ILP optimum. Only valid
+		// with ρ = 1: under a finite expectation every solver trims back to
+		// a ρ-minimal placement, and trimmed results are incomparable.
+		if ilpRes.Proven && inst.Req.Expectation == 1 {
+			for _, s := range all[1:] {
+				if !s.res.Violated && s.res.Reliability > ilpRes.Reliability+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: achieved reliability equals the closed-form chain reliability of
+// the reported counts.
+func TestReliabilityConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomPaperInstance(rng)
+		res, err := SolveHeuristic(inst, HeuristicOptions{})
+		if err != nil {
+			return false
+		}
+		want := 1.0
+		for i, p := range inst.Positions {
+			want *= 1 - math.Pow(1-p.Func.Reliability, float64(res.Counts[i]+1))
+		}
+		return math.Abs(res.Reliability-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a finite expectation, met solutions are trim-minimal — no
+// single backup can be removed without dropping below ρ.
+func TestTrimMinimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.NewDefaultConfig()
+		cfg.Expectation = 0.95 + 0.04*rng.Float64()
+		net := cfg.Network(rng)
+		req := cfg.RequestWithLength(rng, 0, 2+rng.Intn(5), net.Catalog().Size())
+		workload.PlacePrimariesRandom(net, req, rng)
+		inst := NewInstance(net, req, Params{L: 1})
+		res, err := SolveILP(inst, ILPOptions{})
+		if err != nil {
+			return false
+		}
+		if !res.MetExpectation {
+			return true // nothing to check when ρ unreachable
+		}
+		counts := append([]int(nil), res.Counts...)
+		for i := range counts {
+			if counts[i] == 0 {
+				continue
+			}
+			counts[i]--
+			if inst.achieved(counts) >= req.Expectation {
+				return false // not minimal
+			}
+			counts[i]++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a larger hop bound never yields a worse proven-ILP optimum.
+func TestHopBoundMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.NewDefaultConfig()
+		net := cfg.Network(rng)
+		req := cfg.RequestWithLength(rng, 0, 2+rng.Intn(4), net.Catalog().Size())
+		workload.PlacePrimariesRandom(net, req, rng)
+		inst1 := NewInstance(net, req, Params{L: 1})
+		inst2 := NewInstance(net, req, Params{L: 2})
+		r1, err := SolveILP(inst1, ILPOptions{})
+		if err != nil {
+			return false
+		}
+		r2, err := SolveILP(inst2, ILPOptions{})
+		if err != nil {
+			return false
+		}
+		if !r1.Proven || !r2.Proven {
+			return true
+		}
+		return r2.Reliability >= r1.Reliability-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the randomized algorithm's violations stay within the 2x bound
+// of Theorem 5.2 in the overwhelming majority of trials (we assert the
+// bound as a hard cap at 3x to leave room for the theorem's low-probability
+// exceptions without flaking).
+func TestRandomizedViolationBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomPaperInstance(rng)
+		res, err := SolveRandomized(inst, rng, RandomizedOptions{})
+		if err != nil {
+			return false
+		}
+		return res.Usage.Max <= 3.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

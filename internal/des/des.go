@@ -1,0 +1,262 @@
+// Package des is a discrete-event simulator for dynamic request arrivals in
+// an MEC network. The paper solves the augmentation problem for a single
+// admitted request; real networks see a churn of requests arriving (Poisson)
+// and departing (exponential holding times), with capacity committed at
+// admission and released at departure. The simulator drives the paper's
+// machinery through that regime and reports blocking probability,
+// expectation-satisfaction rate, and time-averaged capacity utilization —
+// the metrics the dynamic-arrival literature the paper cites ([12], [13])
+// evaluates.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/mec"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// ArrivalRate λ: mean request arrivals per unit time (> 0).
+	ArrivalRate float64
+	// MeanHold 1/μ: mean session duration (> 0).
+	MeanHold float64
+	// Horizon is the simulated time span (> 0).
+	Horizon float64
+	// Warmup discards metrics before this time (transient removal).
+	Warmup float64
+	// Workload generates the network and per-request shapes.
+	Workload workload.Config
+	// UseILP selects the exact solver instead of the heuristic.
+	UseILP bool
+	// L is the hop bound (default 1).
+	L int
+}
+
+func (c Config) validate() error {
+	if c.ArrivalRate <= 0 || c.MeanHold <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("des: rate %v, hold %v, horizon %v must be positive", c.ArrivalRate, c.MeanHold, c.Horizon)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Horizon {
+		return fmt.Errorf("des: warmup %v out of [0,%v)", c.Warmup, c.Horizon)
+	}
+	return nil
+}
+
+// Metrics aggregates a run (post-warmup unless stated).
+type Metrics struct {
+	Arrivals int
+	Accepted int
+	Blocked  int // admission failed: no capacity for primaries
+	Met      int // accepted and reached ρ
+	// BlockingProbability = Blocked / Arrivals.
+	BlockingProbability float64
+	// MetRate = Met / Accepted.
+	MetRate float64
+	// MeanReliability over accepted requests.
+	MeanReliability float64
+	// MeanUtilization is the time-averaged fraction of total cloudlet
+	// capacity in use across the full horizon (including warmup, since it is
+	// a state average, reported from warmup onwards).
+	MeanUtilization float64
+	// PeakActive is the maximum number of concurrent sessions observed.
+	PeakActive int
+	// MeanActive is the time-averaged number of concurrent sessions.
+	MeanActive float64
+	// EndResidualIntact reports whether, after draining all sessions at the
+	// end of the run, the ledger returned to its initial state (a
+	// conservation check the tests rely on).
+	EndResidualIntact bool
+}
+
+// event is an arrival or departure.
+type event struct {
+	t      float64
+	isDep  bool
+	id     int
+	req    *mec.Request
+	relAmt []release // departure: capacity to give back
+}
+
+type release struct {
+	node int
+	amt  float64
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// Run executes the simulation. The network is sampled from cfg.Workload with
+// full residual capacity (the residual-fraction knob does not apply to the
+// dynamic regime; churn itself produces partial occupancy).
+func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.L <= 0 {
+		cfg.L = 1
+	}
+	wl := cfg.Workload
+	wl.ResidualFraction = 1.0
+	net := wl.Network(rng)
+
+	totalCap := 0.0
+	for _, v := range net.Cloudlets() {
+		totalCap += net.Capacity[v]
+	}
+	initialResidual := net.ResidualSnapshot()
+
+	var q eventHeap
+	// Pre-generate the arrival process.
+	id := 0
+	for t := expDraw(rng, 1/cfg.ArrivalRate); t < cfg.Horizon; t += expDraw(rng, 1/cfg.ArrivalRate) {
+		req := wl.Request(rng, id, net.Catalog().Size())
+		heap.Push(&q, &event{t: t, req: req, id: id})
+		id++
+	}
+
+	m := &Metrics{}
+	var (
+		utilInt   float64 // ∫ utilization dt after warmup
+		activeInt float64 // ∫ active dt after warmup
+		lastT     = cfg.Warmup
+		active    int
+		relSum    float64
+	)
+	used := func() float64 {
+		u := 0.0
+		for _, v := range net.Cloudlets() {
+			u += net.Capacity[v] - net.Residual(v)
+		}
+		return u
+	}
+	tick := func(now float64) {
+		if now <= cfg.Warmup {
+			return
+		}
+		from := math.Max(lastT, cfg.Warmup)
+		if now > from {
+			utilInt += used() / totalCap * (now - from)
+			activeInt += float64(active) * (now - from)
+			lastT = now
+		}
+	}
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(*event)
+		if ev.t >= cfg.Horizon {
+			heap.Push(&q, ev) // hand it to the drain loop (may hold capacity)
+			break
+		}
+		tick(ev.t)
+		if ev.isDep {
+			for _, r := range ev.relAmt {
+				net.Release(r.node, r.amt)
+			}
+			active--
+			continue
+		}
+
+		if ev.t >= cfg.Warmup {
+			m.Arrivals++
+		}
+		// Admission: primaries (random placement, the paper's §7.1 default).
+		snap := net.ResidualSnapshot()
+		if err := admission.PlaceRandom(net, ev.req, rng); err != nil {
+			if ev.t >= cfg.Warmup {
+				m.Blocked++
+			}
+			continue
+		}
+		inst := core.NewInstance(net, ev.req, core.Params{L: cfg.L})
+		var res *core.Result
+		var err error
+		if cfg.UseILP {
+			res, err = core.SolveILP(inst, core.ILPOptions{})
+		} else {
+			res, err = core.SolveHeuristic(inst, core.HeuristicOptions{})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("des: solver failed at t=%v: %w", ev.t, err)
+		}
+		if err := res.Commit(net); err != nil {
+			return nil, fmt.Errorf("des: commit failed at t=%v: %w", ev.t, err)
+		}
+
+		// Record the exact capacity this session holds, for departure.
+		var rels []release
+		after := net.ResidualSnapshot()
+		for v := range snap {
+			if d := snap[v] - after[v]; d > 1e-12 {
+				rels = append(rels, release{node: v, amt: d})
+			}
+		}
+		active++
+		if active > m.PeakActive {
+			m.PeakActive = active
+		}
+		if ev.t >= cfg.Warmup {
+			m.Accepted++
+			relSum += res.Reliability
+			if res.MetExpectation {
+				m.Met++
+			}
+		}
+		dep := &event{t: ev.t + expDraw(rng, cfg.MeanHold), isDep: true, relAmt: rels}
+		heap.Push(&q, dep)
+	}
+	tick(cfg.Horizon)
+
+	// Drain remaining sessions to verify ledger conservation.
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(*event)
+		if ev.isDep {
+			for _, r := range ev.relAmt {
+				net.Release(r.node, r.amt)
+			}
+		}
+	}
+	m.EndResidualIntact = true
+	end := net.ResidualSnapshot()
+	for v := range end {
+		if math.Abs(end[v]-initialResidual[v]) > 1e-6 {
+			m.EndResidualIntact = false
+			break
+		}
+	}
+
+	if m.Arrivals > 0 {
+		m.BlockingProbability = float64(m.Blocked) / float64(m.Arrivals)
+	}
+	if m.Accepted > 0 {
+		m.MetRate = float64(m.Met) / float64(m.Accepted)
+		m.MeanReliability = relSum / float64(m.Accepted)
+	}
+	span := cfg.Horizon - cfg.Warmup
+	if span > 0 {
+		m.MeanUtilization = utilInt / span
+		m.MeanActive = activeInt / span
+	}
+	return m, nil
+}
+
+// expDraw samples an exponential with the given mean.
+func expDraw(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}

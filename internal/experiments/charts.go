@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/plot"
+)
+
+// Charts converts the sweep into the paper's three sub-plot charts:
+// (a) achieved reliability, (b) capacity usage of the randomized algorithm
+// (avg/min/max), and (c) running time (log scale).
+func (s *Sweep) Charts() []*plot.Chart {
+	algs := s.sortedAlgs()
+
+	rel := &plot.Chart{
+		Title:  fmt.Sprintf("%s(a) — SFC reliability", s.Name),
+		XLabel: s.XLabel,
+		YLabel: "achieved SFC reliability",
+	}
+	for _, a := range algs {
+		srs := plot.Series{Name: a}
+		for _, p := range s.Points {
+			ap, ok := p.Algs[a]
+			if !ok {
+				continue
+			}
+			srs.X = append(srs.X, p.X)
+			srs.Y = append(srs.Y, ap.Reliability.Mean)
+		}
+		rel.Series = append(rel.Series, srs)
+	}
+
+	usage := &plot.Chart{
+		Title:  fmt.Sprintf("%s(b) — capacity usage (Randomized)", s.Name),
+		XLabel: s.XLabel,
+		YLabel: "usage ratio of residual capacity",
+	}
+	usageAlg := "Randomized"
+	if !contains(algs, usageAlg) {
+		usageAlg = algs[0]
+		usage.Title = fmt.Sprintf("%s(b) — capacity usage (%s)", s.Name, usageAlg)
+	}
+	for _, stat := range []struct {
+		name   string
+		pick   func(AlgPoint) float64
+		dashed bool
+	}{
+		{"avg", func(a AlgPoint) float64 { return a.UsageAvg.Mean }, false},
+		{"min", func(a AlgPoint) float64 { return a.UsageMin.Mean }, true},
+		{"max", func(a AlgPoint) float64 { return a.UsageMax.Mean }, true},
+	} {
+		srs := plot.Series{Name: stat.name, Dashed: stat.dashed}
+		for _, p := range s.Points {
+			ap, ok := p.Algs[usageAlg]
+			if !ok {
+				continue
+			}
+			srs.X = append(srs.X, p.X)
+			srs.Y = append(srs.Y, stat.pick(ap))
+		}
+		usage.Series = append(usage.Series, srs)
+	}
+
+	rt := &plot.Chart{
+		Title:  fmt.Sprintf("%s(c) — running time", s.Name),
+		XLabel: s.XLabel,
+		YLabel: "running time (ms, log scale)",
+		LogY:   true,
+	}
+	for _, a := range algs {
+		srs := plot.Series{Name: a}
+		for _, p := range s.Points {
+			ap, ok := p.Algs[a]
+			if !ok {
+				continue
+			}
+			srs.X = append(srs.X, p.X)
+			srs.Y = append(srs.Y, ap.RuntimeMS.Mean)
+		}
+		rt.Series = append(rt.Series, srs)
+	}
+	return []*plot.Chart{rel, usage, rt}
+}

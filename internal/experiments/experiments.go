@@ -1,0 +1,219 @@
+// Package experiments reproduces the evaluation of Section 7: the three
+// figures (reliability, capacity usage, running time — each swept over SFC
+// length, function reliability, and residual capacity) plus two ablations.
+// Each experiment runs many independent trials (the paper uses 1,000 per
+// point), aggregates with internal/stats, and renders aligned text tables
+// and CSV.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AlgSet selects which algorithms a sweep runs.
+type AlgSet struct {
+	ILP, Randomized, Heuristic, Greedy bool
+}
+
+// AllAlgs enables the paper's three algorithms plus the greedy baseline.
+func AllAlgs() AlgSet { return AlgSet{ILP: true, Randomized: true, Heuristic: true, Greedy: true} }
+
+// PaperAlgs enables exactly the paper's three algorithms.
+func PaperAlgs() AlgSet { return AlgSet{ILP: true, Randomized: true, Heuristic: true} }
+
+// Options configures a sweep run.
+type Options struct {
+	Trials int   // trials per data point (paper: 1000)
+	Seed   int64 // base RNG seed; trials use Seed*1e6 + trial
+	Algs   AlgSet
+	// Quiet suppresses per-point progress lines on stderr.
+	Quiet bool
+	// Progress, when non-nil, receives one line per completed point.
+	Progress func(string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials <= 0 {
+		o.Trials = 100
+	}
+	if o.Algs == (AlgSet{}) {
+		o.Algs = AllAlgs()
+	}
+	return o
+}
+
+// AlgPoint aggregates one algorithm's trials at one sweep point.
+type AlgPoint struct {
+	Reliability stats.Summary
+	RuntimeMS   stats.Summary
+	UsageAvg    stats.Summary // mean per-trial average usage ratio
+	UsageMin    stats.Summary
+	UsageMax    stats.Summary
+	// ViolationRate is the fraction of trials with a capacity violation.
+	ViolationRate float64
+	// RelVsILP is mean(reliability)/mean(ILP reliability) when ILP ran.
+	RelVsILP float64
+}
+
+// Point is one x-axis position of a sweep.
+type Point struct {
+	Label string
+	X     float64
+	Algs  map[string]AlgPoint
+}
+
+// Sweep is a completed experiment: the reproduction of one paper figure.
+type Sweep struct {
+	Name   string // e.g. "fig1"
+	Title  string
+	XLabel string
+	Points []Point
+	Trials int
+	Seed   int64
+}
+
+// trial is the per-trial raw record.
+type trial struct {
+	rel, ms, uAvg, uMin, uMax float64
+	violated                  bool
+}
+
+// runPoint executes trials for one configuration. fixedLen > 0 pins the SFC
+// length (Figure 1); otherwise lengths are sampled from the config.
+func runPoint(cfg workload.Config, fixedLen int, opt Options, pointIdx int) map[string][]trial {
+	out := make(map[string][]trial)
+	for t := 0; t < opt.Trials; t++ {
+		rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(pointIdx)*10_007 + int64(t)))
+		net := cfg.Network(rng)
+		var req = pickRequest(cfg, rng, t, fixedLen, net.Catalog().Size())
+		workload.PlacePrimariesRandom(net, req, rng)
+		inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
+
+		record := func(name string, res *core.Result, err error) {
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %s failed: %v", name, err))
+			}
+			out[name] = append(out[name], trial{
+				rel:      res.Reliability,
+				ms:       float64(res.Runtime) / float64(time.Millisecond),
+				uAvg:     res.Usage.Avg,
+				uMin:     res.Usage.Min,
+				uMax:     res.Usage.Max,
+				violated: res.Violated,
+			})
+		}
+		if opt.Algs.ILP {
+			res, err := core.SolveILP(inst, core.ILPOptions{})
+			record("ILP", res, err)
+		}
+		if opt.Algs.Randomized {
+			res, err := core.SolveRandomized(inst, rng, core.RandomizedOptions{})
+			record("Randomized", res, err)
+		}
+		if opt.Algs.Heuristic {
+			res, err := core.SolveHeuristic(inst, core.HeuristicOptions{})
+			record("Heuristic", res, err)
+		}
+		if opt.Algs.Greedy {
+			res, err := core.SolveGreedy(inst)
+			record("Greedy", res, err)
+		}
+	}
+	return out
+}
+
+func pickRequest(cfg workload.Config, rng *rand.Rand, id, fixedLen, catalogSize int) *mec.Request {
+	if fixedLen > 0 {
+		return cfg.RequestWithLength(rng, id, fixedLen, catalogSize)
+	}
+	return cfg.Request(rng, id, catalogSize)
+}
+
+// summarize converts raw trials into a Point.
+func summarize(label string, x float64, raw map[string][]trial) Point {
+	p := Point{Label: label, X: x, Algs: make(map[string]AlgPoint)}
+	var ilpMean float64
+	if ts, ok := raw["ILP"]; ok && len(ts) > 0 {
+		ilpMean = stats.Summarize(column(ts, func(t trial) float64 { return t.rel })).Mean
+	}
+	for name, ts := range raw {
+		if len(ts) == 0 {
+			continue
+		}
+		ap := AlgPoint{
+			Reliability: stats.Summarize(column(ts, func(t trial) float64 { return t.rel })),
+			RuntimeMS:   stats.Summarize(column(ts, func(t trial) float64 { return t.ms })),
+			UsageAvg:    stats.Summarize(column(ts, func(t trial) float64 { return t.uAvg })),
+			UsageMin:    stats.Summarize(column(ts, func(t trial) float64 { return t.uMin })),
+			UsageMax:    stats.Summarize(column(ts, func(t trial) float64 { return t.uMax })),
+		}
+		nViol := 0
+		for _, t := range ts {
+			if t.violated {
+				nViol++
+			}
+		}
+		ap.ViolationRate = float64(nViol) / float64(len(ts))
+		if ilpMean > 0 {
+			ap.RelVsILP = ap.Reliability.Mean / ilpMean
+		}
+		p.Algs[name] = ap
+	}
+	return p
+}
+
+func column(ts []trial, f func(trial) float64) []float64 {
+	xs := make([]float64, len(ts))
+	for i, t := range ts {
+		xs[i] = f(t)
+	}
+	return xs
+}
+
+// algOrder renders algorithms in the paper's order.
+var algOrder = []string{"ILP", "Randomized", "Heuristic", "Greedy"}
+
+// sortedAlgs returns the algorithms present in a sweep, paper order first.
+func (s *Sweep) sortedAlgs() []string {
+	present := make(map[string]bool)
+	for _, p := range s.Points {
+		for a := range p.Algs {
+			present[a] = true
+		}
+	}
+	var out []string
+	for _, a := range algOrder {
+		if present[a] {
+			out = append(out, a)
+			delete(present, a)
+		}
+	}
+	var rest []string
+	for a := range present {
+		rest = append(rest, a)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+func progress(opt Options, format string, args ...interface{}) {
+	if opt.Progress != nil {
+		opt.Progress(fmt.Sprintf(format, args...))
+	} else if !opt.Quiet {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// header renders the sweep identity line used by all tables.
+func (s *Sweep) header() string {
+	return fmt.Sprintf("%s — %s (trials=%d, seed=%d)", strings.ToUpper(s.Name), s.Title, s.Trials, s.Seed)
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// miniOpt keeps harness tests fast: few trials, quiet.
+func miniOpt() Options {
+	return Options{Trials: 2, Seed: 7, Quiet: true, Algs: AllAlgs(), Progress: func(string) {}}
+}
+
+func TestFig3SweepStructure(t *testing.T) {
+	s := Fig3(miniOpt())
+	if s.Name != "fig3" || len(s.Points) != 5 {
+		t.Fatalf("sweep %q with %d points", s.Name, len(s.Points))
+	}
+	for _, p := range s.Points {
+		for _, alg := range []string{"ILP", "Randomized", "Heuristic", "Greedy"} {
+			ap, ok := p.Algs[alg]
+			if !ok {
+				t.Fatalf("point %s missing %s", p.Label, alg)
+			}
+			if ap.Reliability.Mean <= 0 || ap.Reliability.Mean > 1 {
+				t.Fatalf("point %s %s reliability %v out of (0,1]", p.Label, alg, ap.Reliability.Mean)
+			}
+			if ap.Reliability.N != 2 {
+				t.Fatalf("point %s %s has %d trials, want 2", p.Label, alg, ap.Reliability.N)
+			}
+		}
+		// Feasible algorithms may never beat the exact ILP.
+		ilp := p.Algs["ILP"].Reliability.Mean
+		for _, alg := range []string{"Heuristic", "Greedy"} {
+			if p.Algs[alg].Reliability.Mean > ilp+1e-6 {
+				t.Fatalf("point %s: %s (%v) beats ILP (%v)", p.Label, alg, p.Algs[alg].Reliability.Mean, ilp)
+			}
+		}
+	}
+	// Reliability should not increase when residual capacity decreases.
+	first := s.Points[0].Algs["ILP"].Reliability.Mean              // 1/16
+	last := s.Points[len(s.Points)-1].Algs["ILP"].Reliability.Mean // full capacity
+	if first > last+1e-9 {
+		t.Fatalf("reliability at 1/16 capacity (%v) exceeds full capacity (%v)", first, last)
+	}
+}
+
+func TestFig1SweepLengthAxis(t *testing.T) {
+	opt := miniOpt()
+	opt.Algs = AlgSet{Heuristic: true} // keep it fast
+	s := Fig1(opt)
+	if len(s.Points) != 10 {
+		t.Fatalf("fig1 has %d points, want 10 (lengths 2..20)", len(s.Points))
+	}
+	if s.Points[0].X != 2 || s.Points[9].X != 20 {
+		t.Fatalf("x-axis %v..%v", s.Points[0].X, s.Points[9].X)
+	}
+	// Longer chains are harder: reliability of the longest chain should not
+	// exceed that of the shortest.
+	if s.Points[9].Algs["Heuristic"].Reliability.Mean > s.Points[0].Algs["Heuristic"].Reliability.Mean+1e-9 {
+		t.Fatal("reliability should not grow with SFC length")
+	}
+}
+
+func TestFig2SweepReliabilityAxis(t *testing.T) {
+	opt := miniOpt()
+	opt.Algs = AlgSet{Heuristic: true, Randomized: true}
+	s := Fig2(opt)
+	if len(s.Points) != 4 {
+		t.Fatalf("fig2 has %d points", len(s.Points))
+	}
+	lo := s.Points[0].Algs["Heuristic"].Reliability.Mean
+	hi := s.Points[3].Algs["Heuristic"].Reliability.Mean
+	if lo > hi {
+		t.Fatalf("chain reliability should grow with function reliability: %v vs %v", lo, hi)
+	}
+}
+
+func TestAblationHops(t *testing.T) {
+	opt := miniOpt()
+	opt.Algs = AlgSet{Heuristic: true}
+	s := AblationHops(opt)
+	if len(s.Points) != 4 {
+		t.Fatalf("hops ablation has %d points", len(s.Points))
+	}
+	// Looser hop bounds can only help (weak check on means).
+	l1 := s.Points[0].Algs["Heuristic"].Reliability.Mean
+	l4 := s.Points[3].Algs["Heuristic"].Reliability.Mean
+	if l4 < l1-1e-9 {
+		t.Fatalf("l=4 reliability %v below l=1 %v", l4, l1)
+	}
+}
+
+func TestAblationObjective(t *testing.T) {
+	s := AblationObjective(miniOpt())
+	if len(s.Points) != 3 {
+		t.Fatalf("objective ablation has %d points", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if _, ok := p.Algs["ILP(gain)"]; !ok {
+			t.Fatalf("point %s missing ILP(gain)", p.Label)
+		}
+		if _, ok := p.Algs["ILP(paper-cost)"]; !ok {
+			t.Fatalf("point %s missing ILP(paper-cost)", p.Label)
+		}
+	}
+}
+
+func TestRenderTables(t *testing.T) {
+	s := Fig3(miniOpt())
+	var buf bytes.Buffer
+	if err := s.RenderTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"FIG3", "achieved SFC reliability", "capacity usage ratio",
+		"running time", "ILP", "Randomized", "Heuristic", "1/16",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	s := Fig3(miniOpt())
+	var buf bytes.Buffer
+	if err := s.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 5 points × 4 algorithms
+	if len(records) != 1+5*4 {
+		t.Fatalf("CSV has %d rows, want %d", len(records), 1+5*4)
+	}
+	if records[0][0] != "sweep" || records[1][0] != "fig3" {
+		t.Fatalf("CSV header/rows malformed: %v %v", records[0], records[1])
+	}
+	for _, rec := range records {
+		if len(rec) != len(records[0]) {
+			t.Fatalf("ragged CSV row: %v", rec)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Trials != 100 {
+		t.Fatalf("default trials %d", o.Trials)
+	}
+	if o.Algs != AllAlgs() {
+		t.Fatalf("default algs %+v", o.Algs)
+	}
+}
+
+func TestDeterministicSweeps(t *testing.T) {
+	opt := miniOpt()
+	opt.Algs = AlgSet{Heuristic: true}
+	a := Fig2(opt)
+	b := Fig2(opt)
+	for i := range a.Points {
+		ra := a.Points[i].Algs["Heuristic"].Reliability.Mean
+		rb := b.Points[i].Algs["Heuristic"].Reliability.Mean
+		if ra != rb {
+			t.Fatalf("sweep not deterministic at point %d: %v vs %v", i, ra, rb)
+		}
+	}
+}
+
+func TestTheoremCheck(t *testing.T) {
+	s := TheoremCheck(miniOpt())
+	if len(s.Points) != 4 {
+		t.Fatalf("theorem sweep has %d points", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.RelRatio.Mean <= 0 {
+			t.Fatalf("point %s: nonpositive reliability ratio", p.Label)
+		}
+		if p.ViolationFactor.Min < 1 {
+			t.Fatalf("point %s: violation factor below 1: %v", p.Label, p.ViolationFactor.Min)
+		}
+		if p.Beyond2Rate > p.ViolationRate+1e-9 {
+			t.Fatalf("point %s: >2x rate exceeds violation rate", p.Label)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.RenderTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "THEOREM 5.2") {
+		t.Fatal("theorem table missing banner")
+	}
+}
+
+func TestCharts(t *testing.T) {
+	s := Fig3(miniOpt())
+	charts := s.Charts()
+	if len(charts) != 3 {
+		t.Fatalf("%d charts, want 3", len(charts))
+	}
+	for _, c := range charts {
+		var buf bytes.Buffer
+		if err := c.Render(&buf); err != nil {
+			t.Fatalf("chart %q: %v", c.Title, err)
+		}
+		if !strings.Contains(buf.String(), "polyline") {
+			t.Fatalf("chart %q has no lines", c.Title)
+		}
+	}
+	if !charts[2].LogY {
+		t.Fatal("running-time chart should be log scale")
+	}
+}
+
+func TestConvergePoint(t *testing.T) {
+	cfg := workload.NewDefaultConfig()
+	res := ConvergePoint(cfg, 4, ConvergeOptions{
+		TargetCI:  0.05, // loose: converges within a couple of batches
+		Batch:     5,
+		MaxTrials: 40,
+		Seed:      11,
+		Algs:      AlgSet{Heuristic: true},
+	})
+	if res.Trials == 0 || res.Trials > 40 {
+		t.Fatalf("trials %d", res.Trials)
+	}
+	if res.Converged && res.WorstCI > 0.05 {
+		t.Fatalf("claimed convergence with CI %v", res.WorstCI)
+	}
+	ap, ok := res.Point.Algs["Heuristic"]
+	if !ok {
+		t.Fatal("missing heuristic stats")
+	}
+	if ap.Reliability.N != res.Trials {
+		t.Fatalf("stats over %d trials, reported %d", ap.Reliability.N, res.Trials)
+	}
+}
+
+func TestConvergePointHitsCap(t *testing.T) {
+	cfg := workload.NewDefaultConfig()
+	res := ConvergePoint(cfg, 8, ConvergeOptions{
+		TargetCI:  1e-9, // unreachable: must stop at the cap
+		Batch:     5,
+		MaxTrials: 10,
+		Seed:      12,
+		Algs:      AlgSet{Heuristic: true},
+	})
+	if res.Converged {
+		t.Fatal("cannot converge to 1e-9 in 10 trials")
+	}
+	if res.Trials != 10 {
+		t.Fatalf("trials %d, want 10", res.Trials)
+	}
+}

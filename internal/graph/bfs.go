@@ -1,0 +1,137 @@
+package graph
+
+// HopDistances returns the hop distance from src to every node, with -1 for
+// unreachable nodes, computed by breadth-first search.
+func (g *Graph) HopDistances(src int) []int {
+	g.check(src)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// NeighborsWithin returns N_l(v): every node u != v whose hop distance from v
+// is at most l, in ascending order. l < 1 yields an empty set.
+func (g *Graph) NeighborsWithin(v, l int) []int {
+	g.check(v)
+	if l < 1 {
+		return nil
+	}
+	dist := g.boundedBFS(v, l)
+	out := make([]int, 0)
+	for u, d := range dist {
+		if u != v && d >= 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// NeighborsWithinPlus returns N_l^+(v) = N_l(v) ∪ {v}, in ascending order.
+func (g *Graph) NeighborsWithinPlus(v, l int) []int {
+	g.check(v)
+	if l < 1 {
+		return []int{v}
+	}
+	dist := g.boundedBFS(v, l)
+	out := make([]int, 0)
+	for u, d := range dist {
+		if d >= 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// boundedBFS returns hop distances from src truncated at maxHops; nodes
+// farther than maxHops have distance -1.
+func (g *Graph) boundedBFS(src, maxHops int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] >= maxHops {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-node graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.HopDistances(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as slices of node IDs, each
+// sorted ascending, ordered by their smallest node.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	for _, c := range comps {
+		sortInts(c)
+	}
+	return comps
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

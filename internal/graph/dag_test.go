@@ -1,0 +1,103 @@
+package graph
+
+import "testing"
+
+func TestDAGTopoOrder(t *testing.T) {
+	d := NewDAG(4)
+	d.AddArc(0, 1, 1)
+	d.AddArc(0, 2, 1)
+	d.AddArc(1, 3, 1)
+	d.AddArc(2, 3, 1)
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for u := 0; u < 4; u++ {
+		for _, a := range d.Arcs(u) {
+			if pos[u] >= pos[a.To] {
+				t.Fatalf("topo order violated: %d before %d in %v", a.To, u, order)
+			}
+		}
+	}
+}
+
+func TestDAGCycleDetected(t *testing.T) {
+	d := NewDAG(3)
+	d.AddArc(0, 1, 1)
+	d.AddArc(1, 2, 1)
+	d.AddArc(2, 0, 1)
+	if _, err := d.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if _, _, err := d.ShortestPathDAG(0, 2); err == nil {
+		t.Fatal("ShortestPathDAG accepted cyclic graph")
+	}
+}
+
+func TestDAGShortestPath(t *testing.T) {
+	// diamond: 0→1 (1), 0→2 (5), 1→3 (1), 2→3 (1)
+	d := NewDAG(4)
+	d.AddArc(0, 1, 1)
+	d.AddArc(0, 2, 5)
+	d.AddArc(1, 3, 1)
+	d.AddArc(2, 3, 1)
+	path, w, err := d.ShortestPathDAG(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Fatalf("weight=%v, want 2", w)
+	}
+	want := []int{0, 1, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path=%v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path=%v, want %v", path, want)
+		}
+	}
+}
+
+func TestDAGShortestPathNegativeWeights(t *testing.T) {
+	d := NewDAG(3)
+	d.AddArc(0, 1, 5)
+	d.AddArc(1, 2, -3)
+	d.AddArc(0, 2, 4)
+	_, w, err := d.ShortestPathDAG(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Fatalf("weight=%v, want 2 (via negative arc)", w)
+	}
+}
+
+func TestDAGUnreachable(t *testing.T) {
+	d := NewDAG(3)
+	d.AddArc(0, 1, 1)
+	if _, _, err := d.ShortestPathDAG(0, 2); err == nil {
+		t.Fatal("unreachable dst not reported")
+	}
+}
+
+func TestDAGSelfArcPanics(t *testing.T) {
+	d := NewDAG(2)
+	mustPanic(t, func() { d.AddArc(0, 0, 1) })
+}
+
+func TestDAGSameSourceDest(t *testing.T) {
+	d := NewDAG(2)
+	d.AddArc(0, 1, 3)
+	path, w, err := d.ShortestPathDAG(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 || len(path) != 1 || path[0] != 0 {
+		t.Fatalf("trivial path=%v w=%v", path, w)
+	}
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightFunc gives the nonnegative weight of the undirected edge (u,v).
+type WeightFunc func(u, v int) float64
+
+// Dijkstra computes single-source shortest path distances under w, returning
+// the distance slice (math.Inf(1) for unreachable) and the predecessor slice
+// (-1 for src and unreachable nodes). Weights must be nonnegative.
+func (g *Graph) Dijkstra(src int, w WeightFunc) (dist []float64, prev []int) {
+	g.check(src)
+	dist = make([]float64, g.n)
+	prev = make([]int, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &floatHeap{{node: src, pri: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		u := it.node
+		if it.pri > dist[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			nd := dist[u] + w(u, v)
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(pq, heapItem{node: v, pri: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// PathTo reconstructs the path src→dst from a predecessor slice produced by
+// Dijkstra from src. It returns nil when dst is unreachable.
+func PathTo(prev []int, src, dst int) []int {
+	if dst < 0 || dst >= len(prev) {
+		return nil
+	}
+	if src == dst {
+		return []int{src}
+	}
+	if prev[dst] < 0 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+type heapItem struct {
+	node int
+	pri  float64
+}
+
+type floatHeap []heapItem
+
+func (h floatHeap) Len() int            { return len(h) }
+func (h floatHeap) Less(i, j int) bool  { return h[i].pri < h[j].pri }
+func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *floatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

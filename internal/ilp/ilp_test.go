@@ -1,0 +1,257 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// bruteKnapsack solves 0/1 knapsack max Σp x, Σw x <= cap exactly by
+// enumeration (n <= ~20).
+func bruteKnapsack(p, w []float64, cap float64) float64 {
+	n := len(p)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var tp, tw float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				tp += p[i]
+				tw += w[i]
+			}
+		}
+		if tw <= cap+1e-12 && tp > best {
+			best = tp
+		}
+	}
+	return best
+}
+
+func TestKnapsackSmall(t *testing.T) {
+	p := []float64{6, 10, 12}
+	w := []float64{1, 2, 3}
+	capV := 5.0
+	m := lp.NewModel(lp.Maximize)
+	terms := make([]lp.Term, 3)
+	vars := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		vars[i] = m.AddVar(0, 1, p[i], "x")
+		terms[i] = lp.Term{Var: vars[i], Coeff: w[i]}
+	}
+	m.AddConstr(terms, lp.LE, capV, "cap")
+	r := Solve(m, vars, Options{})
+	if r.Status != lp.Optimal || !r.Proven {
+		t.Fatalf("status=%v proven=%v", r.Status, r.Proven)
+	}
+	if math.Abs(r.Objective-22) > 1e-6 { // items 2+3
+		t.Fatalf("obj=%v, want 22", r.Objective)
+	}
+	for _, v := range vars {
+		x := r.X[v]
+		if math.Abs(x-math.Round(x)) > 1e-6 {
+			t.Fatalf("non-integral solution %v", r.X)
+		}
+	}
+}
+
+func TestKnapsackRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(12)
+		p := make([]float64, n)
+		w := make([]float64, n)
+		for i := range p {
+			p[i] = math.Round(rng.Float64()*20) + 1
+			w[i] = math.Round(rng.Float64()*10) + 1
+		}
+		cap := rng.Float64() * 30
+		m := lp.NewModel(lp.Maximize)
+		terms := make([]lp.Term, n)
+		vars := make([]int, n)
+		for i := 0; i < n; i++ {
+			vars[i] = m.AddVar(0, 1, p[i], "x")
+			terms[i] = lp.Term{Var: vars[i], Coeff: w[i]}
+		}
+		m.AddConstr(terms, lp.LE, cap, "cap")
+		r := Solve(m, vars, Options{})
+		if r.Status != lp.Optimal {
+			t.Fatalf("trial %d: status %v", trial, r.Status)
+		}
+		want := bruteKnapsack(p, w, cap)
+		if math.Abs(r.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: ilp=%v brute=%v", trial, r.Objective, want)
+		}
+	}
+}
+
+// bruteGAP exhaustively solves min-cost assignment of items to bins with
+// capacities; assignment optional (item may stay unassigned), maximizing
+// profit.
+func bruteGAP(profit [][]float64, size []float64, capV []float64) float64 {
+	n := len(size)
+	m := len(capV)
+	var rec func(i int, used []float64) float64
+	rec = func(i int, used []float64) float64 {
+		if i == n {
+			return 0
+		}
+		best := rec(i+1, used) // skip item
+		for b := 0; b < m; b++ {
+			if used[b]+size[i] <= capV[b]+1e-12 {
+				used[b] += size[i]
+				if v := profit[i][b] + rec(i+1, used); v > best {
+					best = v
+				}
+				used[b] -= size[i]
+			}
+		}
+		return best
+	}
+	return rec(0, make([]float64, m))
+}
+
+func TestGAPRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(6)
+		bins := 1 + rng.Intn(3)
+		profit := make([][]float64, n)
+		size := make([]float64, n)
+		capV := make([]float64, bins)
+		for b := range capV {
+			capV[b] = 2 + rng.Float64()*6
+		}
+		for i := 0; i < n; i++ {
+			size[i] = 1 + rng.Float64()*3
+			profit[i] = make([]float64, bins)
+			for b := 0; b < bins; b++ {
+				profit[i][b] = rng.Float64() * 10
+			}
+		}
+		m := lp.NewModel(lp.Maximize)
+		var intVars []int
+		x := make([][]int, n)
+		for i := 0; i < n; i++ {
+			x[i] = make([]int, bins)
+			rowTerms := make([]lp.Term, 0, bins)
+			for b := 0; b < bins; b++ {
+				x[i][b] = m.AddVar(0, 1, profit[i][b], "x")
+				intVars = append(intVars, x[i][b])
+				rowTerms = append(rowTerms, lp.Term{Var: x[i][b], Coeff: 1})
+			}
+			m.AddConstr(rowTerms, lp.LE, 1, "assign")
+		}
+		for b := 0; b < bins; b++ {
+			capTerms := make([]lp.Term, 0, n)
+			for i := 0; i < n; i++ {
+				capTerms = append(capTerms, lp.Term{Var: x[i][b], Coeff: size[i]})
+			}
+			m.AddConstr(capTerms, lp.LE, capV[b], "cap")
+		}
+		r := Solve(m, intVars, Options{})
+		if r.Status != lp.Optimal {
+			t.Fatalf("trial %d: status %v", trial, r.Status)
+		}
+		want := bruteGAP(profit, size, capV)
+		if math.Abs(r.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: ilp=%v brute=%v", trial, r.Objective, want)
+		}
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	m := lp.NewModel(lp.Maximize)
+	x := m.AddVar(0, 1, 1, "x")
+	y := m.AddVar(0, 1, 1, "y")
+	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.GE, 3, "impossible")
+	r := Solve(m, []int{x, y}, Options{})
+	if r.Status != lp.Infeasible {
+		t.Fatalf("status %v, want infeasible", r.Status)
+	}
+}
+
+func TestIntegerForcing(t *testing.T) {
+	// LP optimum is x=2.5; ILP must settle at 2 (maximize x, x<=2.5).
+	m := lp.NewModel(lp.Maximize)
+	x := m.AddVar(0, 10, 1, "x")
+	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}}, lp.LE, 2.5, "cap")
+	r := Solve(m, []int{x}, Options{})
+	if r.Status != lp.Optimal || math.Abs(r.Objective-2) > 1e-6 {
+		t.Fatalf("status=%v obj=%v, want optimal 2", r.Status, r.Objective)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max x + y, x integer <= 2.5, y continuous <= 0.7 → 2 + 0.7.
+	m := lp.NewModel(lp.Maximize)
+	x := m.AddVar(0, 10, 1, "x")
+	y := m.AddVar(0, 0.7, 1, "y")
+	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}}, lp.LE, 2.5, "cx")
+	r := Solve(m, []int{x}, Options{})
+	if r.Status != lp.Optimal || math.Abs(r.Objective-2.7) > 1e-6 {
+		t.Fatalf("status=%v obj=%v, want 2.7", r.Status, r.Objective)
+	}
+	if math.Abs(r.X[y]-0.7) > 1e-6 {
+		t.Fatalf("continuous var y=%v, want 0.7", r.X[y])
+	}
+}
+
+func TestMinimizationILP(t *testing.T) {
+	// min 3x + 2y s.t. x + y >= 1.5, binaries → x=0,y=1 infeasible (sum 1 <
+	// 1.5) so x=1,y=1 cost 5. Wait: need sum >= 1.5 with binaries → both 1.
+	m := lp.NewModel(lp.Minimize)
+	x := m.AddVar(0, 1, 3, "x")
+	y := m.AddVar(0, 1, 2, "y")
+	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.GE, 1.5, "cover")
+	r := Solve(m, []int{x, y}, Options{})
+	if r.Status != lp.Optimal || math.Abs(r.Objective-5) > 1e-6 {
+		t.Fatalf("status=%v obj=%v, want 5", r.Status, r.Objective)
+	}
+}
+
+func TestNodeBudgetReportsGap(t *testing.T) {
+	// A knapsack big enough to need some branching, with MaxNodes=1: the
+	// result must be either proven quickly or flagged unproven with a gap.
+	rng := rand.New(rand.NewSource(9))
+	n := 15
+	m := lp.NewModel(lp.Maximize)
+	terms := make([]lp.Term, n)
+	vars := make([]int, n)
+	for i := 0; i < n; i++ {
+		p := rng.Float64()*10 + 1
+		w := rng.Float64()*10 + 1
+		vars[i] = m.AddVar(0, 1, p, "x")
+		terms[i] = lp.Term{Var: vars[i], Coeff: w}
+	}
+	m.AddConstr(terms, lp.LE, 25, "cap")
+	r := Solve(m, vars, Options{MaxNodes: 1})
+	if r.Status == lp.Optimal && !r.Proven {
+		t.Fatal("optimal must imply proven")
+	}
+	if r.Status == lp.IterLimit && r.X == nil {
+		t.Fatal("budgeted run should still carry the rounding incumbent")
+	}
+}
+
+func TestInfiniteBoundIntegerPanics(t *testing.T) {
+	m := lp.NewModel(lp.Maximize)
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbounded integer var")
+		}
+	}()
+	Solve(m, []int{x}, Options{})
+}
+
+func TestSortVarsByFraction(t *testing.T) {
+	x := []float64{0.5, 0.1, 0.9, 1.0}
+	got := SortVarsByFraction(x, []int{0, 1, 2, 3})
+	if got[0] != 0 {
+		t.Fatalf("most fractional should be var 0, got %v", got)
+	}
+	if got[3] != 3 {
+		t.Fatalf("integral var should sort last, got %v", got)
+	}
+}

@@ -1,0 +1,31 @@
+package lp_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// A production-planning toy: maximize 3x + 5y subject to machine-hour
+// limits. The optimum is the classic (2, 6) vertex.
+func ExampleModel_Solve() {
+	m := lp.NewModel(lp.Maximize)
+	x := m.AddVar(0, math.Inf(1), 3, "x")
+	y := m.AddVar(0, math.Inf(1), 5, "y")
+	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}}, lp.LE, 4, "machine1")
+	m.AddConstr([]lp.Term{{Var: y, Coeff: 2}}, lp.LE, 12, "machine2")
+	m.AddConstr([]lp.Term{{Var: x, Coeff: 3}, {Var: y, Coeff: 2}}, lp.LE, 18, "machine3")
+
+	sol := m.Solve()
+	fmt.Printf("%v objective=%.0f x=%.0f y=%.0f\n", sol.Status, sol.Objective, sol.X[x], sol.X[y])
+	// Output: optimal objective=36 x=2 y=6
+}
+
+func ExampleModel_Solve_infeasible() {
+	m := lp.NewModel(lp.Minimize)
+	x := m.AddVar(0, 1, 1, "x")
+	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}}, lp.GE, 2, "impossible")
+	fmt.Println(m.Solve().Status)
+	// Output: infeasible
+}

@@ -1,0 +1,408 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18, x,y>=0 → (2,6), obj 36.
+	m := NewModel(Maximize)
+	x := m.AddVar(0, math.Inf(1), 3, "x")
+	y := m.AddVar(0, math.Inf(1), 5, "y")
+	m.AddConstr([]Term{{x, 1}}, LE, 4, "c1")
+	m.AddConstr([]Term{{y, 2}}, LE, 12, "c2")
+	m.AddConstr([]Term{{x, 3}, {y, 2}}, LE, 18, "c3")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.Objective, 36, 1e-6) {
+		t.Fatalf("obj=%v, want 36", s.Objective)
+	}
+	if !approxEq(s.X[x], 2, 1e-6) || !approxEq(s.X[y], 6, 1e-6) {
+		t.Fatalf("x=%v", s.X)
+	}
+}
+
+func TestSimpleMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x+y>=10, x>=2, y>=3 → corner analysis:
+	// at (7,3): 14+9=23; at (2,8): 4+24=28 → (7,3), obj 23.
+	m := NewModel(Minimize)
+	x := m.AddVar(2, math.Inf(1), 2, "x")
+	y := m.AddVar(3, math.Inf(1), 3, "y")
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, GE, 10, "cover")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.Objective, 23, 1e-6) {
+		t.Fatalf("obj=%v, want 23 (x=%v)", s.Objective, s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 5, x <= 3 → x=3, y=2, obj 7.
+	m := NewModel(Minimize)
+	x := m.AddVar(0, 3, 1, "x")
+	y := m.AddVar(0, math.Inf(1), 2, "y")
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, EQ, 5, "sum")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.Objective, 7, 1e-6) {
+		t.Fatalf("obj=%v, want 7 (x=%v)", s.Objective, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	m := NewModel(Minimize)
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	m.AddConstr([]Term{{x, 1}}, GE, 5, "lo")
+	m.AddConstr([]Term{{x, 1}}, LE, 3, "hi")
+	if s := m.Solve(); s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestTriviallyInfeasibleEmptyRow(t *testing.T) {
+	m := NewModel(Minimize)
+	m.AddVar(0, 1, 1, "x")
+	m.AddConstr(nil, GE, 5, "impossible")
+	if s := m.Solve(); s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	m.AddConstr([]Term{{x, 1}}, GE, 1, "lo")
+	if s := m.Solve(); s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	// x fixed at 2 must stay at 2.
+	m := NewModel(Maximize)
+	x := m.AddVar(2, 2, 10, "x")
+	y := m.AddVar(0, math.Inf(1), 1, "y")
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, LE, 7, "cap")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.X[x], 2, 1e-9) {
+		t.Fatalf("fixed var drifted: %v", s.X[x])
+	}
+	if !approxEq(s.X[y], 5, 1e-6) {
+		t.Fatalf("y=%v, want 5", s.X[y])
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min |style| problem: min x s.t. x >= -7 handled via free var + GE row.
+	m := NewModel(Minimize)
+	x := m.AddVar(math.Inf(-1), math.Inf(1), 1, "x")
+	m.AddConstr([]Term{{x, 1}}, GE, -7, "lo")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.X[x], -7, 1e-6) {
+		t.Fatalf("x=%v, want -7", s.X[x])
+	}
+}
+
+func TestFreeVariableWithUpperBound(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar(math.Inf(-1), 4, 1, "x")
+	s := m.Solve()
+	if s.Status != Optimal || !approxEq(s.X[x], 4, 1e-6) {
+		t.Fatalf("status=%v x=%v, want optimal 4", s.Status, s.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min y s.t. -x - y <= -4, x <= 3 → y >= 1 at x=3.
+	m := NewModel(Minimize)
+	x := m.AddVar(0, 3, 0, "x")
+	y := m.AddVar(0, math.Inf(1), 1, "y")
+	m.AddConstr([]Term{{x, -1}, {y, -1}}, LE, -4, "neg")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.Objective, 1, 1e-6) {
+		t.Fatalf("obj=%v, want 1", s.Objective)
+	}
+}
+
+func TestDuplicateTermsMerged(t *testing.T) {
+	// x + x <= 6 ⇒ x <= 3.
+	m := NewModel(Maximize)
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	m.AddConstr([]Term{{x, 1}, {x, 1}}, LE, 6, "dup")
+	s := m.Solve()
+	if !approxEq(s.X[x], 3, 1e-6) {
+		t.Fatalf("x=%v, want 3", s.X[x])
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// Classic degenerate vertex; solver must still terminate and be correct.
+	// max 10x1 - 57x2 - 9x3 - 24x4 (Beale-like cycling example)
+	m := NewModel(Maximize)
+	x1 := m.AddVar(0, math.Inf(1), 10, "x1")
+	x2 := m.AddVar(0, math.Inf(1), -57, "x2")
+	x3 := m.AddVar(0, math.Inf(1), -9, "x3")
+	x4 := m.AddVar(0, math.Inf(1), -24, "x4")
+	m.AddConstr([]Term{{x1, 0.5}, {x2, -5.5}, {x3, -2.5}, {x4, 9}}, LE, 0, "c1")
+	m.AddConstr([]Term{{x1, 0.5}, {x2, -1.5}, {x3, -0.5}, {x4, 1}}, LE, 0, "c2")
+	m.AddConstr([]Term{{x1, 1}}, LE, 1, "c3")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.Objective, 1, 1e-6) {
+		t.Fatalf("obj=%v, want 1", s.Objective)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Same equality twice forces a rank-deficient phase-1 outcome.
+	m := NewModel(Minimize)
+	x := m.AddVar(0, math.Inf(1), 1, "x")
+	y := m.AddVar(0, math.Inf(1), 1, "y")
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, EQ, 4, "e1")
+	m.AddConstr([]Term{{x, 1}, {y, 1}}, EQ, 4, "e2")
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.Objective, 4, 1e-6) {
+		t.Fatalf("obj=%v, want 4", s.Objective)
+	}
+}
+
+func TestAssignmentLPIsIntegral(t *testing.T) {
+	// 3x3 assignment: LP relaxation of assignment is integral.
+	cost := [3][3]float64{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}}
+	m := NewModel(Minimize)
+	var v [3][3]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v[i][j] = m.AddVar(0, 1, cost[i][j], "x")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		row := []Term{{v[i][0], 1}, {v[i][1], 1}, {v[i][2], 1}}
+		m.AddConstr(row, EQ, 1, "row")
+		col := []Term{{v[0][i], 1}, {v[1][i], 1}, {v[2][i], 1}}
+		m.AddConstr(col, EQ, 1, "col")
+	}
+	s := m.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approxEq(s.Objective, 5, 1e-6) { // 1 + 2 + 2
+		t.Fatalf("obj=%v, want 5", s.Objective)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x := s.X[v[i][j]]
+			if !approxEq(x, 0, 1e-6) && !approxEq(x, 1, 1e-6) {
+				t.Fatalf("fractional assignment LP solution at (%d,%d): %v", i, j, x)
+			}
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddVar(0, 10, 1, "x")
+	m.AddConstr([]Term{{x, 1}}, LE, 5, "cap")
+	c := m.Clone()
+	c.SetVarBounds(x, 0, 1)
+	s1 := m.Solve()
+	s2 := c.Solve()
+	if !approxEq(s1.Objective, 5, 1e-6) || !approxEq(s2.Objective, 1, 1e-6) {
+		t.Fatalf("clone leaked bounds: %v vs %v", s1.Objective, s2.Objective)
+	}
+}
+
+func TestBadInputsPanic(t *testing.T) {
+	m := NewModel(Minimize)
+	x := m.AddVar(0, 1, 1, "x")
+	for _, f := range []func(){
+		func() { m.AddVar(2, 1, 0, "bad") },
+		func() { m.AddVar(0, 1, math.NaN(), "nan") },
+		func() { m.AddConstr([]Term{{x + 5, 1}}, LE, 1, "badvar") },
+		func() { m.AddConstr([]Term{{x, math.NaN()}}, LE, 1, "nancoef") },
+		func() { m.AddConstr([]Term{{x, 1}}, LE, math.NaN(), "nanrhs") },
+		func() { m.SetVarBounds(99, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// knapsackBrute solves max Σ p_i x_i, Σ w_i x_i <= cap, x in [0,1]^n by the
+// greedy fractional-knapsack rule, which is optimal for the LP relaxation.
+func knapsackBrute(p, w []float64, cap float64) float64 {
+	type it struct{ p, w float64 }
+	items := make([]it, len(p))
+	for i := range p {
+		items[i] = it{p[i], w[i]}
+	}
+	// sort by density descending
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].p*items[j-1].w > items[j-1].p*items[j].w; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	total := 0.0
+	for _, x := range items {
+		if x.w <= cap {
+			total += x.p
+			cap -= x.w
+		} else if cap > 0 {
+			total += x.p * cap / x.w
+			cap = 0
+		}
+	}
+	return total
+}
+
+func TestFractionalKnapsackAgainstGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		p := make([]float64, n)
+		w := make([]float64, n)
+		for i := range p {
+			p[i] = 1 + rng.Float64()*9
+			w[i] = 1 + rng.Float64()*9
+		}
+		cap := rng.Float64() * 30
+		m := NewModel(Maximize)
+		terms := make([]Term, n)
+		for i := 0; i < n; i++ {
+			v := m.AddVar(0, 1, p[i], "x")
+			terms[i] = Term{v, w[i]}
+		}
+		m.AddConstr(terms, LE, cap, "cap")
+		s := m.Solve()
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		want := knapsackBrute(p, w, cap)
+		if !approxEq(s.Objective, want, 1e-6*(1+want)) {
+			t.Fatalf("trial %d: simplex %v vs greedy %v", trial, s.Objective, want)
+		}
+	}
+}
+
+// TestRandomLPsFeasibilityAndOptimality generates random feasible LPs (with a
+// known feasible point) and checks the simplex solution is feasible and at
+// least as good as the known point.
+func TestRandomLPsDominateKnownFeasiblePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		rows := 1 + rng.Intn(8)
+		// Known point in [0,2]^n.
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.Float64() * 2
+		}
+		m := NewModel(Maximize)
+		obj := make([]float64, n)
+		vars := make([]int, n)
+		for i := 0; i < n; i++ {
+			obj[i] = rng.Float64()*4 - 2
+			vars[i] = m.AddVar(0, 5, obj[i], "x")
+		}
+		type rowT struct {
+			terms []Term
+			rel   Rel
+			rhs   float64
+		}
+		var cons []rowT
+		for r := 0; r < rows; r++ {
+			terms := make([]Term, 0, n)
+			lhs := 0.0
+			for i := 0; i < n; i++ {
+				c := rng.Float64()*4 - 2
+				terms = append(terms, Term{vars[i], c})
+				lhs += c * x0[i]
+			}
+			// Make the row satisfied by x0 with slack.
+			rel := LE
+			rhs := lhs + rng.Float64()
+			if rng.Intn(2) == 0 {
+				rel = GE
+				rhs = lhs - rng.Float64()
+			}
+			m.AddConstr(terms, rel, rhs, "r")
+			cons = append(cons, rowT{terms, rel, rhs})
+		}
+		s := m.Solve()
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v (should be feasible&bounded)", trial, s.Status)
+		}
+		// Objective must be >= value at x0.
+		v0 := 0.0
+		for i := range x0 {
+			v0 += obj[i] * x0[i]
+		}
+		if s.Objective < v0-1e-6 {
+			t.Fatalf("trial %d: simplex %v worse than feasible point %v", trial, s.Objective, v0)
+		}
+		// Solution must satisfy all constraints and bounds.
+		for i, xi := range s.X {
+			if xi < -1e-7 || xi > 5+1e-7 {
+				t.Fatalf("trial %d: var %d out of bounds: %v", trial, i, xi)
+			}
+		}
+		for _, con := range cons {
+			lhs := 0.0
+			for _, tm := range con.terms {
+				lhs += tm.Coeff * s.X[tm.Var]
+			}
+			if con.rel == LE && lhs > con.rhs+1e-6 {
+				t.Fatalf("trial %d: LE row violated: %v > %v", trial, lhs, con.rhs)
+			}
+			if con.rel == GE && lhs < con.rhs-1e-6 {
+				t.Fatalf("trial %d: GE row violated: %v < %v", trial, lhs, con.rhs)
+			}
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit", Status(99): "unknown",
+	} {
+		if s.String() != want {
+			t.Fatalf("Status(%d).String()=%q", s, s.String())
+		}
+	}
+	for r, want := range map[Rel]string{LE: "<=", GE: ">=", EQ: "=", Rel(9): "?"} {
+		if r.String() != want {
+			t.Fatalf("Rel String %q != %q", r.String(), want)
+		}
+	}
+}

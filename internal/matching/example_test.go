@@ -1,0 +1,28 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// Three workers, three tasks: the assignment minimizing total cost while
+// matching everyone.
+func ExampleMinCostMax() {
+	edges := []matching.Edge{
+		{L: 0, R: 0, Cost: 4}, {L: 0, R: 1, Cost: 1}, {L: 0, R: 2, Cost: 3},
+		{L: 1, R: 0, Cost: 2}, {L: 1, R: 1, Cost: 0}, {L: 1, R: 2, Cost: 5},
+		{L: 2, R: 0, Cost: 3}, {L: 2, R: 1, Cost: 2}, {L: 2, R: 2, Cost: 2},
+	}
+	res := matching.MinCostMax(3, 3, edges)
+	fmt.Printf("matched %d pairs at cost %.0f\n", res.Cardinality, res.Cost)
+	// Output: matched 3 pairs at cost 5
+}
+
+// Forbidden pairs simply have no edge; unmatched nodes report -1.
+func ExampleMinCostMax_partial() {
+	edges := []matching.Edge{{L: 0, R: 0, Cost: 1}, {L: 2, R: 0, Cost: 0.5}}
+	res := matching.MinCostMax(3, 1, edges)
+	fmt.Println(res.Cardinality, res.MatchL)
+	// Output: 1 [-1 -1 0]
+}

@@ -1,0 +1,162 @@
+// Package matching implements minimum-cost maximum-cardinality bipartite
+// matching, the engine of the paper's Algorithm 2 (the heuristic builds a
+// bipartite graph per round — cloudlets × candidate secondary VNF instances —
+// and commits a min-cost maximum matching each time).
+//
+// The implementation is the Hungarian algorithm in its Jonker-Volgenant
+// shortest-augmenting-path form (O(n·m·log-free dense scan, overall O(n²m))),
+// extended to rectangular instances with forbidden pairs: each left node gets
+// a private virtual "stay unmatched" slot priced above any real matching-cost
+// difference, which makes the perfect-on-left assignment equivalent to a
+// lexicographic (max cardinality, then min cost) matching.
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// Edge is an allowed pair between left node L and right node R with a
+// nonnegative cost. Pairs not listed are forbidden.
+type Edge struct {
+	L, R int
+	Cost float64
+}
+
+// Result of a matching run.
+type Result struct {
+	// MatchL[l] is the right node matched to left node l, or -1.
+	MatchL []int
+	// MatchR[r] is the left node matched to right node r, or -1.
+	MatchR []int
+	// Cost is the total cost of the matched (real) edges.
+	Cost float64
+	// Cardinality is the number of matched pairs.
+	Cardinality int
+}
+
+// MinCostMax computes a maximum-cardinality matching of minimum total cost in
+// the bipartite graph with nL left nodes, nR right nodes, and the given
+// allowed edges. Edge costs must be nonnegative and finite; duplicate (L,R)
+// pairs keep the cheapest cost.
+func MinCostMax(nL, nR int, edges []Edge) *Result {
+	if nL < 0 || nR < 0 {
+		panic(fmt.Sprintf("matching: negative side sizes %d,%d", nL, nR))
+	}
+	res := &Result{
+		MatchL: make([]int, nL),
+		MatchR: make([]int, nR),
+	}
+	for i := range res.MatchL {
+		res.MatchL[i] = -1
+	}
+	for i := range res.MatchR {
+		res.MatchR[i] = -1
+	}
+	if nL == 0 || nR == 0 || len(edges) == 0 {
+		return res
+	}
+
+	inf := math.Inf(1)
+	// Dense cost matrix with a virtual column per row. Column layout:
+	// [0, nR) real right nodes, [nR, nR+nL) virtual unmatched slots.
+	nC := nR + nL
+	a := make([][]float64, nL)
+	for i := range a {
+		a[i] = make([]float64, nC)
+		for j := range a[i] {
+			a[i][j] = inf
+		}
+	}
+	sum := 0.0
+	for _, e := range edges {
+		if e.L < 0 || e.L >= nL || e.R < 0 || e.R >= nR {
+			panic(fmt.Sprintf("matching: edge (%d,%d) out of range %dx%d", e.L, e.R, nL, nR))
+		}
+		if e.Cost < 0 || math.IsInf(e.Cost, 0) || math.IsNaN(e.Cost) {
+			panic(fmt.Sprintf("matching: edge (%d,%d) has invalid cost %v", e.L, e.R, e.Cost))
+		}
+		if e.Cost < a[e.L][e.R] {
+			if !math.IsInf(a[e.L][e.R], 1) {
+				sum -= a[e.L][e.R] // replacing a previous duplicate
+			}
+			a[e.L][e.R] = e.Cost
+			sum += e.Cost
+		}
+	}
+	w := sum + 1 // virtual-slot price: dominates any real cost difference
+	for i := 0; i < nL; i++ {
+		a[i][nR+i] = w
+	}
+
+	// Jonker-Volgenant row-by-row shortest augmenting paths with potentials.
+	// 1-indexed sentinel formulation; column 0 is the artificial start.
+	u := make([]float64, nL+1)
+	v := make([]float64, nC+1)
+	p := make([]int, nC+1)   // p[j]: row matched to column j (0 = none)
+	way := make([]int, nC+1) // predecessor column on the alternating path
+	for i := 1; i <= nL; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, nC+1)
+		used := make([]bool, nC+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			row := a[i0-1]
+			for j := 1; j <= nC; j++ {
+				if used[j] {
+					continue
+				}
+				cur := row[j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || math.IsInf(delta, 1) {
+				// Unreachable: cannot happen because the virtual slot always
+				// provides a finite column, but guard against misuse.
+				panic("matching: no augmenting path despite virtual slots")
+			}
+			for j := 0; j <= nC; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	for j := 1; j <= nR; j++ { // only real columns count
+		if p[j] != 0 {
+			l := p[j] - 1
+			r := j - 1
+			res.MatchL[l] = r
+			res.MatchR[r] = l
+			res.Cost += a[l][r]
+			res.Cardinality++
+		}
+	}
+	return res
+}

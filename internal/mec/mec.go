@@ -1,0 +1,266 @@
+// Package mec models the mobile edge-cloud network of Section 3: an AP graph
+// where a subset of APs host cloudlets with finite computing capacity, a
+// catalog of network function types with per-type computing demand and VNF
+// reliability, requests with service function chains and reliability
+// expectations, and a residual-capacity ledger that records placements.
+//
+// Capacities and demands are in MHz, following the paper's experiment setup
+// (cloudlets 4000–8000 MHz, functions 200–400 MHz).
+package mec
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// FunctionType describes one entry of the network-function catalog ℱ.
+type FunctionType struct {
+	ID          int
+	Name        string
+	Demand      float64 // computing demand c(f) in MHz per VNF instance
+	Reliability float64 // reliability r of any single VNF instance, in (0,1]
+}
+
+// Catalog is the set ℱ of network function types.
+type Catalog struct {
+	types []FunctionType
+}
+
+// NewCatalog builds a catalog, validating every entry.
+func NewCatalog(types []FunctionType) *Catalog {
+	c := &Catalog{types: append([]FunctionType(nil), types...)}
+	for i := range c.types {
+		ft := &c.types[i]
+		ft.ID = i
+		if ft.Demand <= 0 {
+			panic(fmt.Sprintf("mec: function %q demand %v must be positive", ft.Name, ft.Demand))
+		}
+		if ft.Reliability <= 0 || ft.Reliability > 1 {
+			panic(fmt.Sprintf("mec: function %q reliability %v out of (0,1]", ft.Name, ft.Reliability))
+		}
+		if ft.Name == "" {
+			ft.Name = fmt.Sprintf("f%d", i)
+		}
+	}
+	return c
+}
+
+// Size returns |ℱ|.
+func (c *Catalog) Size() int { return len(c.types) }
+
+// Type returns the function type with the given ID.
+func (c *Catalog) Type(id int) FunctionType {
+	if id < 0 || id >= len(c.types) {
+		panic(fmt.Sprintf("mec: function type %d out of range [0,%d)", id, len(c.types)))
+	}
+	return c.types[id]
+}
+
+// Network is an MEC network: the AP graph plus cloudlet capacities.
+// Capacity[v] == 0 means AP v has no co-located cloudlet.
+type Network struct {
+	G        *graph.Graph
+	Capacity []float64 // total computing capacity C_v per AP, MHz
+	residual []float64 // current residual capacity C'_v
+	catalog  *Catalog
+}
+
+// NewNetwork wraps a graph with cloudlet capacities and a function catalog.
+// len(capacity) must equal g.N(). Residual capacity starts at full capacity.
+func NewNetwork(g *graph.Graph, capacity []float64, catalog *Catalog) *Network {
+	if len(capacity) != g.N() {
+		panic(fmt.Sprintf("mec: %d capacities for %d nodes", len(capacity), g.N()))
+	}
+	for v, c := range capacity {
+		if c < 0 {
+			panic(fmt.Sprintf("mec: negative capacity %v at node %d", c, v))
+		}
+	}
+	n := &Network{
+		G:        g,
+		Capacity: append([]float64(nil), capacity...),
+		residual: append([]float64(nil), capacity...),
+		catalog:  catalog,
+	}
+	return n
+}
+
+// Catalog returns the function catalog.
+func (n *Network) Catalog() *Catalog { return n.catalog }
+
+// Cloudlets returns the IDs of APs with nonzero total capacity, ascending.
+func (n *Network) Cloudlets() []int {
+	var out []int
+	for v, c := range n.Capacity {
+		if c > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Residual returns the residual capacity C'_v of node v.
+func (n *Network) Residual(v int) float64 {
+	n.checkNode(v)
+	return n.residual[v]
+}
+
+// SetResidualFraction resets every cloudlet's residual capacity to
+// frac·C_v, modelling the paper's "ratio of residual computing capacity"
+// experiment dimension. frac must lie in [0,1].
+func (n *Network) SetResidualFraction(frac float64) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("mec: residual fraction %v out of [0,1]", frac))
+	}
+	for v := range n.residual {
+		n.residual[v] = n.Capacity[v] * frac
+	}
+}
+
+// Consume reduces the residual capacity of node v by amount.
+// It panics if the node would go negative beyond float tolerance.
+func (n *Network) Consume(v int, amount float64) {
+	n.checkNode(v)
+	if amount < 0 {
+		panic(fmt.Sprintf("mec: negative consumption %v", amount))
+	}
+	if n.residual[v]-amount < -1e-6 {
+		panic(fmt.Sprintf("mec: node %d over-consumed: residual %v, requested %v", v, n.residual[v], amount))
+	}
+	n.residual[v] -= amount
+	if n.residual[v] < 0 {
+		n.residual[v] = 0
+	}
+}
+
+// Release returns previously consumed capacity to node v, capped at C_v.
+func (n *Network) Release(v int, amount float64) {
+	n.checkNode(v)
+	if amount < 0 {
+		panic(fmt.Sprintf("mec: negative release %v", amount))
+	}
+	n.residual[v] += amount
+	if n.residual[v] > n.Capacity[v] {
+		n.residual[v] = n.Capacity[v]
+	}
+}
+
+// ResidualSnapshot returns a copy of all residual capacities.
+func (n *Network) ResidualSnapshot() []float64 {
+	return append([]float64(nil), n.residual...)
+}
+
+// RestoreResiduals overwrites residual capacities from a snapshot.
+func (n *Network) RestoreResiduals(snap []float64) {
+	if len(snap) != len(n.residual) {
+		panic(fmt.Sprintf("mec: snapshot length %d != %d nodes", len(snap), len(n.residual)))
+	}
+	copy(n.residual, snap)
+}
+
+func (n *Network) checkNode(v int) {
+	if v < 0 || v >= len(n.residual) {
+		panic(fmt.Sprintf("mec: node %d out of range [0,%d)", v, len(n.residual)))
+	}
+}
+
+// Request is an admitted network-service request: an ordered SFC of function
+// type IDs, a reliability expectation ρ, and (once admitted) the cloudlet of
+// each primary VNF instance.
+type Request struct {
+	ID          int
+	SFC         []int   // function type IDs, in chain order
+	Expectation float64 // ρ_j in (0,1]
+	Primaries   []int   // cloudlet per chain position; len == len(SFC) once placed
+	Source      int     // source AP of the data traffic (admission framework)
+	Destination int     // destination AP
+}
+
+// NewRequest validates and returns a request (primaries unset).
+func NewRequest(id int, sfc []int, expectation float64, src, dst int) *Request {
+	if len(sfc) == 0 {
+		panic("mec: empty SFC")
+	}
+	if expectation <= 0 || expectation > 1 {
+		panic(fmt.Sprintf("mec: expectation %v out of (0,1]", expectation))
+	}
+	return &Request{
+		ID:          id,
+		SFC:         append([]int(nil), sfc...),
+		Expectation: expectation,
+		Primaries:   nil,
+		Source:      src,
+		Destination: dst,
+	}
+}
+
+// Len returns L_j = |SFC_j|.
+func (r *Request) Len() int { return len(r.SFC) }
+
+// FunctionReliabilities returns r_i for every chain position.
+func (r *Request) FunctionReliabilities(c *Catalog) []float64 {
+	rs := make([]float64, len(r.SFC))
+	for i, ft := range r.SFC {
+		rs[i] = c.Type(ft).Reliability
+	}
+	return rs
+}
+
+// Demands returns c(f_i) for every chain position.
+func (r *Request) Demands(c *Catalog) []float64 {
+	ds := make([]float64, len(r.SFC))
+	for i, ft := range r.SFC {
+		ds[i] = c.Type(ft).Demand
+	}
+	return ds
+}
+
+// Placement records the full outcome for one request: primaries plus the
+// secondary instances chosen per chain position.
+type Placement struct {
+	Request *Request
+	// Secondaries[i] lists the cloudlets hosting secondary instances of chain
+	// position i (repeats allowed: multiple instances in one cloudlet).
+	Secondaries [][]int
+}
+
+// BackupCounts returns n_i, the number of secondary instances per position.
+func (p *Placement) BackupCounts() []int {
+	ks := make([]int, len(p.Secondaries))
+	for i, s := range p.Secondaries {
+		ks[i] = len(s)
+	}
+	return ks
+}
+
+// Validate checks structural invariants of the placement against the network:
+// primaries set for every position, all hosts are cloudlets, and every
+// secondary lies within l hops of its primary.
+func (p *Placement) Validate(n *Network, l int) error {
+	req := p.Request
+	if len(req.Primaries) != req.Len() {
+		return fmt.Errorf("mec: request %d has %d primaries for %d functions", req.ID, len(req.Primaries), req.Len())
+	}
+	if len(p.Secondaries) != req.Len() {
+		return fmt.Errorf("mec: request %d has %d secondary lists for %d functions", req.ID, len(p.Secondaries), req.Len())
+	}
+	for i, v := range req.Primaries {
+		if n.Capacity[v] <= 0 {
+			return fmt.Errorf("mec: primary of position %d on non-cloudlet AP %d", i, v)
+		}
+		allowed := make(map[int]bool)
+		for _, u := range n.G.NeighborsWithinPlus(v, l) {
+			allowed[u] = true
+		}
+		for _, u := range p.Secondaries[i] {
+			if n.Capacity[u] <= 0 {
+				return fmt.Errorf("mec: secondary of position %d on non-cloudlet AP %d", i, u)
+			}
+			if !allowed[u] {
+				return fmt.Errorf("mec: secondary of position %d at AP %d violates %d-hop bound from primary %d", i, u, l, v)
+			}
+		}
+	}
+	return nil
+}

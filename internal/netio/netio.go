@@ -1,0 +1,163 @@
+// Package netio serializes MEC scenarios — topology, cloudlet capacities,
+// function catalog, requests and solved placements — as JSON, so that
+// cmd/sfcaugment and downstream users can pin experiments to files instead
+// of seeds, and solved placements can be handed to deployment tooling.
+package netio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/mec"
+)
+
+// Scenario is the on-disk form of a full problem instance.
+type Scenario struct {
+	// Nodes is the AP count; Edges the undirected adjacency.
+	Nodes int      `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+	// Capacity per AP in MHz (0 = no cloudlet).
+	Capacity []float64 `json:"capacity"`
+	// Residual per AP; omitted/empty means full capacity.
+	Residual []float64  `json:"residual,omitempty"`
+	Catalog  []Function `json:"catalog"`
+	Requests []Request  `json:"requests"`
+}
+
+// Function mirrors mec.FunctionType.
+type Function struct {
+	Name        string  `json:"name"`
+	Demand      float64 `json:"demand"`
+	Reliability float64 `json:"reliability"`
+}
+
+// Request mirrors mec.Request.
+type Request struct {
+	ID          int     `json:"id"`
+	SFC         []int   `json:"sfc"`
+	Expectation float64 `json:"expectation"`
+	Source      int     `json:"source"`
+	Destination int     `json:"destination"`
+	Primaries   []int   `json:"primaries,omitempty"`
+}
+
+// PlacementDump is the on-disk form of a solved placement.
+type PlacementDump struct {
+	RequestID   int     `json:"request_id"`
+	Algorithm   string  `json:"algorithm"`
+	Reliability float64 `json:"reliability"`
+	MetRho      bool    `json:"met_expectation"`
+	// Secondaries[i] lists host cloudlets for chain position i.
+	Secondaries [][]int `json:"secondaries"`
+}
+
+// Export captures a network and requests into a Scenario.
+func Export(net *mec.Network, requests []*mec.Request) *Scenario {
+	s := &Scenario{
+		Nodes:    net.G.N(),
+		Edges:    net.G.Edges(),
+		Capacity: append([]float64(nil), net.Capacity...),
+		Residual: net.ResidualSnapshot(),
+	}
+	for i := 0; i < net.Catalog().Size(); i++ {
+		ft := net.Catalog().Type(i)
+		s.Catalog = append(s.Catalog, Function{Name: ft.Name, Demand: ft.Demand, Reliability: ft.Reliability})
+	}
+	for _, r := range requests {
+		s.Requests = append(s.Requests, Request{
+			ID:          r.ID,
+			SFC:         append([]int(nil), r.SFC...),
+			Expectation: r.Expectation,
+			Source:      r.Source,
+			Destination: r.Destination,
+			Primaries:   append([]int(nil), r.Primaries...),
+		})
+	}
+	return s
+}
+
+// Build reconstructs the network and requests from a scenario, validating
+// structural invariants.
+func (s *Scenario) Build() (*mec.Network, []*mec.Request, error) {
+	if s.Nodes <= 0 {
+		return nil, nil, fmt.Errorf("netio: scenario has %d nodes", s.Nodes)
+	}
+	if len(s.Capacity) != s.Nodes {
+		return nil, nil, fmt.Errorf("netio: %d capacities for %d nodes", len(s.Capacity), s.Nodes)
+	}
+	g := graph.New(s.Nodes)
+	for _, e := range s.Edges {
+		if e[0] < 0 || e[0] >= s.Nodes || e[1] < 0 || e[1] >= s.Nodes || e[0] == e[1] {
+			return nil, nil, fmt.Errorf("netio: bad edge %v", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	if len(s.Catalog) == 0 {
+		return nil, nil, fmt.Errorf("netio: empty catalog")
+	}
+	types := make([]mec.FunctionType, len(s.Catalog))
+	for i, f := range s.Catalog {
+		if f.Demand <= 0 || f.Reliability <= 0 || f.Reliability > 1 {
+			return nil, nil, fmt.Errorf("netio: bad function %q (demand %v, reliability %v)", f.Name, f.Demand, f.Reliability)
+		}
+		types[i] = mec.FunctionType{Name: f.Name, Demand: f.Demand, Reliability: f.Reliability}
+	}
+	net := mec.NewNetwork(g, s.Capacity, mec.NewCatalog(types))
+	if len(s.Residual) > 0 {
+		if len(s.Residual) != s.Nodes {
+			return nil, nil, fmt.Errorf("netio: %d residuals for %d nodes", len(s.Residual), s.Nodes)
+		}
+		for v, r := range s.Residual {
+			if r < 0 || r > s.Capacity[v]+1e-9 {
+				return nil, nil, fmt.Errorf("netio: residual %v out of [0,%v] at node %d", r, s.Capacity[v], v)
+			}
+		}
+		net.RestoreResiduals(s.Residual)
+	}
+
+	var reqs []*mec.Request
+	for _, r := range s.Requests {
+		for _, f := range r.SFC {
+			if f < 0 || f >= len(types) {
+				return nil, nil, fmt.Errorf("netio: request %d references function %d outside catalog", r.ID, f)
+			}
+		}
+		if r.Source < 0 || r.Source >= s.Nodes || r.Destination < 0 || r.Destination >= s.Nodes {
+			return nil, nil, fmt.Errorf("netio: request %d has endpoints outside the graph", r.ID)
+		}
+		req := mec.NewRequest(r.ID, r.SFC, r.Expectation, r.Source, r.Destination)
+		if len(r.Primaries) > 0 {
+			if len(r.Primaries) != len(r.SFC) {
+				return nil, nil, fmt.Errorf("netio: request %d has %d primaries for %d functions", r.ID, len(r.Primaries), len(r.SFC))
+			}
+			for _, v := range r.Primaries {
+				if v < 0 || v >= s.Nodes || s.Capacity[v] <= 0 {
+					return nil, nil, fmt.Errorf("netio: request %d primary on invalid cloudlet %d", r.ID, v)
+				}
+			}
+			req.Primaries = append([]int(nil), r.Primaries...)
+		}
+		reqs = append(reqs, req)
+	}
+	return net, reqs, nil
+}
+
+// Write serializes the scenario as indented JSON.
+func (s *Scenario) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses a scenario from JSON.
+func Read(r io.Reader) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,162 @@
+package netio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mec"
+	"repro/internal/workload"
+)
+
+func sample(seed int64) (*mec.Network, []*mec.Request) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.NewDefaultConfig()
+	net := cfg.Network(rng)
+	var reqs []*mec.Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, cfg.Request(rng, i, net.Catalog().Size()))
+	}
+	workload.PlacePrimariesRandom(net, reqs[0], rng)
+	return net, reqs
+}
+
+func TestRoundTrip(t *testing.T) {
+	net, reqs := sample(1)
+	net.Consume(net.Cloudlets()[0], 100)
+	s := Export(net, reqs)
+
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, reqs2, err := s2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if net2.G.N() != net.G.N() || net2.G.M() != net.G.M() {
+		t.Fatalf("graph mismatch: %d/%d vs %d/%d", net2.G.N(), net2.G.M(), net.G.N(), net.G.M())
+	}
+	for v := 0; v < net.G.N(); v++ {
+		if net2.Capacity[v] != net.Capacity[v] {
+			t.Fatalf("capacity mismatch at %d", v)
+		}
+		if net2.Residual(v) != net.Residual(v) {
+			t.Fatalf("residual mismatch at %d: %v vs %v", v, net2.Residual(v), net.Residual(v))
+		}
+	}
+	if net2.Catalog().Size() != net.Catalog().Size() {
+		t.Fatal("catalog size mismatch")
+	}
+	for i := 0; i < net.Catalog().Size(); i++ {
+		if net2.Catalog().Type(i) != net.Catalog().Type(i) {
+			t.Fatalf("catalog entry %d mismatch", i)
+		}
+	}
+	if len(reqs2) != len(reqs) {
+		t.Fatalf("request count %d vs %d", len(reqs2), len(reqs))
+	}
+	if len(reqs2[0].Primaries) != len(reqs[0].Primaries) {
+		t.Fatal("primaries lost in round trip")
+	}
+	for i, v := range reqs[0].Primaries {
+		if reqs2[0].Primaries[i] != v {
+			t.Fatal("primaries corrupted")
+		}
+	}
+}
+
+func TestRoundTripSolvable(t *testing.T) {
+	net, reqs := sample(2)
+	s := Export(net, reqs)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, reqs2, err := s2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt scenario must be directly solvable.
+	rng := rand.New(rand.NewSource(3))
+	workload.PlacePrimariesRandom(net2, reqs2[1], rng)
+	inst := core.NewInstance(net2, reqs2[1], core.Params{L: 1})
+	if _, err := core.SolveHeuristic(inst, core.HeuristicOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	base := func() *Scenario {
+		net, reqs := sample(4)
+		return Export(net, reqs)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		substr string
+	}{
+		{"zero nodes", func(s *Scenario) { s.Nodes = 0 }, "nodes"},
+		{"capacity mismatch", func(s *Scenario) { s.Capacity = s.Capacity[:3] }, "capacities"},
+		{"bad edge", func(s *Scenario) { s.Edges = append(s.Edges, [2]int{0, 9999}) }, "bad edge"},
+		{"self edge", func(s *Scenario) { s.Edges = append(s.Edges, [2]int{1, 1}) }, "bad edge"},
+		{"empty catalog", func(s *Scenario) { s.Catalog = nil }, "catalog"},
+		{"bad function", func(s *Scenario) { s.Catalog[0].Reliability = 2 }, "bad function"},
+		{"bad residual len", func(s *Scenario) { s.Residual = s.Residual[:2] }, "residuals"},
+		{"residual above cap", func(s *Scenario) { s.Residual[0] = s.Capacity[0] + 1000 }, "residual"},
+		{"bad sfc ref", func(s *Scenario) { s.Requests[0].SFC[0] = 999 }, "outside catalog"},
+		{"bad endpoint", func(s *Scenario) { s.Requests[0].Source = -1 }, "endpoints"},
+		{"primaries len", func(s *Scenario) {
+			s.Requests[0].Primaries = []int{s.Requests[0].Primaries[0]}
+		}, "primaries"},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mutate(s)
+		_, _, err := s.Build()
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"nodes": 2, "bogus": true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEmptyResidualMeansFullCapacity(t *testing.T) {
+	net, reqs := sample(5)
+	s := Export(net, reqs)
+	s.Residual = nil
+	net2, _, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range net2.Cloudlets() {
+		if net2.Residual(v) != net2.Capacity[v] {
+			t.Fatalf("residual at %d not full", v)
+		}
+	}
+}

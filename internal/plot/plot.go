@@ -1,0 +1,229 @@
+// Package plot renders the experiment sweeps as standalone SVG line charts —
+// one chart per paper sub-plot — with nothing beyond the standard library.
+// The goal is not a charting framework but faithful, legible reproductions
+// of the paper's figures straight from a Sweep.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one line on a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Dashed bool
+}
+
+// Chart is a single line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMin/YMax override the y-range when both are set (YMax > YMin).
+	YMin, YMax float64
+	// LogY plots log10(y) (used for running-time charts).
+	LogY bool
+}
+
+const (
+	width   = 640
+	height  = 420
+	marginL = 70
+	marginR = 150
+	marginT = 40
+	marginB = 55
+)
+
+// palette cycles through line colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// markers cycles through point markers (SVG shapes drawn at data points).
+var markers = []string{"circle", "square", "diamond", "triangle"}
+
+// Render writes the chart as a complete SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					y = 1e-9
+				}
+				y = math.Log10(y)
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if c.YMax > c.YMin {
+		ymin, ymax = c.YMin, c.YMax
+		if c.LogY {
+			ymin, ymax = math.Log10(math.Max(c.YMin, 1e-9)), math.Log10(c.YMax)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y-range 5% on both sides for legibility.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 {
+		if c.LogY {
+			if y <= 0 {
+				y = 1e-9
+			}
+			y = math.Log10(y)
+		}
+		return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-family="sans-serif" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		(marginL+width-marginR)/2, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(c.YLabel))
+
+	// Ticks: x from the union of series points; y on a uniform grid.
+	for _, x := range tickValues(xmin, xmax, 6) {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n", px(x), height-marginB, px(x), height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			px(x), height-marginB+18, formatTick(x))
+	}
+	for _, yv := range tickValues(ymin, ymax, 6) {
+		yy := marginT + plotH - (yv-ymin)/(ymax-ymin)*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n", marginL, yy, width-marginR, yy)
+		label := yv
+		prefix := ""
+		if c.LogY {
+			label = math.Pow(10, yv)
+			prefix = ""
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" font-family="sans-serif" text-anchor="end">%s%s</text>`+"\n",
+			marginL-6, yy+4, prefix, formatTick(label))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		idx := sortedOrder(s.X)
+		for _, i := range idx {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n", strings.Join(pts, " "), color, dash)
+		for _, i := range idx {
+			drawMarker(&b, markers[si%len(markers)], px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend.
+		ly := marginT + 18*si
+		lx := width - marginR + 12
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n", lx, ly, lx+22, ly, color, dash)
+		drawMarker(&b, markers[si%len(markers)], float64(lx+11), float64(ly), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" font-family="sans-serif">%s</text>`+"\n", lx+28, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func drawMarker(b *strings.Builder, kind string, x, y float64, color string) {
+	switch kind {
+	case "circle":
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", x, y, color)
+	case "square":
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="7" height="7" fill="%s"/>`+"\n", x-3.5, y-3.5, color)
+	case "diamond":
+		fmt.Fprintf(b, `<path d="M %.1f %.1f l 4 4 l -4 4 l -4 -4 z" fill="%s"/>`+"\n", x, y-4, color)
+	case "triangle":
+		fmt.Fprintf(b, `<path d="M %.1f %.1f l 4.5 7.5 l -9 0 z" fill="%s"/>`+"\n", x, y-4.5, color)
+	}
+}
+
+// tickValues returns ~n rounded tick positions spanning [lo, hi].
+func tickValues(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo}
+	}
+	rawStep := (hi - lo) / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		step = m * mag
+		if step >= rawStep {
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var out []float64
+	for v := start; v <= hi+1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000 || (av < 0.01 && av > 0):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func sortedOrder(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

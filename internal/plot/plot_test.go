@@ -1,0 +1,149 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "fig-test(a)",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "ILP", X: []float64{1, 2, 3}, Y: []float64{0.9, 0.8, 0.7}},
+			{Name: "Heuristic", X: []float64{1, 2, 3}, Y: []float64{0.88, 0.79, 0.66}, Dashed: true},
+		},
+	}
+}
+
+func TestRenderWellFormedSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatal("missing svg root")
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+	for _, want := range []string{"polyline", "ILP", "Heuristic", "fig-test(a)", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Chart{Title: "empty"}
+	if err := empty.Render(&buf); err == nil {
+		t.Fatal("chart with no series should error")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Fatal("length-mismatched series should error")
+	}
+	hollow := &Chart{Series: []Series{{Name: "x"}}}
+	if err := hollow.Render(&buf); err == nil {
+		t.Fatal("empty series should error")
+	}
+}
+
+func TestLogYHandlesNonPositive(t *testing.T) {
+	c := &Chart{
+		Title: "log", LogY: true,
+		Series: []Series{{Name: "t", X: []float64{1, 2}, Y: []float64{0, 100}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Fatal("SVG contains NaN/Inf coordinates")
+	}
+}
+
+func TestSingletonRange(t *testing.T) {
+	c := &Chart{
+		Title:  "flat",
+		Series: []Series{{Name: "t", X: []float64{5}, Y: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("degenerate range produced NaN")
+	}
+}
+
+func TestTickValues(t *testing.T) {
+	ticks := tickValues(0, 10, 6)
+	if len(ticks) < 3 {
+		t.Fatalf("ticks %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 10+1e-9 {
+		t.Fatalf("ticks out of range: %v", ticks)
+	}
+	if got := tickValues(5, 5, 6); len(got) != 1 {
+		t.Fatalf("degenerate tick range: %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	for v, want := range map[float64]string{
+		12345: "1.2e+04",
+		42:    "42",
+		3.5:   "3.5",
+		0.25:  "0.25",
+	} {
+		if got := formatTick(v); got != want {
+			t.Fatalf("formatTick(%v)=%q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape: %q", got)
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	idx := sortedOrder([]float64{3, 1, 2})
+	if idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
+		t.Fatalf("order %v", idx)
+	}
+}
+
+func TestYRangeOverride(t *testing.T) {
+	c := sampleChart()
+	c.YMin, c.YMax = 0, 1
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A y tick at 0.00 and at 1.00 should appear with the padded range.
+	out := buf.String()
+	if !strings.Contains(out, "polyline") {
+		t.Fatal("override range lost the data")
+	}
+}

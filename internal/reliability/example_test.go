@@ -1,0 +1,28 @@
+package reliability_test
+
+import (
+	"fmt"
+
+	"repro/internal/reliability"
+)
+
+// One primary plus two backups of a 0.8-reliable VNF.
+func ExampleAccumulated() {
+	fmt.Printf("%.3f %.3f %.3f\n",
+		reliability.Accumulated(0.8, 0),
+		reliability.Accumulated(0.8, 1),
+		reliability.Accumulated(0.8, 2))
+	// Output: 0.800 0.960 0.992
+}
+
+// How many backups does a 0.85-reliable function need to reach 0.999?
+func ExampleBackupsToReach() {
+	fmt.Println(reliability.BackupsToReach(0.85, 0.999))
+	// Output: 3
+}
+
+// The paper's budget transform C = -log ρ.
+func ExampleBudget() {
+	fmt.Printf("%.4f\n", reliability.Budget(0.99))
+	// Output: 0.0101
+}

@@ -1,0 +1,246 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatedBase(t *testing.T) {
+	if got := Accumulated(0.8, 0); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("R(0.8,0)=%v, want 0.8", got)
+	}
+	// one backup: 1 - 0.2^2 = 0.96
+	if got := Accumulated(0.8, 1); math.Abs(got-0.96) > 1e-12 {
+		t.Fatalf("R(0.8,1)=%v, want 0.96", got)
+	}
+	// r=1: always 1
+	if got := Accumulated(1, 5); got != 1 {
+		t.Fatalf("R(1,5)=%v, want 1", got)
+	}
+}
+
+func TestAccumulatedMonotoneInK(t *testing.T) {
+	for _, r := range []float64{0.1, 0.5, 0.9, 0.99} {
+		prev := 0.0
+		for k := 0; k < 20; k++ {
+			cur := Accumulated(r, k)
+			if cur == 1 && prev == 1 {
+				break // saturated to 1.0 in float64; monotonicity holds trivially
+			}
+			if cur <= prev {
+				t.Fatalf("R(%v,%d)=%v not increasing (prev %v)", r, k, cur, prev)
+			}
+			if cur > 1 {
+				t.Fatalf("R(%v,%d)=%v exceeds 1", r, k, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestIncrementSumsToAccumulated(t *testing.T) {
+	for _, r := range []float64{0.3, 0.8, 0.95} {
+		sum := 0.0
+		for k := 0; k <= 10; k++ {
+			sum += Increment(r, k)
+		}
+		if math.Abs(sum-Accumulated(r, 10)) > 1e-12 {
+			t.Fatalf("Σ ΔR != R for r=%v: %v vs %v", r, sum, Accumulated(r, 10))
+		}
+	}
+}
+
+// Lemma 4.1: item costs are positive and strictly increasing in k.
+func TestItemCostLemma41(t *testing.T) {
+	for _, r := range []float64{0.55, 0.7, 0.85, 0.9} {
+		prev := math.Inf(-1)
+		for k := 0; k <= 15; k++ {
+			c := ItemCost(r, k)
+			if c <= 0 && k > 0 {
+				t.Fatalf("cost(%v,%d)=%v not positive", r, k, c)
+			}
+			if c <= prev {
+				t.Fatalf("cost(%v,%d)=%v not increasing (prev %v)", r, k, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+// Eq. (16): cost(k) - cost(k-1) = log(1/(1-r)) exactly, for k >= 2.
+func TestItemCostDifferenceConstant(t *testing.T) {
+	r := 0.8
+	want := math.Log(1 / (1 - r))
+	for k := 2; k <= 10; k++ {
+		diff := ItemCost(r, k) - ItemCost(r, k-1)
+		if math.Abs(diff-want) > 1e-9 {
+			t.Fatalf("cost diff at k=%d: %v, want %v", k, diff, want)
+		}
+	}
+}
+
+func TestLogGainDecreasing(t *testing.T) {
+	for _, r := range []float64{0.55, 0.8, 0.95} {
+		prev := math.Inf(1)
+		for k := 1; k <= 20; k++ {
+			g := LogGain(r, k)
+			if g == 0 && Accumulated(r, k-1) == 1 {
+				break // saturated: R already indistinguishable from 1 in float64
+			}
+			if g <= 0 {
+				t.Fatalf("gain(%v,%d)=%v not positive", r, k, g)
+			}
+			if g >= prev {
+				t.Fatalf("gain(%v,%d)=%v not decreasing (prev %v)", r, k, g, prev)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestLogGainTelescopes(t *testing.T) {
+	r := 0.7
+	sum := math.Log(Accumulated(r, 0))
+	for k := 1; k <= 8; k++ {
+		sum += LogGain(r, k)
+	}
+	if math.Abs(sum-math.Log(Accumulated(r, 8))) > 1e-12 {
+		t.Fatalf("telescoped %v vs direct %v", sum, math.Log(Accumulated(r, 8)))
+	}
+}
+
+func TestChainReliability(t *testing.T) {
+	rs := []float64{0.8, 0.9}
+	ks := []int{1, 0}
+	want := 0.96 * 0.9
+	if got := ChainReliability(rs, ks); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("chain=%v, want %v", got, want)
+	}
+	if got := PrimaryChainReliability(rs); math.Abs(got-0.72) > 1e-12 {
+		t.Fatalf("primary chain=%v, want 0.72", got)
+	}
+}
+
+func TestChainReliabilityLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ChainReliability([]float64{0.8}, []int{0, 1})
+}
+
+func TestBudget(t *testing.T) {
+	if Budget(1) != 0 {
+		t.Fatalf("Budget(1)=%v, want 0", Budget(1))
+	}
+	if math.Abs(Budget(math.Exp(-2))-2) > 1e-12 {
+		t.Fatalf("Budget(e^-2)=%v, want 2", Budget(math.Exp(-2)))
+	}
+	for _, bad := range []float64{0, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Budget(%v) should panic", bad)
+				}
+			}()
+			Budget(bad)
+		}()
+	}
+}
+
+func TestMeetsExpectation(t *testing.T) {
+	if !MeetsExpectation(0.95, 0.95) {
+		t.Fatal("equal should meet")
+	}
+	if !MeetsExpectation(0.95-1e-15, 0.95) {
+		t.Fatal("tiny float slack should meet")
+	}
+	if MeetsExpectation(0.90, 0.95) {
+		t.Fatal("0.90 should not meet 0.95")
+	}
+}
+
+func TestBackupsToReach(t *testing.T) {
+	// r=0.8, target 0.96 → exactly 1 backup.
+	if k := BackupsToReach(0.8, 0.96); k != 1 {
+		t.Fatalf("k=%d, want 1", k)
+	}
+	// target below r → 0 backups.
+	if k := BackupsToReach(0.8, 0.5); k != 0 {
+		t.Fatalf("k=%d, want 0", k)
+	}
+	// unreachable
+	if k := BackupsToReach(0.8, 1.0); k != -1 {
+		t.Fatalf("k=%d, want -1", k)
+	}
+	if k := BackupsToReach(1.0, 0.999); k != 0 {
+		t.Fatalf("r=1 needs no backups, got %d", k)
+	}
+	if k := BackupsToReach(0.5, 0); k != 0 {
+		t.Fatalf("target 0 needs no backups, got %d", k)
+	}
+	if k := BackupsToReach(0.5, 2); k != -1 {
+		t.Fatalf("target > 1 unreachable, got %d", k)
+	}
+}
+
+func TestBackupsToReachIsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		r := 0.05 + 0.9*rng.Float64()
+		target := rng.Float64() * 0.9999
+		k := BackupsToReach(r, target)
+		if k < 0 {
+			t.Fatalf("reachable target reported unreachable: r=%v target=%v", r, target)
+		}
+		if Accumulated(r, k) < target-1e-12 {
+			t.Fatalf("k=%d insufficient: R=%v < %v", k, Accumulated(r, k), target)
+		}
+		if k > 0 && Accumulated(r, k-1) >= target {
+			t.Fatalf("k=%d not minimal: R(k-1)=%v >= %v", k, Accumulated(r, k-1), target)
+		}
+	}
+}
+
+func TestInvalidReliabilityPanics(t *testing.T) {
+	for _, bad := range []float64{0, -0.1, 1.0001, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Accumulated(%v,·) should panic", bad)
+				}
+			}()
+			Accumulated(bad, 1)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative k should panic")
+		}
+	}()
+	Accumulated(0.5, -1)
+}
+
+// Property: chain reliability never decreases when any backup count grows.
+func TestChainMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		rs := make([]float64, n)
+		ks := make([]int, n)
+		for i := range rs {
+			rs[i] = 0.1 + 0.89*rng.Float64()
+			ks[i] = rng.Intn(4)
+		}
+		base := ChainReliability(rs, ks)
+		i := rng.Intn(n)
+		ks[i]++
+		return ChainReliability(rs, ks) >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

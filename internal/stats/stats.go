@@ -1,0 +1,65 @@
+// Package stats provides the small set of summary statistics the experiment
+// harness reports: mean, min, max, standard deviation and 95% confidence
+// half-widths over repeated trials.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary aggregates a sample.
+type Summary struct {
+	N                   int
+	Mean, Min, Max, Std float64
+}
+
+// Summarize computes a Summary over xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval around the mean (0 for samples of size < 2).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci [min, max]".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f [%.4f, %.4f]", s.Mean, s.CI95(), s.Min, s.Max)
+}
+
+// Ratio returns a/b, or 0 when b == 0 (used for relative-performance columns).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

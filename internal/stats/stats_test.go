@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("%+v", s)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.Std != 0 || s.CI95() != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := Summarize([]float64{1, 2, 3, 4})
+	var big []float64
+	for i := 0; i < 25; i++ {
+		big = append(big, []float64{1, 2, 3, 4}...)
+	}
+	bigS := Summarize(big)
+	if bigS.CI95() >= small.CI95() {
+		t.Fatalf("CI should shrink: %v vs %v", bigS.CI95(), small.CI95())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Summarize([]float64{1, 1})
+	if !strings.Contains(s.String(), "1.0000") {
+		t.Fatalf("string %q", s.String())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("zero denominator should yield 0")
+	}
+}

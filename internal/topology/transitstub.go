@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// TransitStubParams configures a GT-ITM style two-level transit-stub
+// hierarchy: a small Waxman transit core; each transit node anchors several
+// stub domains, themselves small Waxman graphs attached to their anchor.
+type TransitStubParams struct {
+	TransitNodes  int // nodes in the transit core (>=1)
+	StubsPerNode  int // stub domains hanging off each transit node (>=1)
+	StubSize      int // nodes per stub domain (>=1)
+	TransitAlpha  float64
+	TransitBeta   float64
+	StubAlpha     float64
+	StubBeta      float64
+	ExtraStubLink float64 // probability of one extra stub→transit shortcut per stub
+}
+
+// DefaultTransitStub returns a hierarchy totalling approximately n nodes.
+func DefaultTransitStub(n int) TransitStubParams {
+	transit := n / 20
+	if transit < 2 {
+		transit = 2
+	}
+	stubSize := 4
+	stubs := (n - transit) / (transit * stubSize)
+	if stubs < 1 {
+		stubs = 1
+	}
+	return TransitStubParams{
+		TransitNodes:  transit,
+		StubsPerNode:  stubs,
+		StubSize:      stubSize,
+		TransitAlpha:  0.8,
+		TransitBeta:   0.4,
+		StubAlpha:     0.6,
+		StubBeta:      0.3,
+		ExtraStubLink: 0.2,
+	}
+}
+
+// TransitStub samples a connected transit-stub topology. Node IDs 0..T-1 are
+// the transit core; stub nodes follow in domain order.
+func TransitStub(p TransitStubParams, rng *rand.Rand) *Topology {
+	if p.TransitNodes < 1 || p.StubsPerNode < 1 || p.StubSize < 1 {
+		panic(fmt.Sprintf("topology: invalid transit-stub params %+v", p))
+	}
+	total := p.TransitNodes + p.TransitNodes*p.StubsPerNode*p.StubSize
+	g := graph.New(total)
+	coords := make([]Point, total)
+
+	// Transit core: Waxman over the full unit square.
+	core := Waxman(WaxmanParams{N: p.TransitNodes, Alpha: p.TransitAlpha, Beta: p.TransitBeta}, rng)
+	for _, e := range core.G.Edges() {
+		g.AddEdge(e[0], e[1])
+	}
+	copy(coords, core.Coords)
+
+	next := p.TransitNodes
+	for tn := 0; tn < p.TransitNodes; tn++ {
+		for s := 0; s < p.StubsPerNode; s++ {
+			stub := Waxman(WaxmanParams{N: p.StubSize, Alpha: p.StubAlpha, Beta: p.StubBeta}, rng)
+			base := next
+			anchor := coords[tn]
+			for i := 0; i < p.StubSize; i++ {
+				// Shrink the stub around its transit anchor.
+				coords[base+i] = Point{
+					X: clamp01(anchor.X + 0.1*(stub.Coords[i].X-0.5)),
+					Y: clamp01(anchor.Y + 0.1*(stub.Coords[i].Y-0.5)),
+				}
+			}
+			for _, e := range stub.G.Edges() {
+				g.AddEdge(base+e[0], base+e[1])
+			}
+			// Attach the stub to its transit anchor via a random gateway.
+			gateway := base + rng.Intn(p.StubSize)
+			g.AddEdge(gateway, tn)
+			// Occasional extra shortcut to a second transit node.
+			if p.TransitNodes > 1 && rng.Float64() < p.ExtraStubLink {
+				other := rng.Intn(p.TransitNodes)
+				if other != tn {
+					g.AddEdge(base+rng.Intn(p.StubSize), other)
+				}
+			}
+			next += p.StubSize
+		}
+	}
+	t := &Topology{G: g, Coords: coords}
+	t.ensureConnected(rng)
+	return t
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,159 @@
+// Package workload generates the experiment workloads of Section 7.1:
+// GT-ITM-style topologies with 100 APs of which 10% host cloudlets
+// (capacities 4,000–8,000 MHz), a catalog of 30 network function types
+// (demands 200–400 MHz), and requests whose SFC lengths are drawn from
+// [3,10] with functions drawn uniformly from the catalog.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mec"
+	"repro/internal/topology"
+)
+
+// Config captures every §7.1 knob; NewDefaultConfig returns the paper's
+// values.
+type Config struct {
+	NumAPs           int     // |V|
+	CloudletFraction float64 // share of APs with a co-located cloudlet
+	CapacityMin      float64 // MHz
+	CapacityMax      float64 // MHz
+	NumFuncTypes     int     // |ℱ|
+	DemandMin        float64 // MHz
+	DemandMax        float64 // MHz
+	ReliabilityMin   float64 // r_i lower bound
+	ReliabilityMax   float64 // r_i upper bound
+	SFCLenMin        int
+	SFCLenMax        int
+	ResidualFraction float64 // residual capacity left for augmentation
+	HopBound         int     // l
+	Expectation      float64 // ρ for generated requests
+}
+
+// NewDefaultConfig returns the paper's default experiment settings. The
+// reliability expectation defaults to 1.0 ("augment as much as possible"),
+// matching the figures, which plot resource-bound achieved reliability.
+func NewDefaultConfig() Config {
+	return Config{
+		NumAPs:           100,
+		CloudletFraction: 0.10,
+		CapacityMin:      4000,
+		CapacityMax:      8000,
+		NumFuncTypes:     30,
+		DemandMin:        200,
+		DemandMax:        400,
+		ReliabilityMin:   0.8,
+		ReliabilityMax:   0.9,
+		SFCLenMin:        3,
+		SFCLenMax:        10,
+		ResidualFraction: 0.25,
+		HopBound:         1,
+		Expectation:      1.0,
+	}
+}
+
+func (c Config) validate() {
+	if c.NumAPs <= 0 || c.CloudletFraction <= 0 || c.CloudletFraction > 1 {
+		panic(fmt.Sprintf("workload: bad topology config %+v", c))
+	}
+	if c.CapacityMin <= 0 || c.CapacityMax < c.CapacityMin {
+		panic(fmt.Sprintf("workload: bad capacity range [%v,%v]", c.CapacityMin, c.CapacityMax))
+	}
+	if c.NumFuncTypes <= 0 || c.DemandMin <= 0 || c.DemandMax < c.DemandMin {
+		panic(fmt.Sprintf("workload: bad catalog config %+v", c))
+	}
+	if c.ReliabilityMin <= 0 || c.ReliabilityMax > 1 || c.ReliabilityMax < c.ReliabilityMin {
+		panic(fmt.Sprintf("workload: bad reliability range [%v,%v]", c.ReliabilityMin, c.ReliabilityMax))
+	}
+	if c.SFCLenMin <= 0 || c.SFCLenMax < c.SFCLenMin {
+		panic(fmt.Sprintf("workload: bad SFC length range [%d,%d]", c.SFCLenMin, c.SFCLenMax))
+	}
+	if c.ResidualFraction < 0 || c.ResidualFraction > 1 {
+		panic(fmt.Sprintf("workload: bad residual fraction %v", c.ResidualFraction))
+	}
+	if c.Expectation <= 0 || c.Expectation > 1 {
+		panic(fmt.Sprintf("workload: bad expectation %v", c.Expectation))
+	}
+}
+
+// Catalog samples the function catalog ℱ.
+func (c Config) Catalog(rng *rand.Rand) *mec.Catalog {
+	c.validate()
+	types := make([]mec.FunctionType, c.NumFuncTypes)
+	for i := range types {
+		types[i] = mec.FunctionType{
+			Name:        fmt.Sprintf("f%d", i),
+			Demand:      uniform(rng, c.DemandMin, c.DemandMax),
+			Reliability: uniform(rng, c.ReliabilityMin, c.ReliabilityMax),
+		}
+	}
+	return mec.NewCatalog(types)
+}
+
+// Network samples a GT-ITM-style (Waxman) topology, assigns cloudlets to a
+// random CloudletFraction of APs with capacities in [CapacityMin,
+// CapacityMax], and applies ResidualFraction to the ledger.
+func (c Config) Network(rng *rand.Rand) *mec.Network {
+	c.validate()
+	top := topology.Waxman(topology.DefaultWaxman(c.NumAPs), rng)
+	caps := make([]float64, c.NumAPs)
+	nCloudlets := int(float64(c.NumAPs)*c.CloudletFraction + 0.5)
+	if nCloudlets < 1 {
+		nCloudlets = 1
+	}
+	perm := rng.Perm(c.NumAPs)
+	for _, v := range perm[:nCloudlets] {
+		caps[v] = uniform(rng, c.CapacityMin, c.CapacityMax)
+	}
+	net := mec.NewNetwork(top.G, caps, c.Catalog(rng))
+	net.SetResidualFraction(c.ResidualFraction)
+	return net
+}
+
+// Request samples one request: SFC length uniform in [SFCLenMin, SFCLenMax],
+// functions uniform over the catalog, source and destination uniform APs.
+func (c Config) Request(rng *rand.Rand, id int, catalogSize int) *mec.Request {
+	c.validate()
+	chainLen := c.SFCLenMin + rng.Intn(c.SFCLenMax-c.SFCLenMin+1)
+	sfc := make([]int, chainLen)
+	for i := range sfc {
+		sfc[i] = rng.Intn(catalogSize)
+	}
+	return mec.NewRequest(id, sfc, c.Expectation, rng.Intn(c.NumAPs), rng.Intn(c.NumAPs))
+}
+
+// RequestWithLength samples a request with a fixed SFC length (Figure 1
+// sweeps the length explicitly).
+func (c Config) RequestWithLength(rng *rand.Rand, id, length, catalogSize int) *mec.Request {
+	if length <= 0 {
+		panic(fmt.Sprintf("workload: bad SFC length %d", length))
+	}
+	sfc := make([]int, length)
+	for i := range sfc {
+		sfc[i] = rng.Intn(catalogSize)
+	}
+	return mec.NewRequest(id, sfc, c.Expectation, rng.Intn(c.NumAPs), rng.Intn(c.NumAPs))
+}
+
+// PlacePrimariesRandom implements §7.1's "each VNF instance in the primary
+// SFC deployed randomly into cloudlets": every primary goes to a uniformly
+// random cloudlet regardless of residual headroom (the augmentation budget
+// is the residual fraction; primaries are assumed paid for at admission
+// time, before the residual snapshot).
+func PlacePrimariesRandom(net *mec.Network, req *mec.Request, rng *rand.Rand) {
+	cls := net.Cloudlets()
+	if len(cls) == 0 {
+		panic("workload: network has no cloudlets")
+	}
+	primaries := make([]int, req.Len())
+	for i := range primaries {
+		primaries[i] = cls[rng.Intn(len(cls))]
+	}
+	req.Primaries = primaries
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}

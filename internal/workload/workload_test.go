@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := NewDefaultConfig()
+	if c.NumAPs != 100 || c.CloudletFraction != 0.10 || c.NumFuncTypes != 30 {
+		t.Fatalf("defaults drifted: %+v", c)
+	}
+	if c.CapacityMin != 4000 || c.CapacityMax != 8000 {
+		t.Fatalf("capacity defaults drifted: %+v", c)
+	}
+	if c.DemandMin != 200 || c.DemandMax != 400 {
+		t.Fatalf("demand defaults drifted: %+v", c)
+	}
+	if c.SFCLenMin != 3 || c.SFCLenMax != 10 || c.HopBound != 1 {
+		t.Fatalf("request defaults drifted: %+v", c)
+	}
+}
+
+func TestCatalogSampling(t *testing.T) {
+	c := NewDefaultConfig()
+	cat := c.Catalog(rand.New(rand.NewSource(1)))
+	if cat.Size() != 30 {
+		t.Fatalf("catalog size %d", cat.Size())
+	}
+	for i := 0; i < cat.Size(); i++ {
+		ft := cat.Type(i)
+		if ft.Demand < 200 || ft.Demand > 400 {
+			t.Fatalf("demand %v out of range", ft.Demand)
+		}
+		if ft.Reliability < 0.8 || ft.Reliability > 0.9 {
+			t.Fatalf("reliability %v out of range", ft.Reliability)
+		}
+	}
+}
+
+func TestNetworkSampling(t *testing.T) {
+	c := NewDefaultConfig()
+	net := c.Network(rand.New(rand.NewSource(2)))
+	if net.G.N() != 100 {
+		t.Fatalf("APs %d", net.G.N())
+	}
+	cls := net.Cloudlets()
+	if len(cls) != 10 {
+		t.Fatalf("cloudlets %d, want 10", len(cls))
+	}
+	for _, v := range cls {
+		if net.Capacity[v] < 4000 || net.Capacity[v] > 8000 {
+			t.Fatalf("capacity %v out of range", net.Capacity[v])
+		}
+		want := net.Capacity[v] * 0.25
+		if net.Residual(v) != want {
+			t.Fatalf("residual %v, want %v (25%%)", net.Residual(v), want)
+		}
+	}
+	if !net.G.Connected() {
+		t.Fatal("network not connected")
+	}
+}
+
+func TestRequestSampling(t *testing.T) {
+	c := NewDefaultConfig()
+	rng := rand.New(rand.NewSource(3))
+	seenLens := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		req := c.Request(rng, i, 30)
+		if req.Len() < 3 || req.Len() > 10 {
+			t.Fatalf("SFC length %d out of [3,10]", req.Len())
+		}
+		seenLens[req.Len()] = true
+		for _, f := range req.SFC {
+			if f < 0 || f >= 30 {
+				t.Fatalf("function id %d out of catalog", f)
+			}
+		}
+	}
+	if len(seenLens) < 6 {
+		t.Fatalf("length distribution suspicious: %v", seenLens)
+	}
+}
+
+func TestRequestWithLength(t *testing.T) {
+	c := NewDefaultConfig()
+	rng := rand.New(rand.NewSource(4))
+	req := c.RequestWithLength(rng, 0, 15, 30)
+	if req.Len() != 15 {
+		t.Fatalf("length %d, want 15", req.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length 0 should panic")
+		}
+	}()
+	c.RequestWithLength(rng, 0, 0, 30)
+}
+
+func TestPlacePrimariesRandom(t *testing.T) {
+	c := NewDefaultConfig()
+	rng := rand.New(rand.NewSource(5))
+	net := c.Network(rng)
+	req := c.Request(rng, 0, net.Catalog().Size())
+	PlacePrimariesRandom(net, req, rng)
+	if len(req.Primaries) != req.Len() {
+		t.Fatalf("primaries %v", req.Primaries)
+	}
+	isCloudlet := make(map[int]bool)
+	for _, v := range net.Cloudlets() {
+		isCloudlet[v] = true
+	}
+	for _, v := range req.Primaries {
+		if !isCloudlet[v] {
+			t.Fatalf("primary on non-cloudlet %d", v)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bad := NewDefaultConfig()
+	bad.ReliabilityMax = 1.5
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config should panic")
+		}
+	}()
+	bad.Catalog(rng)
+}
+
+func TestDeterminismForSeed(t *testing.T) {
+	c := NewDefaultConfig()
+	n1 := c.Network(rand.New(rand.NewSource(77)))
+	n2 := c.Network(rand.New(rand.NewSource(77)))
+	if n1.G.M() != n2.G.M() {
+		t.Fatal("topology not deterministic")
+	}
+	c1, c2 := n1.Cloudlets(), n2.Cloudlets()
+	for i := range c1 {
+		if c1[i] != c2[i] || n1.Capacity[c1[i]] != n2.Capacity[c2[i]] {
+			t.Fatal("cloudlet assignment not deterministic")
+		}
+	}
+}
