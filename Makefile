@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments figures clean
+.PHONY: all build vet test test-race bench experiments figures clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent paths (the trial engine and every
+# harness built on it).
+test-race:
+	$(GO) test -race ./internal/...
 
 # Full test log, as referenced by EXPERIMENTS.md.
 test-log:

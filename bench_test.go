@@ -12,11 +12,13 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/lp"
 	"repro/internal/matching"
@@ -43,22 +45,14 @@ func instancePool(cfg workload.Config, fixedLen int, n int, seed int64) []*core.
 const poolSize = 16
 
 func benchSolver(b *testing.B, pool []*core.Instance, alg string) {
+	sv, ok := core.Get(alg)
+	if !ok {
+		b.Fatalf("solver %q not registered", alg)
+	}
 	rng := rand.New(rand.NewSource(99))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		inst := pool[i%len(pool)]
-		var err error
-		switch alg {
-		case "ILP":
-			_, err = core.SolveILP(inst, core.ILPOptions{})
-		case "Randomized":
-			_, err = core.SolveRandomized(inst, rng, core.RandomizedOptions{})
-		case "Heuristic":
-			_, err = core.SolveHeuristic(inst, core.HeuristicOptions{})
-		case "Greedy":
-			_, err = core.SolveGreedy(inst)
-		}
-		if err != nil {
+		if _, err := sv.Solve(pool[i%len(pool)], rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -215,9 +209,50 @@ func BenchmarkInstanceConstruction(b *testing.B) {
 // BenchmarkSweepPoint measures a full experiment point end-to-end (all three
 // paper algorithms, one trial) — the unit of work cmd/experiments repeats.
 func BenchmarkSweepPoint(b *testing.B) {
-	opt := experiments.Options{Trials: 1, Seed: 7, Quiet: true, Algs: experiments.PaperAlgs()}
+	opt := experiments.Options{Trials: 1, Seed: 7, Quiet: true, Solvers: experiments.PaperSolvers()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Fig2(opt)
+		if _, err := experiments.Fig2(opt); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
+
+// --- Trial engine: parallel scaling over one fixed Fig-1 point. ---
+
+// benchmarkEngineWorkers runs the deterministic trial engine on the Figure 1
+// SFC-length-8 point (all three paper solvers, 16 trials per iteration) with
+// a fixed worker count, so `go test -bench Engine_Workers` tracks the
+// parallel speedup the engine buys on this hardware.
+func benchmarkEngineWorkers(b *testing.B, workers int) {
+	cfg := workload.NewDefaultConfig()
+	solvers := experiments.PaperSolvers()
+	const trials = 16
+	seed := func(t int) int64 { return 42*1_000_003 + 8*10_007 + int64(t) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := engine.Run(context.Background(), trials, workers, seed,
+			func(t int, rng *rand.Rand) (float64, error) {
+				net := cfg.Network(rng)
+				req := cfg.RequestWithLength(rng, t, 8, net.Catalog().Size())
+				workload.PlacePrimariesRandom(net, req, rng)
+				inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
+				rel := 0.0
+				for _, sv := range solvers {
+					res, err := sv.Solve(inst, rng)
+					if err != nil {
+						return 0, err
+					}
+					rel = res.Reliability
+				}
+				return rel, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngine_Workers1(b *testing.B) { benchmarkEngineWorkers(b, 1) }
+func BenchmarkEngine_Workers4(b *testing.B) { benchmarkEngineWorkers(b, 4) }
+func BenchmarkEngine_Workers8(b *testing.B) { benchmarkEngineWorkers(b, 8) }

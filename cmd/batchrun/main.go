@@ -1,11 +1,15 @@
 // Command batchrun admits and augments a stream of requests against one MEC
 // network, comparing ordering policies and solvers — the operator-facing
-// batch mode built on internal/batch.
+// batch mode built on internal/batch. The solver is any name registered in
+// internal/core's solver registry (ILP, Randomized, Heuristic, Greedy, plus
+// extensions); policy comparisons run in parallel on the deterministic trial
+// engine, so -workers changes wall-clock only, never the table.
 //
 //	go run ./cmd/batchrun -n 40 -rho 0.995 -policy all -solver heuristic
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -14,6 +18,8 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/mec"
 	"repro/internal/workload"
 )
@@ -24,14 +30,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	residual := flag.Float64("residual", 0.5, "initial residual capacity fraction")
 	l := flag.Int("l", 1, "hop bound for secondary placement")
-	solver := flag.String("solver", "heuristic", "heuristic, ilp, greedy")
+	solver := flag.String("solver", "heuristic", "registered solver name: "+strings.Join(core.Names(), ", "))
 	policy := flag.String("policy", "all", "arrival, neediest, shortest, all")
+	workers := flag.Int("workers", 0, "parallel policy-run workers (<=0: GOMAXPROCS)")
 	flag.Parse()
 
-	solvers := map[string]batch.Solver{"heuristic": batch.Heuristic, "ilp": batch.ILP, "greedy": batch.Greedy}
-	sv, ok := solvers[strings.ToLower(*solver)]
+	sv, ok := core.Get(*solver)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown -solver %q\n", *solver)
+		fmt.Fprintf(os.Stderr, "unknown -solver %q (registered: %s)\n", *solver, strings.Join(core.Names(), ", "))
 		os.Exit(2)
 	}
 	policies := map[string]batch.Policy{
@@ -50,26 +56,33 @@ func main() {
 		runPolicies = []string{strings.ToLower(*policy)}
 	}
 
+	// Every policy sees an identical fresh world (same seed), so the rows
+	// compare apples to apples; the runs are independent, so they fan out on
+	// the engine.
+	sums, err := engine.Run(context.Background(), len(runPolicies), *workers,
+		func(int) int64 { return *seed },
+		func(i int, rng *rand.Rand) (*batch.Summary, error) {
+			cfg := workload.NewDefaultConfig()
+			cfg.ResidualFraction = *residual
+			cfg.Expectation = *rho
+			net := cfg.Network(rng)
+			var reqs []*mec.Request
+			for j := 0; j < *n; j++ {
+				reqs = append(reqs, cfg.Request(rng, j, net.Catalog().Size()))
+			}
+			return batch.Run(net, reqs, rng, batch.Options{
+				Solver: sv, Policy: policies[runPolicies[i]], L: *l, RandomPrimaries: true,
+			})
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batchrun: %v\n", err)
+		os.Exit(1)
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "policy\tadmitted\tmet ρ\tmet rate\tmean reliability\tresidual left (MHz)")
-	for _, pname := range runPolicies {
-		// Fresh world per policy so comparisons are apples-to-apples.
-		rng := rand.New(rand.NewSource(*seed))
-		cfg := workload.NewDefaultConfig()
-		cfg.ResidualFraction = *residual
-		cfg.Expectation = *rho
-		net := cfg.Network(rng)
-		var reqs []*mec.Request
-		for i := 0; i < *n; i++ {
-			reqs = append(reqs, cfg.Request(rng, i, net.Catalog().Size()))
-		}
-		sum, err := batch.Run(net, reqs, rng, batch.Options{
-			Solver: sv, Policy: policies[pname], L: *l, RandomPrimaries: true,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", pname, err)
-			os.Exit(1)
-		}
+	for i, pname := range runPolicies {
+		sum := sums[i]
 		metRate := 0.0
 		if sum.Admitted > 0 {
 			metRate = float64(sum.Met) / float64(sum.Admitted)

@@ -10,7 +10,11 @@
 // Each figure prints its three sub-plot tables (reliability, capacity usage,
 // running time) and optionally writes a CSV per figure with -csvdir.
 // The paper averages 1,000 trials per point; -trials controls the trade-off
-// between fidelity and runtime (means are stable well before 1,000).
+// between fidelity and runtime (means are stable well before 1,000). Trials
+// fan out across -workers goroutines (default: GOMAXPROCS); every table is
+// bit-identical regardless of worker count. -solvers picks algorithms by
+// registered name (see internal/core's solver registry), e.g.
+// -solvers heuristic,greedy.
 package main
 
 import (
@@ -20,31 +24,35 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment to run: 1, 2, 3, hops, objective, all")
+	fig := flag.String("fig", "all", "which experiment to run: 1, 2, 3, hops, objective, theorem, all")
 	trials := flag.Int("trials", 100, "trials per data point (paper: 1000)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
+	workers := flag.Int("workers", 0, "parallel trial workers (<=0: GOMAXPROCS; results identical for any value)")
+	solvers := flag.String("solvers", "ILP,Randomized,Heuristic", "comma-separated registered solver names, or \"all\"")
 	csvdir := flag.String("csvdir", "", "directory for per-figure CSV output (optional)")
 	svgdir := flag.String("svgdir", "", "directory for per-sub-plot SVG charts (optional)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
-	withGreedy := flag.Bool("greedy", false, "also run the greedy baseline (not in the paper)")
 	flag.Parse()
 
-	opt := experiments.Options{
-		Trials: *trials,
-		Seed:   *seed,
-		Quiet:  *quiet,
+	selected, err := core.ResolveSolvers(*solvers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-solvers: %v\n", err)
+		os.Exit(2)
 	}
-	if *withGreedy {
-		opt.Algs = experiments.AllAlgs()
-	} else {
-		opt.Algs = experiments.PaperAlgs()
+	opt := experiments.Options{
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+		Quiet:   *quiet,
+		Solvers: selected,
 	}
 
-	runners := map[string]func(experiments.Options) *experiments.Sweep{
+	runners := map[string]func(experiments.Options) (*experiments.Sweep, error){
 		"1":         experiments.Fig1,
 		"2":         experiments.Fig2,
 		"3":         experiments.Fig3,
@@ -65,7 +73,11 @@ func main() {
 
 	for _, name := range order {
 		if name == "theorem" {
-			ts := experiments.TheoremCheck(opt)
+			ts, err := experiments.TheoremCheck(opt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "theorem: %v\n", err)
+				os.Exit(1)
+			}
 			fmt.Println()
 			if err := ts.RenderTables(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "render: %v\n", err)
@@ -74,7 +86,11 @@ func main() {
 			fmt.Println()
 			continue
 		}
-		sweep := runners[name](opt)
+		sweep, err := runners[name](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig %s: %v\n", name, err)
+			os.Exit(1)
+		}
 		fmt.Println()
 		if err := sweep.RenderTables(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "render: %v\n", err)

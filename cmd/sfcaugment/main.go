@@ -27,7 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	l := flag.Int("l", 1, "hop bound for secondary placement")
 	residual := flag.Float64("residual", 0.25, "residual capacity fraction")
-	alg := flag.String("alg", "all", "algorithm: ilp, randomized, heuristic, greedy, all")
+	alg := flag.String("alg", "all", "comma-separated registered solver names ("+strings.Join(core.Names(), ", ")+"), or \"all\"")
 	admit := flag.String("admit", "random", "primary placement: random (paper §7) or maxrel (layered DAG)")
 	load := flag.String("load", "", "load the scenario (network + request) from a JSON file instead of sampling")
 	save := flag.String("save", "", "write the sampled scenario to a JSON file before solving")
@@ -104,33 +104,17 @@ func main() {
 	fmt.Printf("initial reliability (primaries only): %.4f\n", inst.InitialReliability)
 	fmt.Printf("candidate secondary items: %d\n\n", inst.TotalItems())
 
-	type runner struct {
-		name string
-		run  func() (*core.Result, error)
-	}
-	var runs []runner
-	want := strings.ToLower(*alg)
-	add := func(name string, f func() (*core.Result, error)) {
-		if want == "all" || want == strings.ToLower(name) {
-			runs = append(runs, runner{name, f})
-		}
-	}
-	add("ILP", func() (*core.Result, error) { return core.SolveILP(inst, core.ILPOptions{}) })
-	add("Randomized", func() (*core.Result, error) {
-		return core.SolveRandomized(inst, rng, core.RandomizedOptions{})
-	})
-	add("Heuristic", func() (*core.Result, error) { return core.SolveHeuristic(inst, core.HeuristicOptions{}) })
-	add("Greedy", func() (*core.Result, error) { return core.SolveGreedy(inst) })
-	if len(runs) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown -alg %q\n", *alg)
+	solvers, err := core.ResolveSolvers(*alg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-alg: %v\n", err)
 		os.Exit(2)
 	}
 
 	var dumps []netio.PlacementDump
-	for _, r := range runs {
-		res, err := r.run()
+	for _, sv := range solvers {
+		res, err := sv.Solve(inst, rng)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", sv.Name(), err)
 			os.Exit(1)
 		}
 		dumps = append(dumps, netio.PlacementDump{

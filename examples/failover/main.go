@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/batch"
+	"repro/internal/core"
 	"repro/internal/failsim"
 	"repro/internal/mec"
 	"repro/internal/workload"
@@ -33,7 +34,11 @@ func main() {
 		reqs = append(reqs, cfg.Request(rng, i, net.Catalog().Size()))
 	}
 
-	sum, err := batch.Run(net, reqs, rng, batch.Options{Solver: batch.ILP, RandomPrimaries: true})
+	ilp, ok := core.Get("ILP")
+	if !ok {
+		log.Fatal("ILP solver not registered")
+	}
+	sum, err := batch.Run(net, reqs, rng, batch.Options{Solver: ilp, RandomPrimaries: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,30 +17,6 @@ import (
 	"repro/internal/mec"
 )
 
-// Solver selects the augmentation algorithm.
-type Solver int
-
-const (
-	// Heuristic uses Algorithm 2 (default: fast, never violates capacity).
-	Heuristic Solver = iota
-	// ILP uses the exact solver.
-	ILP
-	// Greedy uses the marginal-gain baseline.
-	Greedy
-)
-
-func (s Solver) String() string {
-	switch s {
-	case Heuristic:
-		return "heuristic"
-	case ILP:
-		return "ilp"
-	case Greedy:
-		return "greedy"
-	}
-	return "unknown"
-}
-
 // Policy orders the batch before sequential augmentation.
 type Policy int
 
@@ -71,7 +47,13 @@ func (p Policy) String() string {
 
 // Options configures a batch run.
 type Options struct {
-	Solver Solver
+	// Solver is the augmentation algorithm, any core.Solver (typically
+	// resolved from the registry via core.Get). nil uses the registered
+	// Heuristic — Algorithm 2: fast and it never violates capacity.
+	// Registry solvers whose solutions may violate capacity (Randomized)
+	// work too; violating solutions fail Commit and are recorded as
+	// per-request errors rather than consuming the ledger.
+	Solver core.Solver
 	Policy Policy
 	// L is the hop bound for secondary placement (default 1).
 	L int
@@ -108,6 +90,13 @@ func Run(net *mec.Network, requests []*mec.Request, rng *rand.Rand, opt Options)
 	if opt.L <= 0 {
 		opt.L = 1
 	}
+	solver := opt.Solver
+	if solver == nil {
+		var ok bool
+		if solver, ok = core.Get("Heuristic"); !ok {
+			return nil, fmt.Errorf("batch: default Heuristic solver not registered")
+		}
+	}
 	order := make([]*mec.Request, len(requests))
 	copy(order, requests)
 	switch opt.Policy {
@@ -143,17 +132,7 @@ func Run(net *mec.Network, requests []*mec.Request, rng *rand.Rand, opt Options)
 		sum.Admitted++
 
 		inst := core.NewInstance(net, req, core.Params{L: opt.L})
-		var res *core.Result
-		switch opt.Solver {
-		case Heuristic:
-			res, err = core.SolveHeuristic(inst, core.HeuristicOptions{})
-		case ILP:
-			res, err = core.SolveILP(inst, core.ILPOptions{})
-		case Greedy:
-			res, err = core.SolveGreedy(inst)
-		default:
-			return nil, fmt.Errorf("batch: unknown solver %d", opt.Solver)
-		}
+		res, err := solver.Solve(inst, rng)
 		if err != nil {
 			oc.Err = err
 			sum.Outcomes = append(sum.Outcomes, oc)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/mec"
 	"repro/internal/workload"
 )
@@ -23,7 +24,7 @@ func sampleWorld(seed int64, n int, rho float64) (*mec.Network, []*mec.Request, 
 
 func TestRunBasic(t *testing.T) {
 	net, reqs, rng := sampleWorld(1, 10, 0.99)
-	sum, err := Run(net, reqs, rng, Options{Solver: Heuristic})
+	sum, err := Run(net, reqs, rng, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestCapacityMonotoneDrain(t *testing.T) {
 	for _, v := range net.Cloudlets() {
 		before += net.Residual(v)
 	}
-	sum, err := Run(net, reqs, rng, Options{Solver: Heuristic})
+	sum, err := Run(net, reqs, rng, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestPoliciesProduceSameAdmittedSetSizeOrBetter(t *testing.T) {
 	for _, pol := range []Policy{Arrival, NeediestFirst, ShortestFirst} {
 		net, reqs, rng := sampleWorld(3, 20, 0.995)
 		net.SetResidualFraction(0.15)
-		sum, err := Run(net, reqs, rng, Options{Solver: Heuristic, Policy: pol, RandomPrimaries: true})
+		sum, err := Run(net, reqs, rng, Options{Policy: pol, RandomPrimaries: true})
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}
@@ -73,15 +74,50 @@ func TestPoliciesProduceSameAdmittedSetSizeOrBetter(t *testing.T) {
 	}
 }
 
+// TestSolversAllWork runs every registered solver through batch mode —
+// including Randomized, which the old solver enum could not express.
 func TestSolversAllWork(t *testing.T) {
-	for _, s := range []Solver{Heuristic, ILP, Greedy} {
+	names := core.Names()
+	if len(names) < 4 {
+		t.Fatalf("registry has %d solvers, want at least the 4 built-ins", len(names))
+	}
+	for _, name := range names {
+		sv, ok := core.Get(name)
+		if !ok {
+			t.Fatalf("registry lists %q but Get misses", name)
+		}
 		net, reqs, rng := sampleWorld(4, 5, 0.99)
-		sum, err := Run(net, reqs, rng, Options{Solver: s})
+		sum, err := Run(net, reqs, rng, Options{Solver: sv})
 		if err != nil {
-			t.Fatalf("%v: %v", s, err)
+			t.Fatalf("%v: %v", name, err)
 		}
 		if sum.Admitted == 0 {
-			t.Fatalf("%v: nothing admitted", s)
+			t.Fatalf("%v: nothing admitted", name)
+		}
+	}
+}
+
+// TestRandomizedViolationsDoNotCommit checks the batch loop's handling of
+// capacity-violating Randomized solutions: the outcome carries the Commit
+// error instead of corrupting the ledger.
+func TestRandomizedViolationsDoNotCommit(t *testing.T) {
+	sv, _ := core.Get("Randomized")
+	net, reqs, rng := sampleWorld(8, 12, 0.9999)
+	net.SetResidualFraction(0.1) // scarcity provokes violations
+	before := 0.0
+	for _, v := range net.Cloudlets() {
+		before += net.Residual(v)
+	}
+	sum, err := Run(net, reqs, rng, Options{Solver: sv, RandomPrimaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ResidualLeft > before+1e-9 {
+		t.Fatalf("ledger grew: %v -> %v", before, sum.ResidualLeft)
+	}
+	for _, oc := range sum.Outcomes {
+		if oc.Result != nil && oc.Result.Violated {
+			t.Fatalf("request %d: violating solution was committed", oc.Request.ID)
 		}
 	}
 }
@@ -89,13 +125,15 @@ func TestSolversAllWork(t *testing.T) {
 func TestILPAtLeastAsGoodAsGreedyPerRequest(t *testing.T) {
 	// Same seed, same order: ILP's first-request reliability must be >=
 	// greedy's (they see identical residual state for the first request).
+	ilp, _ := core.Get("ILP")
+	greedy, _ := core.Get("Greedy")
 	netA, reqsA, rngA := sampleWorld(5, 1, 1.0)
-	sumA, err := Run(netA, reqsA, rngA, Options{Solver: ILP, RandomPrimaries: true})
+	sumA, err := Run(netA, reqsA, rngA, Options{Solver: ilp, RandomPrimaries: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	netB, reqsB, rngB := sampleWorld(5, 1, 1.0)
-	sumB, err := Run(netB, reqsB, rngB, Options{Solver: Greedy, RandomPrimaries: true})
+	sumB, err := Run(netB, reqsB, rngB, Options{Solver: greedy, RandomPrimaries: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +152,7 @@ func TestRejectionRecorded(t *testing.T) {
 	net := cfg.Network(rng)
 	net.SetResidualFraction(0.0) // no capacity at all
 	req := cfg.Request(rng, 0, net.Catalog().Size())
-	sum, err := Run(net, []*mec.Request{req}, rng, Options{Solver: Heuristic})
+	sum, err := Run(net, []*mec.Request{req}, rng, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,12 +165,6 @@ func TestRejectionRecorded(t *testing.T) {
 }
 
 func TestStringers(t *testing.T) {
-	if Heuristic.String() != "heuristic" || ILP.String() != "ilp" || Greedy.String() != "greedy" {
-		t.Fatal("solver stringer")
-	}
-	if Solver(99).String() != "unknown" {
-		t.Fatal("unknown solver stringer")
-	}
 	if Arrival.String() != "arrival" || NeediestFirst.String() != "neediest-first" || ShortestFirst.String() != "shortest-first" {
 		t.Fatal("policy stringer")
 	}
@@ -141,13 +173,27 @@ func TestStringers(t *testing.T) {
 	}
 }
 
-func TestUnknownOptionsError(t *testing.T) {
+func TestUnknownPolicyError(t *testing.T) {
 	net, reqs, rng := sampleWorld(7, 1, 0.99)
 	if _, err := Run(net, reqs, rng, Options{Policy: Policy(42)}); err == nil {
 		t.Fatal("unknown policy must error")
 	}
-	net2, reqs2, rng2 := sampleWorld(7, 1, 0.99)
-	if _, err := Run(net2, reqs2, rng2, Options{Solver: Solver(42)}); err == nil {
-		t.Fatal("unknown solver must error")
+}
+
+func TestNilSolverDefaultsToHeuristic(t *testing.T) {
+	netA, reqsA, rngA := sampleWorld(9, 4, 0.99)
+	sumA, err := Run(netA, reqsA, rngA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, _ := core.Get("Heuristic")
+	netB, reqsB, rngB := sampleWorld(9, 4, 0.99)
+	sumB, err := Run(netB, reqsB, rngB, Options{Solver: heur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumA.MeanReliability != sumB.MeanReliability || sumA.Admitted != sumB.Admitted {
+		t.Fatalf("nil solver (%v, %d) differs from explicit Heuristic (%v, %d)",
+			sumA.MeanReliability, sumA.Admitted, sumB.MeanReliability, sumB.Admitted)
 	}
 }

@@ -94,14 +94,19 @@ type countBox struct {
 
 // solveCountBB runs the search and returns the best packing found, its
 // objective value, and whether optimality was proven. A wall-clock budget
-// (timeout <= 0 selects the 10s default) bounds pathological components; on
-// expiry the best incumbent is returned with proven=false.
+// (timeout == 0 selects the 10s default; negative disables it, leaving the
+// deterministic node budget as the only bound) caps pathological components;
+// on expiry the best incumbent is returned with proven=false.
 func solveCountBB(inst *Instance, obj Objective, maxNodes int, timeout time.Duration) (perBin []map[int]int, objective float64, proven bool) {
 	if maxNodes <= 0 {
 		maxNodes = 100000
 	}
-	if timeout <= 0 {
+	if timeout == 0 {
 		timeout = 10 * time.Second
+	}
+	var deadline time.Time // zero (timeout < 0): node budget only, deterministic
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
 	}
 	bb := &countBB{
 		inst:     inst,
@@ -109,7 +114,7 @@ func solveCountBB(inst *Instance, obj Objective, maxNodes int, timeout time.Dura
 		fr:       newFlowRelax(inst, obj),
 		tol:      countTol,
 		max:      maxNodes,
-		deadline: time.Now().Add(timeout),
+		deadline: deadline,
 		packMemo: make(map[string]bool),
 	}
 	L := len(inst.Positions)

@@ -5,15 +5,26 @@ import (
 	"time"
 )
 
+// NoTimeout disables the ILP's wall-clock budget: the search is bounded by
+// MaxNodes alone, which makes the result a pure function of the instance —
+// independent of machine speed and CPU contention. The deterministic trial
+// engine requires this mode (a wall-clock deadline can fire at different
+// search depths on different runs, changing the returned incumbent).
+const NoTimeout time.Duration = -1
+
 // ILPOptions tunes the exact solver.
 type ILPOptions struct {
 	// Objective selects the formulation (default ObjectiveLogGain).
 	Objective Objective
 	// MaxNodes bounds the branch-and-bound tree per component (<=0: library
-	// default of 100000).
+	// default of 100000). This budget is deterministic: same instance, same
+	// node count, same incumbent.
 	MaxNodes int
-	// Timeout bounds the wall-clock search per component (<=0: 10s). On
-	// expiry the best incumbent is returned with Proven=false.
+	// Timeout bounds the wall-clock search per component (0: 10s default;
+	// NoTimeout / any negative value: no wall-clock budget). On expiry the
+	// best incumbent is returned with Proven=false. A wall-clock budget
+	// trades reproducibility for a latency guarantee — results may differ
+	// across runs under load.
 	Timeout time.Duration
 }
 

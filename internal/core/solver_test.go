@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func solverTestInstance(t testing.TB, seed int64, length int) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.NewDefaultConfig()
+	net := cfg.Network(rng)
+	req := cfg.RequestWithLength(rng, 0, length, net.Catalog().Size())
+	workload.PlacePrimariesRandom(net, req, rng)
+	return NewInstance(net, req, Params{L: cfg.HopBound})
+}
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	want := []string{"ILP", "Randomized", "Heuristic", "Greedy"}
+	names := Names()
+	for i, w := range want {
+		if i >= len(names) || names[i] != w {
+			t.Fatalf("Names() = %v, want prefix %v (paper order)", names, want)
+		}
+	}
+	for _, w := range want {
+		s, ok := Get(w)
+		if !ok {
+			t.Fatalf("Get(%q) missing", w)
+		}
+		if s.Name() != w {
+			t.Fatalf("Get(%q).Name() = %q", w, s.Name())
+		}
+	}
+}
+
+func TestGetCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"ilp", "ILP", "Ilp", "randomized", "HEURISTIC", "greedy"} {
+		if _, ok := Get(name); !ok {
+			t.Fatalf("Get(%q) should resolve case-insensitively", name)
+		}
+	}
+	if _, ok := Get("no-such-solver"); ok {
+		t.Fatal("Get should miss on unknown names")
+	}
+}
+
+func TestRegisteredSolversMatchFreeFunctions(t *testing.T) {
+	inst := solverTestInstance(t, 11, 6)
+	checks := []struct {
+		name string
+		free func() (*Result, error)
+	}{
+		{"ILP", func() (*Result, error) { return SolveILP(inst, ILPOptions{}) }},
+		{"Heuristic", func() (*Result, error) { return SolveHeuristic(inst, HeuristicOptions{}) }},
+		{"Greedy", func() (*Result, error) { return SolveGreedy(inst) }},
+	}
+	for _, c := range checks {
+		s, _ := Get(c.name)
+		got, err := s.Solve(inst, nil)
+		if err != nil {
+			t.Fatalf("%s via registry: %v", c.name, err)
+		}
+		want, err := c.free()
+		if err != nil {
+			t.Fatalf("%s free function: %v", c.name, err)
+		}
+		if got.Reliability != want.Reliability {
+			t.Fatalf("%s: registry reliability %v != free-function %v", c.name, got.Reliability, want.Reliability)
+		}
+	}
+	// Randomized draws from the rng: same seed must give the same result.
+	s, _ := Get("Randomized")
+	got, err := s.Solve(inst, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveRandomized(inst, rand.New(rand.NewSource(3)), RandomizedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reliability != want.Reliability {
+		t.Fatalf("Randomized: registry %v != free-function %v", got.Reliability, want.Reliability)
+	}
+}
+
+func TestRandomizedSolverNilRNG(t *testing.T) {
+	inst := solverTestInstance(t, 12, 5)
+	s, _ := Get("Randomized")
+	if _, err := s.Solve(inst, nil); err == nil {
+		t.Fatal("Randomized.Solve(inst, nil) must error, not panic downstream")
+	}
+}
+
+func TestResolveSolvers(t *testing.T) {
+	got, err := ResolveSolvers("heuristic, ILP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name() != "Heuristic" || got[1].Name() != "ILP" {
+		t.Fatalf("ResolveSolvers order/canonicalization wrong: %v, %v", got[0].Name(), got[1].Name())
+	}
+
+	all, err := ResolveSolvers("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 4 {
+		t.Fatalf("ResolveSolvers(all) returned %d solvers", len(all))
+	}
+
+	// Duplicates collapse.
+	dup, err := ResolveSolvers("greedy,GREEDY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup) != 1 {
+		t.Fatalf("duplicate names should collapse: got %d", len(dup))
+	}
+
+	if _, err := ResolveSolvers("ilp,bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown name must error and quote it: %v", err)
+	}
+	if _, err := ResolveSolvers(" , "); err == nil {
+		t.Fatal("empty spec must error")
+	}
+}
+
+func TestRegisterReplacementKeepsOrder(t *testing.T) {
+	before := Names()
+	// Rebind ILP (position 0) to tuned options; position and listing must
+	// not change, and lookups must see the replacement.
+	Register(NewILPSolver(ILPOptions{MaxNodes: 10}))
+	defer Register(NewILPSolver(ILPOptions{}))
+	after := Names()
+	if len(after) != len(before) {
+		t.Fatalf("replacement grew the registry: %v -> %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("replacement reordered the registry: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestNewSolverFunc(t *testing.T) {
+	inst := solverTestInstance(t, 13, 4)
+	s := NewSolverFunc("Custom", func(inst *Instance, _ *rand.Rand) (*Result, error) {
+		return SolveGreedy(inst)
+	})
+	if s.Name() != "Custom" {
+		t.Fatalf("name %q", s.Name())
+	}
+	res, err := s.Solve(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability <= 0 {
+		t.Fatalf("reliability %v", res.Reliability)
+	}
+}

@@ -1,0 +1,106 @@
+// Package engine is the deterministic parallel trial executor underneath the
+// experiment harness. A run fans n independent trials out across a bounded
+// worker pool; determinism is preserved by construction rather than by luck:
+//
+//   - every trial gets its own *rand.Rand seeded by a pure function of the
+//     trial index, so no trial ever observes another trial's draws;
+//   - results are collected into a slice indexed by trial, so the output
+//     order is the trial order regardless of completion order;
+//   - worker count only changes scheduling, never seeding, so a run with
+//     workers=1 and workers=GOMAXPROCS is bit-identical.
+//
+// Trial functions must be pure with respect to shared state (build their own
+// network, request, instance from the rng) — the executor enforces nothing
+// beyond the seeding discipline, but `make test-race` runs the harness under
+// the race detector to keep violations from creeping in.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Seeder derives the RNG seed for one trial. It must be a pure function of
+// the trial index (the experiment harness uses
+// Seed*1_000_003 + pointIdx*10_007 + trial).
+type Seeder func(trial int) int64
+
+// TrialFunc runs one trial. rng is freshly seeded for this trial and must
+// not escape the call.
+type TrialFunc[T any] func(trial int, rng *rand.Rand) (T, error)
+
+// Run executes fn for trials 0..n-1 across a pool of workers and returns the
+// results in trial order. workers <= 0 uses GOMAXPROCS; seed == nil seeds
+// each trial with its index. On the first trial error the pool stops handing
+// out new trials and Run returns the error of the lowest-index failed trial,
+// wrapped with that index. A canceled ctx aborts between trials and returns
+// ctx's error.
+func Run[T any](ctx context.Context, n, workers int, seed Seeder, fn TrialFunc[T]) ([]T, error) {
+	if fn == nil {
+		panic("engine: Run requires a trial function")
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if seed == nil {
+		seed = func(trial int) int64 { return int64(trial) }
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// results[t] and errs[t] are each written by exactly one worker (the one
+	// that drew trial t) and read only after wg.Wait — no locks needed.
+	results := make([]T, n)
+	errs := make([]error, n)
+	trials := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range trials {
+				rng := rand.New(rand.NewSource(seed(t)))
+				res, err := fn(t, rng)
+				if err != nil {
+					errs[t] = err
+					cancel() // stop feeding; in-flight trials finish
+					continue
+				}
+				results[t] = res
+			}
+		}()
+	}
+feed:
+	for t := 0; t < n; t++ {
+		select {
+		case trials <- t:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(trials)
+	wg.Wait()
+
+	for t, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: trial %d: %w", t, err)
+		}
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

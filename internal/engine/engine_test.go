@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCollectsInTrialOrder(t *testing.T) {
+	got, err := Run(context.Background(), 100, 8, nil, func(trial int, _ *rand.Rand) (int, error) {
+		if trial%7 == 0 {
+			time.Sleep(time.Millisecond) // scramble completion order
+		}
+		return trial * trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the engine-level half of the
+// determinism guarantee: the rng stream a trial sees depends only on its
+// seed, never on the worker count.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	seed := func(trial int) int64 { return 42*1_000_003 + int64(trial)*10_007 }
+	run := func(workers int) []float64 {
+		out, err := Run(context.Background(), 64, workers, seed, func(trial int, rng *rand.Rand) (float64, error) {
+			x := 0.0
+			for i := 0; i < 10+trial%5; i++ {
+				x += rng.Float64()
+			}
+			return x, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := run(1)
+	for _, workers := range []int{2, 4, 8, 0} {
+		got := run(workers)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d diverges at trial %d: %v != %v", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestRunPropagatesLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Run(context.Background(), 50, 4, nil, func(trial int, _ *rand.Rand) (int, error) {
+		if trial >= 10 {
+			return 0, fmt.Errorf("trial-%d: %w", trial, sentinel)
+		}
+		return trial, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error chain lost the cause: %v", err)
+	}
+	// The reported trial is the lowest-index failure among those that ran;
+	// trial 10 always runs (the feeder is ahead of the failures), and no
+	// trial below 10 fails, so the message must name trial >= 10.
+	if !strings.Contains(err.Error(), "engine: trial 1") {
+		t.Fatalf("error should name a failing trial index: %v", err)
+	}
+}
+
+func TestRunStopsFeedingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Run(context.Background(), 10_000, 2, nil, func(trial int, _ *rand.Rand) (int, error) {
+		ran.Add(1)
+		return 0, errors.New("always fails")
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("all %d trials ran despite early failure", n)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	go func() {
+		for ran.Load() == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err := Run(ctx, 1_000_000, 2, nil, func(trial int, _ *rand.Rand) (int, error) {
+		ran.Add(1)
+		time.Sleep(10 * time.Microsecond)
+		return trial, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n >= 1_000_000 {
+		t.Fatal("cancellation did not stop the run early")
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	out, err := Run(context.Background(), 0, 4, nil, func(int, *rand.Rand) (int, error) { return 1, nil })
+	if err != nil || out != nil {
+		t.Fatalf("n=0: (%v, %v)", out, err)
+	}
+	// workers > n must not deadlock or spawn useless goroutines.
+	out, err = Run(context.Background(), 3, 64, nil, func(trial int, _ *rand.Rand) (int, error) { return trial, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("workers>n: (%v, %v)", out, err)
+	}
+	// nil ctx and nil seeder are usable defaults.
+	out, err = Run[int](nil, 2, 1, nil, func(trial int, rng *rand.Rand) (int, error) { return int(rng.Int63() & 0xff), nil })
+	if err != nil || len(out) != 2 {
+		t.Fatalf("nil ctx/seed: (%v, %v)", out, err)
+	}
+}
+
+func TestRunNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil trial function must panic")
+		}
+	}()
+	Run[int](context.Background(), 1, 1, nil, nil)
+}

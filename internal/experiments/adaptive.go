@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -18,9 +19,11 @@ type ConvergeOptions struct {
 	MaxTrials int
 	// Seed feeds the trial RNGs.
 	Seed int64
-	// Algs selects which algorithms run; convergence is judged on the
-	// slowest-converging one.
-	Algs AlgSet
+	// Solvers selects which algorithms run (default PaperSolvers());
+	// convergence is judged on the slowest-converging one.
+	Solvers []core.Solver
+	// Workers bounds per-batch parallelism (<=0: GOMAXPROCS).
+	Workers int
 }
 
 // ConvergeResult reports an adaptively sampled point.
@@ -37,7 +40,7 @@ type ConvergeResult struct {
 // interval shrinks below TargetCI, or MaxTrials is reached. This answers the
 // natural reviewer question "are 100 trials enough?" empirically instead of
 // by assertion.
-func ConvergePoint(cfg workload.Config, fixedLen int, opt ConvergeOptions) *ConvergeResult {
+func ConvergePoint(cfg workload.Config, fixedLen int, opt ConvergeOptions) (*ConvergeResult, error) {
 	if opt.TargetCI <= 0 {
 		opt.TargetCI = 0.002
 	}
@@ -47,8 +50,8 @@ func ConvergePoint(cfg workload.Config, fixedLen int, opt ConvergeOptions) *Conv
 	if opt.MaxTrials <= 0 {
 		opt.MaxTrials = 1000
 	}
-	if opt.Algs == (AlgSet{}) {
-		opt.Algs = PaperAlgs()
+	if len(opt.Solvers) == 0 {
+		opt.Solvers = PaperSolvers()
 	}
 
 	accumulated := make(map[string][]trial)
@@ -57,12 +60,16 @@ func ConvergePoint(cfg workload.Config, fixedLen int, opt ConvergeOptions) *Conv
 	worst := 0.0
 	for trials < opt.MaxTrials {
 		batchOpt := Options{
-			Trials: opt.Batch,
-			Seed:   opt.Seed + int64(trials), // continue the stream
-			Algs:   opt.Algs,
-			Quiet:  true,
+			Trials:  opt.Batch,
+			Seed:    opt.Seed + int64(trials), // continue the stream
+			Solvers: opt.Solvers,
+			Workers: opt.Workers,
+			Quiet:   true,
 		}
-		raw := runPoint(cfg, fixedLen, batchOpt, 900)
+		raw, err := runPoint(cfg, fixedLen, batchOpt, 900)
+		if err != nil {
+			return nil, err
+		}
 		for name, ts := range raw {
 			accumulated[name] = append(accumulated[name], ts...)
 		}
@@ -85,5 +92,5 @@ func ConvergePoint(cfg workload.Config, fixedLen int, opt ConvergeOptions) *Conv
 		Trials:    trials,
 		Converged: converged,
 		WorstCI:   worst,
-	}
+	}, nil
 }

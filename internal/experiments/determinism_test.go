@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// compareSweeps asserts two sweeps agree on every reported number except the
+// runtime columns (wall-clock is the one thing parallelism is allowed to
+// change).
+func compareSweeps(t *testing.T, label string, a, b *Sweep) {
+	t.Helper()
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("%s: %d vs %d points", label, len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		pa, pb := a.Points[i], b.Points[i]
+		if pa.Label != pb.Label || pa.X != pb.X {
+			t.Fatalf("%s: point %d identity differs: (%s,%v) vs (%s,%v)", label, i, pa.Label, pa.X, pb.Label, pb.X)
+		}
+		if len(pa.Algs) != len(pb.Algs) {
+			t.Fatalf("%s: point %s has %d vs %d algorithms", label, pa.Label, len(pa.Algs), len(pb.Algs))
+		}
+		for name, aa := range pa.Algs {
+			bb, ok := pb.Algs[name]
+			if !ok {
+				t.Fatalf("%s: point %s missing %s in second run", label, pa.Label, name)
+			}
+			// Bit-identical equality on everything except RuntimeMS.
+			if aa.Reliability != bb.Reliability {
+				t.Errorf("%s: point %s %s reliability %+v vs %+v", label, pa.Label, name, aa.Reliability, bb.Reliability)
+			}
+			if aa.UsageAvg != bb.UsageAvg || aa.UsageMin != bb.UsageMin || aa.UsageMax != bb.UsageMax {
+				t.Errorf("%s: point %s %s usage differs", label, pa.Label, name)
+			}
+			if aa.ViolationRate != bb.ViolationRate {
+				t.Errorf("%s: point %s %s violation rate %v vs %v", label, pa.Label, name, aa.ViolationRate, bb.ViolationRate)
+			}
+			if aa.RelVsILP != bb.RelVsILP {
+				t.Errorf("%s: point %s %s rel-vs-ILP %v vs %v", label, pa.Label, name, aa.RelVsILP, bb.RelVsILP)
+			}
+		}
+	}
+}
+
+// TestRunPointWorkerCountDeterminism is the sharpest check: the raw per-trial
+// records (not just their aggregates) must be bit-identical between a serial
+// run and a wide pool. Randomized is the critical solver here — it draws from
+// the per-trial rng after the workload sampling draws.
+func TestRunPointWorkerCountDeterminism(t *testing.T) {
+	cfg := workload.NewDefaultConfig()
+	base := Options{Trials: 8, Seed: 99, Quiet: true, Solvers: PaperSolvers()}
+
+	serial := base
+	serial.Workers = 1
+	wide := base
+	wide.Workers = 8
+
+	a, err := runPoint(cfg, 6, serial, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runPoint(cfg, 6, wide, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("algorithm sets differ: %d vs %d", len(a), len(b))
+	}
+	for name, ta := range a {
+		tb, ok := b[name]
+		if !ok {
+			t.Fatalf("missing %s in wide run", name)
+		}
+		if len(ta) != len(tb) {
+			t.Fatalf("%s: %d vs %d trials", name, len(ta), len(tb))
+		}
+		for i := range ta {
+			x, y := ta[i], tb[i]
+			y.ms = x.ms // runtime excluded
+			if x != y {
+				t.Fatalf("%s trial %d differs between workers=1 and workers=8: %+v vs %+v", name, i, x, y)
+			}
+		}
+	}
+}
+
+// TestSweepWorkerCountDeterminism covers the acceptance criterion end to end:
+// a figure sweep with workers=1 and workers=8 produces identical Sweep points
+// (reliability, usage, violation rate; runtime excluded), and two same-seed
+// runs are identical too.
+func TestSweepWorkerCountDeterminism(t *testing.T) {
+	base := Options{Trials: 3, Seed: 5, Quiet: true, Solvers: PaperSolvers(), Progress: func(string) {}}
+
+	serial := base
+	serial.Workers = 1
+	wide := base
+	wide.Workers = 8
+
+	a, err := Fig3(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig3(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareSweeps(t, "workers 1 vs 8", a, b)
+
+	c, err := Fig3(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareSweeps(t, "same-seed repeat", b, c)
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -14,27 +15,42 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/mec"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-// AlgSet selects which algorithms a sweep runs.
-type AlgSet struct {
-	ILP, Randomized, Heuristic, Greedy bool
+// AllSolvers returns the paper's three algorithms plus the greedy baseline,
+// resolved from the core solver registry.
+func AllSolvers() []core.Solver { return mustSolvers("ILP", "Randomized", "Heuristic", "Greedy") }
+
+// PaperSolvers returns exactly the paper's three algorithms.
+func PaperSolvers() []core.Solver { return mustSolvers("ILP", "Randomized", "Heuristic") }
+
+func mustSolvers(names ...string) []core.Solver {
+	out := make([]core.Solver, len(names))
+	for i, n := range names {
+		s, ok := core.Get(n)
+		if !ok {
+			panic(fmt.Sprintf("experiments: built-in solver %q not registered", n))
+		}
+		out[i] = s
+	}
+	return out
 }
-
-// AllAlgs enables the paper's three algorithms plus the greedy baseline.
-func AllAlgs() AlgSet { return AlgSet{ILP: true, Randomized: true, Heuristic: true, Greedy: true} }
-
-// PaperAlgs enables exactly the paper's three algorithms.
-func PaperAlgs() AlgSet { return AlgSet{ILP: true, Randomized: true, Heuristic: true} }
 
 // Options configures a sweep run.
 type Options struct {
 	Trials int   // trials per data point (paper: 1000)
 	Seed   int64 // base RNG seed; trials use Seed*1e6 + trial
-	Algs   AlgSet
+	// Solvers are the algorithms every point runs, in order (the order
+	// matters for reproducibility: solvers share one per-trial rng stream).
+	// nil means AllSolvers().
+	Solvers []core.Solver
+	// Workers bounds the trial executor's parallelism (<=0: GOMAXPROCS).
+	// Results are bit-identical for any worker count.
+	Workers int
 	// Quiet suppresses per-point progress lines on stderr.
 	Quiet bool
 	// Progress, when non-nil, receives one line per completed point.
@@ -45,8 +61,8 @@ func (o Options) withDefaults() Options {
 	if o.Trials <= 0 {
 		o.Trials = 100
 	}
-	if o.Algs == (AlgSet{}) {
-		o.Algs = AllAlgs()
+	if len(o.Solvers) == 0 {
+		o.Solvers = AllSolvers()
 	}
 	return o
 }
@@ -87,48 +103,58 @@ type trial struct {
 	violated                  bool
 }
 
-// runPoint executes trials for one configuration. fixedLen > 0 pins the SFC
-// length (Figure 1); otherwise lengths are sampled from the config.
-func runPoint(cfg workload.Config, fixedLen int, opt Options, pointIdx int) map[string][]trial {
-	out := make(map[string][]trial)
-	for t := 0; t < opt.Trials; t++ {
-		rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(pointIdx)*10_007 + int64(t)))
-		net := cfg.Network(rng)
-		var req = pickRequest(cfg, rng, t, fixedLen, net.Catalog().Size())
-		workload.PlacePrimariesRandom(net, req, rng)
-		inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
+// record converts a solver result into the per-trial raw record.
+func record(res *core.Result) trial {
+	return trial{
+		rel:      res.Reliability,
+		ms:       float64(res.Runtime) / float64(time.Millisecond),
+		uAvg:     res.Usage.Avg,
+		uMin:     res.Usage.Min,
+		uMax:     res.Usage.Max,
+		violated: res.Violated,
+	}
+}
 
-		record := func(name string, res *core.Result, err error) {
-			if err != nil {
-				panic(fmt.Sprintf("experiments: %s failed: %v", name, err))
+// runSolvers executes opt.Trials trials of the given solvers on the engine's
+// worker pool and groups the records by solver name. Each trial samples its
+// own world from a seed derived purely from the trial index, so the output
+// is bit-identical for any worker count. All solvers of a trial share the
+// trial's rng stream in slice order, matching the historical serial harness.
+func runSolvers(cfg workload.Config, fixedLen int, opt Options, solvers []core.Solver, seed engine.Seeder) (map[string][]trial, error) {
+	perTrial, err := engine.Run(context.Background(), opt.Trials, opt.Workers, seed,
+		func(t int, rng *rand.Rand) ([]trial, error) {
+			net := cfg.Network(rng)
+			req := pickRequest(cfg, rng, t, fixedLen, net.Catalog().Size())
+			workload.PlacePrimariesRandom(net, req, rng)
+			inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
+			recs := make([]trial, len(solvers))
+			for i, s := range solvers {
+				res, err := s.Solve(inst, rng)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", s.Name(), err)
+				}
+				recs[i] = record(res)
 			}
-			out[name] = append(out[name], trial{
-				rel:      res.Reliability,
-				ms:       float64(res.Runtime) / float64(time.Millisecond),
-				uAvg:     res.Usage.Avg,
-				uMin:     res.Usage.Min,
-				uMax:     res.Usage.Max,
-				violated: res.Violated,
-			})
-		}
-		if opt.Algs.ILP {
-			res, err := core.SolveILP(inst, core.ILPOptions{})
-			record("ILP", res, err)
-		}
-		if opt.Algs.Randomized {
-			res, err := core.SolveRandomized(inst, rng, core.RandomizedOptions{})
-			record("Randomized", res, err)
-		}
-		if opt.Algs.Heuristic {
-			res, err := core.SolveHeuristic(inst, core.HeuristicOptions{})
-			record("Heuristic", res, err)
-		}
-		if opt.Algs.Greedy {
-			res, err := core.SolveGreedy(inst)
-			record("Greedy", res, err)
+			return recs, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]trial, len(solvers))
+	for _, recs := range perTrial {
+		for i, s := range solvers {
+			out[s.Name()] = append(out[s.Name()], recs[i])
 		}
 	}
-	return out
+	return out, nil
+}
+
+// runPoint executes trials for one configuration. fixedLen > 0 pins the SFC
+// length (Figure 1); otherwise lengths are sampled from the config.
+func runPoint(cfg workload.Config, fixedLen int, opt Options, pointIdx int) (map[string][]trial, error) {
+	return runSolvers(cfg, fixedLen, opt, opt.Solvers, func(t int) int64 {
+		return opt.Seed*1_000_003 + int64(pointIdx)*10_007 + int64(t)
+	})
 }
 
 func pickRequest(cfg workload.Config, rng *rand.Rand, id, fixedLen, catalogSize int) *mec.Request {

@@ -11,11 +11,21 @@ import (
 
 // miniOpt keeps harness tests fast: few trials, quiet.
 func miniOpt() Options {
-	return Options{Trials: 2, Seed: 7, Quiet: true, Algs: AllAlgs(), Progress: func(string) {}}
+	return Options{Trials: 2, Seed: 7, Quiet: true, Solvers: AllSolvers(), Progress: func(string) {}}
+}
+
+// heuristicOnly resolves the single cheap solver for fast tests.
+func heuristicOnly() Options {
+	opt := miniOpt()
+	opt.Solvers = mustSolvers("Heuristic")
+	return opt
 }
 
 func TestFig3SweepStructure(t *testing.T) {
-	s := Fig3(miniOpt())
+	s, err := Fig3(miniOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Name != "fig3" || len(s.Points) != 5 {
 		t.Fatalf("sweep %q with %d points", s.Name, len(s.Points))
 	}
@@ -49,9 +59,10 @@ func TestFig3SweepStructure(t *testing.T) {
 }
 
 func TestFig1SweepLengthAxis(t *testing.T) {
-	opt := miniOpt()
-	opt.Algs = AlgSet{Heuristic: true} // keep it fast
-	s := Fig1(opt)
+	s, err := Fig1(heuristicOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Points) != 10 {
 		t.Fatalf("fig1 has %d points, want 10 (lengths 2..20)", len(s.Points))
 	}
@@ -67,8 +78,11 @@ func TestFig1SweepLengthAxis(t *testing.T) {
 
 func TestFig2SweepReliabilityAxis(t *testing.T) {
 	opt := miniOpt()
-	opt.Algs = AlgSet{Heuristic: true, Randomized: true}
-	s := Fig2(opt)
+	opt.Solvers = mustSolvers("Heuristic", "Randomized")
+	s, err := Fig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Points) != 4 {
 		t.Fatalf("fig2 has %d points", len(s.Points))
 	}
@@ -80,9 +94,10 @@ func TestFig2SweepReliabilityAxis(t *testing.T) {
 }
 
 func TestAblationHops(t *testing.T) {
-	opt := miniOpt()
-	opt.Algs = AlgSet{Heuristic: true}
-	s := AblationHops(opt)
+	s, err := AblationHops(heuristicOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Points) != 4 {
 		t.Fatalf("hops ablation has %d points", len(s.Points))
 	}
@@ -95,7 +110,10 @@ func TestAblationHops(t *testing.T) {
 }
 
 func TestAblationObjective(t *testing.T) {
-	s := AblationObjective(miniOpt())
+	s, err := AblationObjective(miniOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Points) != 3 {
 		t.Fatalf("objective ablation has %d points", len(s.Points))
 	}
@@ -110,7 +128,10 @@ func TestAblationObjective(t *testing.T) {
 }
 
 func TestRenderTables(t *testing.T) {
-	s := Fig3(miniOpt())
+	s, err := Fig3(miniOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := s.RenderTables(&buf); err != nil {
 		t.Fatal(err)
@@ -127,7 +148,10 @@ func TestRenderTables(t *testing.T) {
 }
 
 func TestRenderCSV(t *testing.T) {
-	s := Fig3(miniOpt())
+	s, err := Fig3(miniOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := s.RenderCSV(&buf); err != nil {
 		t.Fatal(err)
@@ -155,16 +179,26 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Trials != 100 {
 		t.Fatalf("default trials %d", o.Trials)
 	}
-	if o.Algs != AllAlgs() {
-		t.Fatalf("default algs %+v", o.Algs)
+	if len(o.Solvers) != 4 {
+		t.Fatalf("default solvers: got %d, want the 4 built-ins", len(o.Solvers))
+	}
+	for i, want := range []string{"ILP", "Randomized", "Heuristic", "Greedy"} {
+		if o.Solvers[i].Name() != want {
+			t.Fatalf("default solver %d is %q, want %q", i, o.Solvers[i].Name(), want)
+		}
 	}
 }
 
 func TestDeterministicSweeps(t *testing.T) {
-	opt := miniOpt()
-	opt.Algs = AlgSet{Heuristic: true}
-	a := Fig2(opt)
-	b := Fig2(opt)
+	opt := heuristicOnly()
+	a, err := Fig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a.Points {
 		ra := a.Points[i].Algs["Heuristic"].Reliability.Mean
 		rb := b.Points[i].Algs["Heuristic"].Reliability.Mean
@@ -175,7 +209,10 @@ func TestDeterministicSweeps(t *testing.T) {
 }
 
 func TestTheoremCheck(t *testing.T) {
-	s := TheoremCheck(miniOpt())
+	s, err := TheoremCheck(miniOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Points) != 4 {
 		t.Fatalf("theorem sweep has %d points", len(s.Points))
 	}
@@ -200,7 +237,10 @@ func TestTheoremCheck(t *testing.T) {
 }
 
 func TestCharts(t *testing.T) {
-	s := Fig3(miniOpt())
+	s, err := Fig3(miniOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	charts := s.Charts()
 	if len(charts) != 3 {
 		t.Fatalf("%d charts, want 3", len(charts))
@@ -221,13 +261,16 @@ func TestCharts(t *testing.T) {
 
 func TestConvergePoint(t *testing.T) {
 	cfg := workload.NewDefaultConfig()
-	res := ConvergePoint(cfg, 4, ConvergeOptions{
+	res, err := ConvergePoint(cfg, 4, ConvergeOptions{
 		TargetCI:  0.05, // loose: converges within a couple of batches
 		Batch:     5,
 		MaxTrials: 40,
 		Seed:      11,
-		Algs:      AlgSet{Heuristic: true},
+		Solvers:   mustSolvers("Heuristic"),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Trials == 0 || res.Trials > 40 {
 		t.Fatalf("trials %d", res.Trials)
 	}
@@ -245,13 +288,16 @@ func TestConvergePoint(t *testing.T) {
 
 func TestConvergePointHitsCap(t *testing.T) {
 	cfg := workload.NewDefaultConfig()
-	res := ConvergePoint(cfg, 8, ConvergeOptions{
+	res, err := ConvergePoint(cfg, 8, ConvergeOptions{
 		TargetCI:  1e-9, // unreachable: must stop at the cap
 		Batch:     5,
 		MaxTrials: 10,
 		Seed:      12,
-		Algs:      AlgSet{Heuristic: true},
+		Solvers:   mustSolvers("Heuristic"),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Converged {
 		t.Fatal("cannot converge to 1e-9 in 10 trials")
 	}

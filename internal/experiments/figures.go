@@ -9,7 +9,7 @@ import (
 // Fig1 reproduces Figure 1: performance while varying the SFC length of a
 // request from 2 to 20 (step 2), with residual capacity fixed at 25% and
 // function reliabilities drawn from [0.8, 0.9].
-func Fig1(opt Options) *Sweep {
+func Fig1(opt Options) (*Sweep, error) {
 	opt = opt.withDefaults()
 	s := &Sweep{
 		Name:   "fig1",
@@ -20,17 +20,20 @@ func Fig1(opt Options) *Sweep {
 	}
 	cfg := workload.NewDefaultConfig()
 	for length := 2; length <= 20; length += 2 {
-		raw := runPoint(cfg, length, opt, length)
+		raw, err := runPoint(cfg, length, opt, length)
+		if err != nil {
+			return nil, fmt.Errorf("fig1: SFC length %d: %w", length, err)
+		}
 		s.Points = append(s.Points, summarize(fmt.Sprintf("%d", length), float64(length), raw))
 		progress(opt, "fig1: SFC length %d done", length)
 	}
-	return s
+	return s, nil
 }
 
 // Fig2 reproduces Figure 2: performance while varying the network function
 // reliability across the paper's four intervals [0.55,0.65), [0.65,0.75),
 // [0.75,0.85), [0.85,0.95].
-func Fig2(opt Options) *Sweep {
+func Fig2(opt Options) (*Sweep, error) {
 	opt = opt.withDefaults()
 	s := &Sweep{
 		Name:   "fig2",
@@ -50,16 +53,19 @@ func Fig2(opt Options) *Sweep {
 		cfg.ReliabilityMin = iv.lo
 		cfg.ReliabilityMax = iv.hi
 		mid := (iv.lo + iv.hi) / 2
-		raw := runPoint(cfg, 0, opt, 100+idx)
+		raw, err := runPoint(cfg, 0, opt, 100+idx)
+		if err != nil {
+			return nil, fmt.Errorf("fig2: reliability interval [%.2f,%.2f): %w", iv.lo, iv.hi, err)
+		}
 		s.Points = append(s.Points, summarize(fmt.Sprintf("[%.2f,%.2f)", iv.lo, iv.hi), mid, raw))
 		progress(opt, "fig2: reliability interval [%.2f,%.2f) done", iv.lo, iv.hi)
 	}
-	return s
+	return s, nil
 }
 
 // Fig3 reproduces Figure 3: performance while varying the ratio of residual
 // computing capacity per cloudlet across 1/16, 1/8, 1/4, 1/2, 1.
-func Fig3(opt Options) *Sweep {
+func Fig3(opt Options) (*Sweep, error) {
 	opt = opt.withDefaults()
 	s := &Sweep{
 		Name:   "fig3",
@@ -73,16 +79,19 @@ func Fig3(opt Options) *Sweep {
 	for idx, f := range fracs {
 		cfg := workload.NewDefaultConfig()
 		cfg.ResidualFraction = f
-		raw := runPoint(cfg, 0, opt, 200+idx)
+		raw, err := runPoint(cfg, 0, opt, 200+idx)
+		if err != nil {
+			return nil, fmt.Errorf("fig3: residual fraction %s: %w", labels[idx], err)
+		}
 		s.Points = append(s.Points, summarize(labels[idx], f, raw))
 		progress(opt, "fig3: residual fraction %s done", labels[idx])
 	}
-	return s
+	return s, nil
 }
 
 // AblationHops sweeps the hop bound l (the paper fixes l=1; Theorems 4/6
 // claim the machinery works for any fixed l, which this ablation exercises).
-func AblationHops(opt Options) *Sweep {
+func AblationHops(opt Options) (*Sweep, error) {
 	opt = opt.withDefaults()
 	s := &Sweep{
 		Name:   "hops",
@@ -94,17 +103,20 @@ func AblationHops(opt Options) *Sweep {
 	for l := 1; l <= 4; l++ {
 		cfg := workload.NewDefaultConfig()
 		cfg.HopBound = l
-		raw := runPoint(cfg, 0, opt, 300+l)
+		raw, err := runPoint(cfg, 0, opt, 300+l)
+		if err != nil {
+			return nil, fmt.Errorf("hops: l=%d: %w", l, err)
+		}
 		s.Points = append(s.Points, summarize(fmt.Sprintf("%d", l), float64(l), raw))
 		progress(opt, "hops: l=%d done", l)
 	}
-	return s
+	return s, nil
 }
 
 // AblationObjective compares the exact log-gain ILP objective against the
 // paper's literal BMCGAP cost objective (DESIGN.md §2): same instances, both
 // formulations, reliability and runtime side by side.
-func AblationObjective(opt Options) *Sweep {
+func AblationObjective(opt Options) (*Sweep, error) {
 	opt = opt.withDefaults()
 	s := &Sweep{
 		Name:   "objective",
@@ -115,9 +127,12 @@ func AblationObjective(opt Options) *Sweep {
 	}
 	cfg := workload.NewDefaultConfig()
 	for _, length := range []int{4, 8, 12} {
-		raw := runObjectivePoint(cfg, length, opt)
+		raw, err := runObjectivePoint(cfg, length, opt)
+		if err != nil {
+			return nil, fmt.Errorf("objective: SFC length %d: %w", length, err)
+		}
 		s.Points = append(s.Points, summarize(fmt.Sprintf("%d", length), float64(length), raw))
 		progress(opt, "objective: SFC length %d done", length)
 	}
-	return s
+	return s, nil
 }

@@ -1,46 +1,31 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 )
 
+// objectiveVariants are the two ILP formulations of the ablation, wrapped as
+// pseudo-solvers so they flow through the same engine-backed harness as the
+// registered algorithms.
+func objectiveVariants() []core.Solver {
+	return []core.Solver{
+		core.NewSolverFunc("ILP(gain)", func(inst *core.Instance, _ *rand.Rand) (*core.Result, error) {
+			return core.SolveILP(inst, core.ILPOptions{Objective: core.ObjectiveLogGain, Timeout: core.NoTimeout})
+		}),
+		core.NewSolverFunc("ILP(paper-cost)", func(inst *core.Instance, _ *rand.Rand) (*core.Result, error) {
+			return core.SolveILP(inst, core.ILPOptions{Objective: core.ObjectivePaperCost, Timeout: core.NoTimeout})
+		}),
+	}
+}
+
 // runObjectivePoint runs the objective ablation at one SFC length: the same
 // instances solved with both ILP objectives, reported as pseudo-algorithms
 // "ILP(gain)" and "ILP(paper-cost)".
-func runObjectivePoint(cfg workload.Config, length int, opt Options) map[string][]trial {
-	out := make(map[string][]trial)
-	for t := 0; t < opt.Trials; t++ {
-		rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(length)*20_011 + int64(t)))
-		net := cfg.Network(rng)
-		req := cfg.RequestWithLength(rng, t, length, net.Catalog().Size())
-		workload.PlacePrimariesRandom(net, req, rng)
-		inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
-
-		for _, variant := range []struct {
-			name string
-			obj  core.Objective
-		}{
-			{"ILP(gain)", core.ObjectiveLogGain},
-			{"ILP(paper-cost)", core.ObjectivePaperCost},
-		} {
-			res, err := core.SolveILP(inst, core.ILPOptions{Objective: variant.obj})
-			if err != nil {
-				panic(fmt.Sprintf("experiments: %s failed: %v", variant.name, err))
-			}
-			out[variant.name] = append(out[variant.name], trial{
-				rel:      res.Reliability,
-				ms:       float64(res.Runtime) / float64(time.Millisecond),
-				uAvg:     res.Usage.Avg,
-				uMin:     res.Usage.Min,
-				uMax:     res.Usage.Max,
-				violated: res.Violated,
-			})
-		}
-	}
-	return out
+func runObjectivePoint(cfg workload.Config, length int, opt Options) (map[string][]trial, error) {
+	return runSolvers(cfg, length, opt, objectiveVariants(), func(t int) int64 {
+		return opt.Seed*1_000_003 + int64(length)*20_011 + int64(t)
+	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -38,46 +40,75 @@ type TheoremSweep struct {
 	Seed   int64
 }
 
+// theoremTrial is one trial's raw observations for the Theorem 5.2 check.
+type theoremTrial struct {
+	objRatio, relRatio, violFactor float64
+	hasObj, hasRel                 bool
+	violated, beyond2              bool
+}
+
 // TheoremCheck empirically validates Theorem 5.2's two claims about the
 // randomized algorithm — the constant-factor objective approximation and the
 // ≤2× computing-capacity violation — across SFC lengths.
-func TheoremCheck(opt Options) *TheoremSweep {
+func TheoremCheck(opt Options) (*TheoremSweep, error) {
 	opt = opt.withDefaults()
 	out := &TheoremSweep{Trials: opt.Trials, Seed: opt.Seed}
 	cfg := workload.NewDefaultConfig()
+	ilpSolver := core.NewILPSolver(core.ILPOptions{Timeout: core.NoTimeout})
+	rndSolver := core.NewRandomizedSolver(core.RandomizedOptions{})
 	for _, length := range []int{4, 8, 12, 16} {
+		length := length
+		trials, err := engine.Run(context.Background(), opt.Trials, opt.Workers,
+			func(t int) int64 { return opt.Seed*1_000_003 + int64(length)*40_009 + int64(t) },
+			func(t int, rng *rand.Rand) (theoremTrial, error) {
+				net := cfg.Network(rng)
+				req := cfg.RequestWithLength(rng, t, length, net.Catalog().Size())
+				workload.PlacePrimariesRandom(net, req, rng)
+				inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
+
+				ilpRes, err := ilpSolver.Solve(inst, rng)
+				if err != nil {
+					return theoremTrial{}, fmt.Errorf("ILP: %w", err)
+				}
+				rndRes, err := rndSolver.Solve(inst, rng)
+				if err != nil {
+					return theoremTrial{}, fmt.Errorf("Randomized: %w", err)
+				}
+
+				// Objective (5) is Σ -log R_i = -log(chain reliability).
+				objILP := -math.Log(ilpRes.Reliability)
+				objRnd := -math.Log(rndRes.Reliability)
+				rec := theoremTrial{
+					violFactor: math.Max(1, rndRes.Usage.Max),
+					violated:   rndRes.Violated,
+					beyond2:    rndRes.Usage.Max > 2,
+				}
+				if objILP > 1e-12 {
+					rec.objRatio, rec.hasObj = objRnd/objILP, true
+				}
+				if ilpRes.Reliability > 0 {
+					rec.relRatio, rec.hasRel = rndRes.Reliability/ilpRes.Reliability, true
+				}
+				return rec, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("theorem: SFC length %d: %w", length, err)
+		}
+
 		var objRatios, relRatios, violFactors []float64
 		nViol, nBeyond2 := 0, 0
-		for t := 0; t < opt.Trials; t++ {
-			rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(length)*40_009 + int64(t)))
-			net := cfg.Network(rng)
-			req := cfg.RequestWithLength(rng, t, length, net.Catalog().Size())
-			workload.PlacePrimariesRandom(net, req, rng)
-			inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
-
-			ilpRes, err := core.SolveILP(inst, core.ILPOptions{})
-			if err != nil {
-				panic(fmt.Sprintf("experiments: ILP failed: %v", err))
+		for _, rec := range trials {
+			if rec.hasObj {
+				objRatios = append(objRatios, rec.objRatio)
 			}
-			rndRes, err := core.SolveRandomized(inst, rng, core.RandomizedOptions{})
-			if err != nil {
-				panic(fmt.Sprintf("experiments: randomized failed: %v", err))
+			if rec.hasRel {
+				relRatios = append(relRatios, rec.relRatio)
 			}
-
-			// Objective (5) is Σ -log R_i = -log(chain reliability).
-			objILP := -math.Log(ilpRes.Reliability)
-			objRnd := -math.Log(rndRes.Reliability)
-			if objILP > 1e-12 {
-				objRatios = append(objRatios, objRnd/objILP)
-			}
-			if ilpRes.Reliability > 0 {
-				relRatios = append(relRatios, rndRes.Reliability/ilpRes.Reliability)
-			}
-			violFactors = append(violFactors, math.Max(1, rndRes.Usage.Max))
-			if rndRes.Violated {
+			violFactors = append(violFactors, rec.violFactor)
+			if rec.violated {
 				nViol++
 			}
-			if rndRes.Usage.Max > 2 {
+			if rec.beyond2 {
 				nBeyond2++
 			}
 		}
@@ -94,7 +125,7 @@ func TheoremCheck(opt Options) *TheoremSweep {
 		out.Points = append(out.Points, p)
 		progress(opt, "theorem: SFC length %d done", length)
 	}
-	return out
+	return out, nil
 }
 
 // RenderTables writes the validation table.
