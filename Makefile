@@ -2,15 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench experiments figures clean
+.PHONY: all build vet fmt-check check test test-race bench experiments figures clean
 
-all: build vet test test-race
+all: build check test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file needs gofmt (prints the offending paths).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Static checks: vet + formatting.
+check: vet fmt-check
 
 test:
 	$(GO) test ./...

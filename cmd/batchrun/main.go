@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mec"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -33,7 +34,19 @@ func main() {
 	solver := flag.String("solver", "heuristic", "registered solver name: "+strings.Join(core.Names(), ", "))
 	policy := flag.String("policy", "all", "arrival, neediest, shortest, all")
 	workers := flag.Int("workers", 0, "parallel policy-run workers (<=0: GOMAXPROCS)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090 or :0; empty: off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	manifestPath := flag.String("run-manifest", "", "write a JSON run manifest to this path")
 	flag.Parse()
+
+	srv, err := obs.Boot(*logLevel, *obsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 
 	sv, ok := core.Get(*solver)
 	if !ok {
@@ -59,7 +72,8 @@ func main() {
 	// Every policy sees an identical fresh world (same seed), so the rows
 	// compare apples to apples; the runs are independent, so they fan out on
 	// the engine.
-	sums, err := engine.Run(context.Background(), len(runPolicies), *workers,
+	tag := fmt.Sprintf("seed=%d solver=%s policies=%s", *seed, sv.Name(), strings.Join(runPolicies, ","))
+	sums, err := engine.RunTagged(context.Background(), tag, len(runPolicies), *workers,
 		func(int) int64 { return *seed },
 		func(i int, rng *rand.Rand) (*batch.Summary, error) {
 			cfg := workload.NewDefaultConfig()
@@ -79,6 +93,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("batchrun")
+		manifest.Seed = *seed
+		manifest.Workers = *workers
+		manifest.Solvers = []string{sv.Name()}
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "policy\tadmitted\tmet ρ\tmet rate\tmean reliability\tresidual left (MHz)")
 	for i, pname := range runPolicies {
@@ -89,6 +111,18 @@ func main() {
 		}
 		fmt.Fprintf(w, "%s\t%d/%d\t%d\t%.2f\t%.4f\t%.0f\n",
 			pname, sum.Admitted, *n, sum.Met, metRate, sum.MeanReliability, sum.ResidualLeft)
+		manifest.Add(obs.RunRecord{
+			Name: "batch", Policy: pname, Solver: sv.Name(), Seed: *seed,
+			Trials: *n, Outcome: "ok",
+			Detail: fmt.Sprintf("admitted=%d met=%d mean_reliability=%.4f", sum.Admitted, sum.Met, sum.MeanReliability),
+		})
 	}
 	w.Flush()
+	if manifest != nil {
+		if err := manifest.WriteFile(*manifestPath, obs.Default()); err != nil {
+			fmt.Fprintf(os.Stderr, "run-manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *manifestPath)
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -25,7 +26,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	ilp := flag.Bool("ilp", false, "use the exact ILP instead of the heuristic")
 	sweep := flag.Bool("sweep", false, "sweep the arrival rate ×{0.25,0.5,1,2,4}")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090 or :0; empty: off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	manifestPath := flag.String("run-manifest", "", "write a JSON run manifest to this path")
 	flag.Parse()
+
+	srv, err := obs.Boot(*logLevel, *obsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("dessim")
+		manifest.Seed = *seed
+	}
 
 	wl := workload.NewDefaultConfig()
 	wl.Expectation = *rho
@@ -54,6 +73,23 @@ func main() {
 		fmt.Fprintf(w, "%.2f\t%d\t%d\t%.3f\t%.3f\t%.4f\t%.3f\t%.1f\n",
 			r, m.Arrivals, m.Blocked, m.BlockingProbability, m.MetRate,
 			m.MeanReliability, m.MeanUtilization, m.MeanActive)
+		solverName := "Heuristic"
+		if *ilp {
+			solverName = "ILP"
+		}
+		manifest.Add(obs.RunRecord{
+			Name: "dessim", Label: fmt.Sprintf("rate=%.2f", r), X: r,
+			Solver: solverName, Seed: *seed, Trials: m.Arrivals, Outcome: "ok",
+			Detail: fmt.Sprintf("blocking=%.3f met_rate=%.3f utilization=%.3f",
+				m.BlockingProbability, m.MetRate, m.MeanUtilization),
+		})
 	}
 	w.Flush()
+	if manifest != nil {
+		if err := manifest.WriteFile(*manifestPath, obs.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "run-manifest:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *manifestPath)
+	}
 }

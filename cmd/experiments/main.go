@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,7 +38,19 @@ func main() {
 	csvdir := flag.String("csvdir", "", "directory for per-figure CSV output (optional)")
 	svgdir := flag.String("svgdir", "", "directory for per-sub-plot SVG charts (optional)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090 or :0; empty: off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	manifestPath := flag.String("run-manifest", "", "write a JSON run manifest (command, seeds, per-point records, metrics snapshot) to this path")
 	flag.Parse()
+
+	srv, err := obs.Boot(*logLevel, *obsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 
 	selected, err := core.ResolveSolvers(*solvers)
 	if err != nil {
@@ -50,6 +63,17 @@ func main() {
 		Workers: *workers,
 		Quiet:   *quiet,
 		Solvers: selected,
+	}
+
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("experiments")
+		manifest.Seed = *seed
+		manifest.Trials = *trials
+		manifest.Workers = *workers
+		for _, s := range selected {
+			manifest.Solvers = append(manifest.Solvers, s.Name())
+		}
 	}
 
 	runners := map[string]func(experiments.Options) (*experiments.Sweep, error){
@@ -78,6 +102,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "theorem: %v\n", err)
 				os.Exit(1)
 			}
+			for _, p := range ts.Points {
+				manifest.Add(obs.RunRecord{
+					Name: "theorem", Label: p.Label, Seed: ts.Seed,
+					Trials: ts.Trials, Outcome: "ok",
+				})
+			}
 			fmt.Println()
 			if err := ts.RenderTables(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "render: %v\n", err)
@@ -91,6 +121,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fig %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		sweep.AppendManifest(manifest)
 		fmt.Println()
 		if err := sweep.RenderTables(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "render: %v\n", err)
@@ -137,5 +168,12 @@ func main() {
 				fmt.Printf("wrote %s\n", path)
 			}
 		}
+	}
+	if manifest != nil {
+		if err := manifest.WriteFile(*manifestPath, obs.Default()); err != nil {
+			fmt.Fprintf(os.Stderr, "run-manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *manifestPath)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mec"
 	"repro/internal/netio"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -32,7 +33,19 @@ func main() {
 	load := flag.String("load", "", "load the scenario (network + request) from a JSON file instead of sampling")
 	save := flag.String("save", "", "write the sampled scenario to a JSON file before solving")
 	dump := flag.String("dump", "", "write the solved placements to a JSON file")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090 or :0; empty: off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	manifestPath := flag.String("run-manifest", "", "write a JSON run manifest to this path")
 	flag.Parse()
+
+	srv, err := obs.Boot(*logLevel, *obsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -110,13 +123,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	var manifest *obs.Manifest
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("sfcaugment")
+		manifest.Seed = *seed
+		for _, sv := range solvers {
+			manifest.Solvers = append(manifest.Solvers, sv.Name())
+		}
+	}
+
 	var dumps []netio.PlacementDump
 	for _, sv := range solvers {
 		res, err := sv.Solve(inst, rng)
 		if err != nil {
+			manifest.Add(obs.RunRecord{
+				Name: "sfcaugment", Solver: sv.Name(), Seed: *seed,
+				Outcome: "error", Detail: err.Error(),
+			})
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", sv.Name(), err)
 			os.Exit(1)
 		}
+		manifest.Add(obs.RunRecord{
+			Name: "sfcaugment", Solver: sv.Name(), Seed: *seed, Trials: 1,
+			Outcome: "ok",
+			Detail:  fmt.Sprintf("reliability=%.6f met=%v", res.Reliability, res.MetExpectation),
+			MeanMS:  float64(res.Runtime.Microseconds()) / 1000,
+		})
 		dumps = append(dumps, netio.PlacementDump{
 			RequestID:   req.ID,
 			Algorithm:   res.Algorithm,
@@ -146,5 +178,12 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("placements written to %s\n", *dump)
+	}
+	if manifest != nil {
+		if err := manifest.WriteFile(*manifestPath, obs.Default()); err != nil {
+			fmt.Fprintf(os.Stderr, "run-manifest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *manifestPath)
 	}
 }

@@ -9,12 +9,14 @@ package batch
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/mec"
+	"repro/internal/obs"
 )
 
 // Policy orders the batch before sequential augmentation.
@@ -86,6 +88,11 @@ type Summary struct {
 // Run admits and augments the requests against net, committing capacity as
 // it goes. net is mutated (admission and commits consume the ledger);
 // requests that cannot be admitted are recorded and skipped.
+//
+// Every request's lifecycle (admission, solve, commit, outcome) is counted
+// into the default obs registry under batch_* metrics and logged at debug
+// level; the run summary is logged at info level. All recording happens
+// after the per-request machinery returns, so it cannot perturb results.
 func Run(net *mec.Network, requests []*mec.Request, rng *rand.Rand, opt Options) (*Summary, error) {
 	if opt.L <= 0 {
 		opt.L = 1
@@ -126,6 +133,7 @@ func Run(net *mec.Network, requests []*mec.Request, rng *rand.Rand, opt Options)
 		if err != nil {
 			oc.Err = err
 			sum.Outcomes = append(sum.Outcomes, oc)
+			recordOutcome(opt.Policy, solver.Name(), oc)
 			continue
 		}
 		oc.Admitted = true
@@ -136,11 +144,13 @@ func Run(net *mec.Network, requests []*mec.Request, rng *rand.Rand, opt Options)
 		if err != nil {
 			oc.Err = err
 			sum.Outcomes = append(sum.Outcomes, oc)
+			recordOutcome(opt.Policy, solver.Name(), oc)
 			continue
 		}
 		if err := res.Commit(net); err != nil {
 			oc.Err = err
 			sum.Outcomes = append(sum.Outcomes, oc)
+			recordOutcome(opt.Policy, solver.Name(), oc)
 			continue
 		}
 		oc.Result = res
@@ -149,6 +159,7 @@ func Run(net *mec.Network, requests []*mec.Request, rng *rand.Rand, opt Options)
 		}
 		relSum += res.Reliability
 		sum.Outcomes = append(sum.Outcomes, oc)
+		recordOutcome(opt.Policy, solver.Name(), oc)
 	}
 	if sum.Admitted > 0 {
 		sum.MeanReliability = relSum / float64(sum.Admitted)
@@ -156,7 +167,50 @@ func Run(net *mec.Network, requests []*mec.Request, rng *rand.Rand, opt Options)
 	for _, v := range net.Cloudlets() {
 		sum.ResidualLeft += net.Residual(v)
 	}
+	slog.Info("batch: run complete",
+		"policy", opt.Policy.String(), "solver", solver.Name(),
+		"requests", len(order), "admitted", sum.Admitted, "met", sum.Met,
+		"mean_reliability", sum.MeanReliability, "residual_left_mhz", sum.ResidualLeft)
 	return sum, nil
+}
+
+// metrics are the batch layer's counters in the default registry, resolved
+// once at init so the per-request cost is a handful of atomic adds.
+var metrics = struct {
+	requests *obs.Counter
+	admitted *obs.Counter
+	met      *obs.Counter
+	errors   *obs.Counter
+}{
+	requests: obs.Default().Counter("batch_requests_total"),
+	admitted: obs.Default().Counter("batch_admitted_total"),
+	met:      obs.Default().Counter("batch_met_total"),
+	errors:   obs.Default().Counter("batch_request_errors_total"),
+}
+
+// recordOutcome counts one request's fate and emits the per-request debug log.
+func recordOutcome(policy Policy, solver string, oc RequestOutcome) {
+	metrics.requests.Inc()
+	if oc.Admitted {
+		metrics.admitted.Inc()
+	}
+	if oc.Result != nil && oc.Result.MetExpectation {
+		metrics.met.Inc()
+	}
+	if oc.Err != nil {
+		metrics.errors.Inc()
+	}
+	attrs := []interface{}{
+		"request", oc.Request.ID, "policy", policy.String(), "solver", solver,
+		"admitted", oc.Admitted,
+	}
+	if oc.Result != nil {
+		attrs = append(attrs, "reliability", oc.Result.Reliability, "met", oc.Result.MetExpectation)
+	}
+	if oc.Err != nil {
+		attrs = append(attrs, "err", oc.Err)
+	}
+	slog.Debug("batch: request processed", attrs...)
 }
 
 // deficit is ρ − Π r_i, the reliability gap the request needs to close.

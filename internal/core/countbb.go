@@ -93,11 +93,12 @@ type countBox struct {
 }
 
 // solveCountBB runs the search and returns the best packing found, its
-// objective value, and whether optimality was proven. A wall-clock budget
-// (timeout == 0 selects the 10s default; negative disables it, leaving the
-// deterministic node budget as the only bound) caps pathological components;
-// on expiry the best incumbent is returned with proven=false.
-func solveCountBB(inst *Instance, obj Objective, maxNodes int, timeout time.Duration) (perBin []map[int]int, objective float64, proven bool) {
+// objective value, the number of explored nodes, and whether optimality was
+// proven. A wall-clock budget (timeout == 0 selects the 10s default;
+// negative disables it, leaving the deterministic node budget as the only
+// bound) caps pathological components; on expiry the best incumbent is
+// returned with proven=false.
+func solveCountBB(inst *Instance, obj Objective, maxNodes int, timeout time.Duration) (perBin []map[int]int, objective float64, nodes int, proven bool) {
 	if maxNodes <= 0 {
 		maxNodes = 100000
 	}
@@ -126,7 +127,7 @@ func solveCountBB(inst *Instance, obj Objective, maxNodes int, timeout time.Dura
 	bb.proven = true
 	bb.seedIncumbent()
 	bb.explore(root)
-	return bb.incumbent, bb.incumbentVal, bb.proven
+	return bb.incumbent, bb.incumbentVal, bb.nodes, bb.proven
 }
 
 // seedIncumbent warm-starts the search with the heuristic solution, whose

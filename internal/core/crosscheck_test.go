@@ -30,9 +30,12 @@ func TestCountBBMatchesGenericILP(t *testing.T) {
 		}
 		checked++
 
-		perBin, objective, proven := solveCountBB(inst, ObjectiveLogGain, 0, 0)
+		perBin, objective, nodes, proven := solveCountBB(inst, ObjectiveLogGain, 0, 0)
 		if perBin == nil || !proven {
 			t.Fatalf("seed %d: countBB failed or unproven on a tiny instance", seed)
+		}
+		if nodes <= 0 {
+			t.Fatalf("seed %d: countBB reported %d explored nodes", seed, nodes)
 		}
 
 		bm := buildModel(inst, ObjectiveLogGain)

@@ -54,12 +54,14 @@ func SolveILP(inst *Instance, opt ILPOptions) (*Result, error) {
 	for _, group := range splitComponents(inst) {
 		var perBin []map[int]int
 		var objective float64
+		var nodes int
 		proven := true
 		if len(group) == 1 {
+			// Closed form (no search): counts as zero explored nodes.
 			perBin, objective = solveSinglePosition(inst, group[0])
 		} else {
 			sub := subInstance(inst, group)
-			perBin, objective, proven = solveCountBB(sub, opt.Objective, opt.MaxNodes, opt.Timeout)
+			perBin, objective, nodes, proven = solveCountBB(sub, opt.Objective, opt.MaxNodes, opt.Timeout)
 			if perBin == nil {
 				return nil, fmt.Errorf("core: ILP search found no solution on an always-feasible component")
 			}
@@ -72,6 +74,7 @@ func SolveILP(inst *Instance, opt ILPOptions) (*Result, error) {
 			}
 		}
 		res.Objective += objective
+		res.Nodes += nodes
 		res.Proven = res.Proven && proven
 	}
 	res.trimToExpectation(inst)

@@ -65,6 +65,7 @@ func SolveRandomized(inst *Instance, rng *rand.Rand, opt RandomizedOptions) (*Re
 		}
 	}
 	best.Objective = sol.Objective
+	best.LPIterations = sol.Iterations
 	best.Runtime = time.Since(start)
 	return best, nil
 }

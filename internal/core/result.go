@@ -44,6 +44,13 @@ type Result struct {
 	Rounds int
 	// Objective is the solver's internal objective value (diagnostics).
 	Objective float64
+	// LPIterations is the total simplex pivots spent on LP relaxations
+	// (the Randomized solver's one relaxation solve; zero for solvers that
+	// never call the simplex).
+	LPIterations int
+	// Nodes is the number of branch-and-bound nodes the ILP explored,
+	// summed over components (zero for the other algorithms).
+	Nodes int
 }
 
 // finalize fills the derived fields of a result from PerBin.

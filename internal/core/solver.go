@@ -6,6 +6,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Solver is the uniform interface over the augmentation algorithms. A Solver
@@ -30,8 +33,61 @@ type solverFunc struct {
 
 func (s solverFunc) Name() string { return s.name }
 
+// Solve runs the wrapped function and records per-solver observability
+// metrics (duration, LP pivots, branch-and-bound nodes, objective, outcome)
+// into the default obs registry. The recording never touches rng or the
+// instance, so instrumented runs stay bit-identical to uninstrumented ones.
 func (s solverFunc) Solve(inst *Instance, rng *rand.Rand) (*Result, error) {
-	return s.fn(inst, rng)
+	ins := instrumentsFor(s.name)
+	start := time.Now()
+	res, err := s.fn(inst, rng)
+	ins.duration.ObserveSince(start)
+	ins.total.Inc()
+	if err != nil {
+		ins.errors.Inc()
+		return res, err
+	}
+	if res.LPIterations > 0 {
+		ins.pivots.Observe(float64(res.LPIterations))
+	}
+	if res.Nodes > 0 {
+		ins.nodes.Observe(float64(res.Nodes))
+	}
+	if res.Proven {
+		ins.proven.Inc()
+	}
+	ins.objective.Set(res.Objective)
+	return res, err
+}
+
+// solveInstruments caches the obs metric handles for one solver name so the
+// per-solve cost is a handful of atomic operations, not registry lookups.
+type solveInstruments struct {
+	total, errors, proven *obs.Counter
+	duration              *obs.Histogram
+	pivots                *obs.Histogram
+	nodes                 *obs.Histogram
+	objective             *obs.Gauge
+}
+
+var instrumentCache sync.Map // solver name → *solveInstruments
+
+func instrumentsFor(name string) *solveInstruments {
+	if v, ok := instrumentCache.Load(name); ok {
+		return v.(*solveInstruments)
+	}
+	r := obs.Default()
+	ins := &solveInstruments{
+		total:     r.Counter("solver_solve_total", "solver", name),
+		errors:    r.Counter("solver_solve_errors_total", "solver", name),
+		proven:    r.Counter("solver_proven_total", "solver", name),
+		duration:  r.Histogram("solver_duration_seconds", obs.DurationBuckets, "solver", name),
+		pivots:    r.Histogram("solver_lp_pivots", obs.CountBuckets, "solver", name),
+		nodes:     r.Histogram("solver_ilp_nodes", obs.CountBuckets, "solver", name),
+		objective: r.Gauge("solver_last_objective", "solver", name),
+	}
+	actual, _ := instrumentCache.LoadOrStore(name, ins)
+	return actual.(*solveInstruments)
 }
 
 // NewSolverFunc wraps fn as a Solver with the given name. Use it for ad-hoc

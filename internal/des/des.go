@@ -12,12 +12,14 @@ package des
 import (
 	"container/heap"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 
 	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/mec"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -112,6 +114,16 @@ func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 	if cfg.L <= 0 {
 		cfg.L = 1
 	}
+	// Resolve the solver once through the registry-style adapters so every
+	// solve flows through the instrumented core.Solver wrapper (durations,
+	// pivots, node counts) without touching the event loop's rng stream.
+	solver := core.NewHeuristicSolver(core.HeuristicOptions{})
+	if cfg.UseILP {
+		solver = core.NewILPSolver(core.ILPOptions{})
+	}
+	slog.Info("des: starting run",
+		"rate", cfg.ArrivalRate, "mean_hold", cfg.MeanHold,
+		"horizon", cfg.Horizon, "warmup_cutoff", cfg.Warmup, "solver", solver.Name())
 	wl := cfg.Workload
 	wl.ResidualFraction = 1.0
 	net := wl.Network(rng)
@@ -185,13 +197,7 @@ func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 			continue
 		}
 		inst := core.NewInstance(net, ev.req, core.Params{L: cfg.L})
-		var res *core.Result
-		var err error
-		if cfg.UseILP {
-			res, err = core.SolveILP(inst, core.ILPOptions{})
-		} else {
-			res, err = core.SolveHeuristic(inst, core.HeuristicOptions{})
-		}
+		res, err := solver.Solve(inst, rng)
 		if err != nil {
 			return nil, fmt.Errorf("des: solver failed at t=%v: %w", ev.t, err)
 		}
@@ -253,7 +259,28 @@ func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 		m.MeanUtilization = utilInt / span
 		m.MeanActive = activeInt / span
 	}
+	m.record(solver.Name())
 	return m, nil
+}
+
+// record publishes the warmup-excluded aggregates into the default registry
+// and logs the run summary. It runs once per Run, after the event loop and
+// conservation check, so it cannot perturb the seeded simulation.
+func (m *Metrics) record(solver string) {
+	r := obs.Default()
+	r.Counter("des_arrivals_total", "solver", solver).Add(int64(m.Arrivals))
+	r.Counter("des_blocked_total", "solver", solver).Add(int64(m.Blocked))
+	r.Counter("des_accepted_total", "solver", solver).Add(int64(m.Accepted))
+	r.Counter("des_met_total", "solver", solver).Add(int64(m.Met))
+	r.Gauge("des_mean_utilization_ratio", "solver", solver).Set(m.MeanUtilization)
+	r.Gauge("des_blocking_probability", "solver", solver).Set(m.BlockingProbability)
+	r.Histogram("des_mean_reliability", obs.RatioBuckets, "solver", solver).Observe(m.MeanReliability)
+	slog.Info("des: run complete",
+		"solver", solver, "arrivals", m.Arrivals, "accepted", m.Accepted,
+		"blocked", m.Blocked, "met", m.Met,
+		"blocking_probability", m.BlockingProbability, "met_rate", m.MetRate,
+		"mean_utilization", m.MeanUtilization, "mean_active", m.MeanActive,
+		"ledger_intact", m.EndResidualIntact)
 }
 
 // expDraw samples an exponential with the given mean.

@@ -13,14 +13,24 @@
 // network, request, instance from the rng) — the executor enforces nothing
 // beyond the seeding discipline, but `make test-race` runs the harness under
 // the race detector to keep violations from creeping in.
+//
+// Every run records trial counts, per-trial durations, feeder queue wait,
+// and per-worker utilization into the default obs registry. All recording
+// happens in the pool machinery — outside the seeded trial function — and
+// never feeds back into scheduling or seeding, so instrumented runs stay
+// bit-identical (see DESIGN.md).
 package engine
 
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Seeder derives the RNG seed for one trial. It must be a pure function of
@@ -32,6 +42,23 @@ type Seeder func(trial int) int64
 // not escape the call.
 type TrialFunc[T any] func(trial int, rng *rand.Rand) (T, error)
 
+// metrics are the engine's obs instruments, resolved once at package init.
+var metrics = struct {
+	trials     *obs.Counter
+	errors     *obs.Counter
+	runs       *obs.Counter
+	trialDur   *obs.Histogram // wall-clock of one trial function call
+	queueWait  *obs.Histogram // feeder blocking time per trial (all workers busy)
+	workerUtil *obs.Histogram // per-worker busy/lifetime ratio per run
+}{
+	trials:     obs.Default().Counter("engine_trials_total"),
+	errors:     obs.Default().Counter("engine_trial_errors_total"),
+	runs:       obs.Default().Counter("engine_runs_total"),
+	trialDur:   obs.Default().Histogram("engine_trial_duration_seconds", obs.DurationBuckets),
+	queueWait:  obs.Default().Histogram("engine_queue_wait_seconds", obs.DurationBuckets),
+	workerUtil: obs.Default().Histogram("engine_worker_utilization_ratio", obs.RatioBuckets),
+}
+
 // Run executes fn for trials 0..n-1 across a pool of workers and returns the
 // results in trial order. workers <= 0 uses GOMAXPROCS; seed == nil seeds
 // each trial with its index. On the first trial error the pool stops handing
@@ -39,6 +66,14 @@ type TrialFunc[T any] func(trial int, rng *rand.Rand) (T, error)
 // wrapped with that index. A canceled ctx aborts between trials and returns
 // ctx's error.
 func Run[T any](ctx context.Context, n, workers int, seed Seeder, fn TrialFunc[T]) ([]T, error) {
+	return RunTagged(ctx, "", n, workers, seed, fn)
+}
+
+// RunTagged is Run with a caller-supplied context tag — typically the
+// experiment point and solver set from the run manifest — woven into trial
+// errors and failure logs, so a batch failure is attributable to its exact
+// sweep point from the logs alone.
+func RunTagged[T any](ctx context.Context, tag string, n, workers int, seed Seeder, fn TrialFunc[T]) ([]T, error) {
 	if fn == nil {
 		panic("engine: Run requires a trial function")
 	}
@@ -60,6 +95,7 @@ func Run[T any](ctx context.Context, n, workers int, seed Seeder, fn TrialFunc[T
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	metrics.runs.Inc()
 
 	// results[t] and errs[t] are each written by exactly one worker (the one
 	// that drew trial t) and read only after wg.Wait — no locks needed.
@@ -70,11 +106,29 @@ func Run[T any](ctx context.Context, n, workers int, seed Seeder, fn TrialFunc[T
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
-			defer wg.Done()
+			born := time.Now()
+			var busy time.Duration
+			defer func() {
+				// Worker utilization: the busy fraction of this worker's
+				// lifetime. Near 1.0 means the pool is compute-bound; low
+				// values mean trials are starved behind the feeder.
+				if life := time.Since(born); life > 0 {
+					metrics.workerUtil.Observe(float64(busy) / float64(life))
+				}
+				wg.Done()
+			}()
 			for t := range trials {
 				rng := rand.New(rand.NewSource(seed(t)))
+				start := time.Now()
 				res, err := fn(t, rng)
+				d := time.Since(start)
+				busy += d
+				metrics.trialDur.Observe(d.Seconds())
+				metrics.trials.Inc()
 				if err != nil {
+					metrics.errors.Inc()
+					slog.Error("engine: trial failed",
+						"tag", tag, "trial", t, "seed", seed(t), "err", err)
 					errs[t] = err
 					cancel() // stop feeding; in-flight trials finish
 					continue
@@ -85,8 +139,10 @@ func Run[T any](ctx context.Context, n, workers int, seed Seeder, fn TrialFunc[T
 	}
 feed:
 	for t := 0; t < n; t++ {
+		waitStart := time.Now()
 		select {
 		case trials <- t:
+			metrics.queueWait.Observe(time.Since(waitStart).Seconds())
 		case <-ctx.Done():
 			break feed
 		}
@@ -96,6 +152,9 @@ feed:
 
 	for t, err := range errs {
 		if err != nil {
+			if tag != "" {
+				return nil, fmt.Errorf("engine: %s: trial %d: %w", tag, t, err)
+			}
 			return nil, fmt.Errorf("engine: trial %d: %w", t, err)
 		}
 	}

@@ -82,6 +82,29 @@ func TestRunPropagatesLowestIndexError(t *testing.T) {
 	}
 }
 
+func TestRunTaggedErrorCarriesTag(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := RunTagged(context.Background(), "seed=7 point=3 solvers=ILP", 8, 2, nil,
+		func(trial int, _ *rand.Rand) (int, error) {
+			if trial == 5 {
+				return 0, fmt.Errorf("trial-%d: %w", trial, sentinel)
+			}
+			return trial, nil
+		})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error chain lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "seed=7 point=3 solvers=ILP") {
+		t.Fatalf("error should carry the run tag: %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial 5") {
+		t.Fatalf("error should name the failing trial: %v", err)
+	}
+}
+
 func TestRunStopsFeedingAfterError(t *testing.T) {
 	var ran atomic.Int64
 	_, err := Run(context.Background(), 10_000, 2, nil, func(trial int, _ *rand.Rand) (int, error) {

@@ -9,6 +9,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mec"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -115,13 +117,28 @@ func record(res *core.Result) trial {
 	}
 }
 
+// solverNames joins the canonical names for tags and structured logs.
+func solverNames(solvers []core.Solver) string {
+	names := make([]string, len(solvers))
+	for i, s := range solvers {
+		names[i] = s.Name()
+	}
+	return strings.Join(names, ",")
+}
+
 // runSolvers executes opt.Trials trials of the given solvers on the engine's
 // worker pool and groups the records by solver name. Each trial samples its
 // own world from a seed derived purely from the trial index, so the output
 // is bit-identical for any worker count. All solvers of a trial share the
 // trial's rng stream in slice order, matching the historical serial harness.
-func runSolvers(cfg workload.Config, fixedLen int, opt Options, solvers []core.Solver, seed engine.Seeder) (map[string][]trial, error) {
-	perTrial, err := engine.Run(context.Background(), opt.Trials, opt.Workers, seed,
+//
+// tag carries the sweep-point context (seed, point, solver set) into engine
+// error wrapping and failure logs. Instrumentation — the point span, the
+// structured completion log — runs outside the seeded trial closure, so the
+// recorded trials stay bit-identical to an uninstrumented run.
+func runSolvers(cfg workload.Config, fixedLen int, opt Options, solvers []core.Solver, tag string, seed engine.Seeder) (map[string][]trial, error) {
+	sp := obs.Default().StartSpan("experiments_point")
+	perTrial, err := engine.RunTagged(context.Background(), tag, opt.Trials, opt.Workers, seed,
 		func(t int, rng *rand.Rand) ([]trial, error) {
 			net := cfg.Network(rng)
 			req := pickRequest(cfg, rng, t, fixedLen, net.Catalog().Size())
@@ -137,9 +154,14 @@ func runSolvers(cfg workload.Config, fixedLen int, opt Options, solvers []core.S
 			}
 			return recs, nil
 		})
+	elapsed := sp.End()
 	if err != nil {
+		slog.Error("experiments: point failed", "tag", tag, "err", err)
 		return nil, err
 	}
+	slog.Debug("experiments: point complete",
+		"tag", tag, "trials", opt.Trials, "solvers", solverNames(solvers),
+		"workers", opt.Workers, "ms", float64(elapsed)/float64(time.Millisecond), "outcome", "ok")
 	out := make(map[string][]trial, len(solvers))
 	for _, recs := range perTrial {
 		for i, s := range solvers {
@@ -152,7 +174,8 @@ func runSolvers(cfg workload.Config, fixedLen int, opt Options, solvers []core.S
 // runPoint executes trials for one configuration. fixedLen > 0 pins the SFC
 // length (Figure 1); otherwise lengths are sampled from the config.
 func runPoint(cfg workload.Config, fixedLen int, opt Options, pointIdx int) (map[string][]trial, error) {
-	return runSolvers(cfg, fixedLen, opt, opt.Solvers, func(t int) int64 {
+	tag := fmt.Sprintf("seed=%d point=%d solvers=%s", opt.Seed, pointIdx, solverNames(opt.Solvers))
+	return runSolvers(cfg, fixedLen, opt, opt.Solvers, tag, func(t int) int64 {
 		return opt.Seed*1_000_003 + int64(pointIdx)*10_007 + int64(t)
 	})
 }
@@ -242,4 +265,32 @@ func progress(opt Options, format string, args ...interface{}) {
 // header renders the sweep identity line used by all tables.
 func (s *Sweep) header() string {
 	return fmt.Sprintf("%s — %s (trials=%d, seed=%d)", strings.ToUpper(s.Name), s.Title, s.Trials, s.Seed)
+}
+
+// AppendManifest records the completed sweep into a run manifest: one record
+// per (point, algorithm) with the trial count and mean per-trial wall clock.
+// Nil manifests are ignored so callers can thread the flag value through
+// unconditionally.
+func (s *Sweep) AppendManifest(m *obs.Manifest) {
+	if m == nil {
+		return
+	}
+	for _, p := range s.Points {
+		for _, alg := range s.sortedAlgs() {
+			ap, ok := p.Algs[alg]
+			if !ok {
+				continue
+			}
+			m.Add(obs.RunRecord{
+				Name:    s.Name,
+				Label:   p.Label,
+				X:       p.X,
+				Solver:  alg,
+				Seed:    s.Seed,
+				Trials:  s.Trials,
+				Outcome: "ok",
+				MeanMS:  ap.RuntimeMS.Mean,
+			})
+		}
+	}
 }

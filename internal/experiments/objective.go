@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
@@ -25,7 +26,9 @@ func objectiveVariants() []core.Solver {
 // instances solved with both ILP objectives, reported as pseudo-algorithms
 // "ILP(gain)" and "ILP(paper-cost)".
 func runObjectivePoint(cfg workload.Config, length int, opt Options) (map[string][]trial, error) {
-	return runSolvers(cfg, length, opt, objectiveVariants(), func(t int) int64 {
+	variants := objectiveVariants()
+	tag := fmt.Sprintf("seed=%d objective-len=%d solvers=%s", opt.Seed, length, solverNames(variants))
+	return runSolvers(cfg, length, opt, variants, tag, func(t int) int64 {
 		return opt.Seed*1_000_003 + int64(length)*20_011 + int64(t)
 	})
 }

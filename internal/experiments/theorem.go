@@ -58,7 +58,9 @@ func TheoremCheck(opt Options) (*TheoremSweep, error) {
 	rndSolver := core.NewRandomizedSolver(core.RandomizedOptions{})
 	for _, length := range []int{4, 8, 12, 16} {
 		length := length
-		trials, err := engine.Run(context.Background(), opt.Trials, opt.Workers,
+		trials, err := engine.RunTagged(context.Background(),
+			fmt.Sprintf("seed=%d theorem-len=%d", opt.Seed, length),
+			opt.Trials, opt.Workers,
 			func(t int) int64 { return opt.Seed*1_000_003 + int64(length)*40_009 + int64(t) },
 			func(t int, rng *rand.Rand) (theoremTrial, error) {
 				net := cfg.Network(rng)

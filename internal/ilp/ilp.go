@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // intTol is how close to an integer an LP value must be to count as integral.
@@ -46,14 +47,27 @@ type Result struct {
 	Objective float64
 	X         []float64
 	Nodes     int     // nodes explored
+	Depth     int     // maximum tree depth among explored nodes (root = 0)
+	Pivots    int     // simplex pivots over root + node relaxations (rounding re-solves excluded)
 	Proven    bool    // true if optimality was proven within budgets
 	Gap       float64 // remaining relative gap when !Proven and an incumbent exists
 }
 
 // Solve optimizes the model requiring the variables listed in intVars to take
 // integer values (they must have finite bounds; in this repo they are 0/1).
-// The model is not mutated.
+// The model is not mutated. Every run records its node count, max depth, and
+// simplex pivot total into the default obs registry (ilp_nodes, ilp_depth,
+// ilp_lp_pivots histograms).
 func Solve(m *lp.Model, intVars []int, opt Options) *Result {
+	res := solve(m, intVars, opt)
+	r := obs.Default()
+	r.Histogram("ilp_nodes", obs.CountBuckets).Observe(float64(res.Nodes))
+	r.Histogram("ilp_depth", obs.CountBuckets).Observe(float64(res.Depth))
+	r.Histogram("ilp_lp_pivots", obs.CountBuckets).Observe(float64(res.Pivots))
+	return res
+}
+
+func solve(m *lp.Model, intVars []int, opt Options) *Result {
 	opt = opt.withDefaults()
 	for _, v := range intVars {
 		lb, ub := m.VarBounds(v)
@@ -72,7 +86,7 @@ func Solve(m *lp.Model, intVars []int, opt Options) *Result {
 
 	root := m.Clone()
 	rootSol := root.Solve()
-	res := &Result{Status: lp.Infeasible}
+	res := &Result{Status: lp.Infeasible, Pivots: rootSol.Iterations}
 	switch rootSol.Status {
 	case lp.Infeasible:
 		return res
@@ -116,6 +130,9 @@ func Solve(m *lp.Model, intVars []int, opt Options) *Result {
 	for pq.len() > 0 && nodes < opt.MaxNodes {
 		ent := pq.pop()
 		nodes++
+		if ent.depth > res.Depth {
+			res.Depth = ent.depth
+		}
 		// Prune against incumbent.
 		if haveInc && !better(ent.bound, incumbentObj) &&
 			math.Abs(ent.bound-incumbentObj) > 1e-12 {
@@ -127,6 +144,7 @@ func Solve(m *lp.Model, intVars []int, opt Options) *Result {
 			sub.SetVarBounds(f.v, f.val, f.val)
 		}
 		sol := sub.Solve()
+		res.Pivots += sol.Iterations
 		if sol.Status != lp.Optimal {
 			continue
 		}

@@ -180,6 +180,59 @@ func TestIntegerForcing(t *testing.T) {
 	if r.Status != lp.Optimal || math.Abs(r.Objective-2) > 1e-6 {
 		t.Fatalf("status=%v obj=%v, want optimal 2", r.Status, r.Objective)
 	}
+	// The fractional root forces at least one branch, so the tree must report
+	// depth ≥ 1; depth counts edges from the root, so it is < nodes explored.
+	if r.Depth < 1 {
+		t.Fatalf("fractional root solved with Depth=%d, want >= 1", r.Depth)
+	}
+	if r.Depth >= r.Nodes {
+		t.Fatalf("Depth=%d must be < Nodes=%d", r.Depth, r.Nodes)
+	}
+	if r.Pivots <= 0 {
+		t.Fatalf("Pivots=%d, want > 0 (root + node relaxations)", r.Pivots)
+	}
+}
+
+func TestIntegralRootHasZeroDepth(t *testing.T) {
+	// The LP relaxation is already integral (maximize x, x<=2), so the search
+	// never branches: root-only tree, depth 0.
+	m := lp.NewModel(lp.Maximize)
+	x := m.AddVar(0, 10, 1, "x")
+	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}}, lp.LE, 2, "cap")
+	r := Solve(m, []int{x}, Options{})
+	if r.Status != lp.Optimal || math.Abs(r.Objective-2) > 1e-6 {
+		t.Fatalf("status=%v obj=%v, want optimal 2", r.Status, r.Objective)
+	}
+	if r.Depth != 0 {
+		t.Fatalf("integral root explored to Depth=%d, want 0", r.Depth)
+	}
+}
+
+func TestDepthBoundedByNodes(t *testing.T) {
+	// On random GAP instances the reported depth must stay consistent with
+	// the node count: 0 ≤ Depth < Nodes whenever any node was explored.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(5)
+		m := lp.NewModel(lp.Maximize)
+		terms := make([]lp.Term, n)
+		vars := make([]int, n)
+		for i := 0; i < n; i++ {
+			vars[i] = m.AddVar(0, 1, rng.Float64()*10+1, "x")
+			terms[i] = lp.Term{Var: vars[i], Coeff: rng.Float64()*5 + 1}
+		}
+		m.AddConstr(terms, lp.LE, float64(n), "cap")
+		r := Solve(m, vars, Options{})
+		if r.Status != lp.Optimal {
+			t.Fatalf("trial %d: status %v", trial, r.Status)
+		}
+		if r.Depth < 0 {
+			t.Fatalf("trial %d: negative Depth %d", trial, r.Depth)
+		}
+		if r.Nodes > 0 && r.Depth >= r.Nodes {
+			t.Fatalf("trial %d: Depth=%d >= Nodes=%d", trial, r.Depth, r.Nodes)
+		}
+	}
 }
 
 func TestMixedIntegerContinuous(t *testing.T) {

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (v0.0.4 subset): one # TYPE line per metric family, counters and
+// gauges as plain samples, histograms as cumulative _bucket{le=...} series
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastType string
+	for _, e := range r.sortedEntries() {
+		if e.base != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.base, e.kind); err != nil {
+				return err
+			}
+			lastType = e.base
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", sampleName(e.base, e.labels), e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", sampleName(e.base, e.labels), fmtFloat(e.g.Value()))
+		case kindHistogram:
+			err = writePromHistogram(w, e)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, e *entry) error {
+	s := e.h.Snapshot()
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = fmtFloat(s.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			sampleName(e.base+"_bucket", joinLabels(e.labels, `le="`+le+`"`)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", sampleName(e.base+"_sum", e.labels), fmtFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", sampleName(e.base+"_count", e.labels), s.Count)
+	return err
+}
+
+func sampleName(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// histogramJSON is the JSON shape of one histogram in Snapshot/WriteJSON.
+type histogramJSON struct {
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Mean    float64      `json:"mean"`
+	Buckets []bucketJSON `json:"buckets"`
+}
+
+type bucketJSON struct {
+	LE         string `json:"le"`
+	Cumulative uint64 `json:"count"`
+}
+
+// Snapshot returns the registry as a plain map from full metric name to
+// value — int64 for counters, float64 for gauges, a histogramJSON-shaped
+// object for histograms. It is the payload of /metrics.json, the expvar
+// integration, and the manifest's metrics section.
+func (r *Registry) Snapshot() map[string]interface{} {
+	out := make(map[string]interface{})
+	for _, e := range r.sortedEntries() {
+		name := sampleName(e.base, e.labels)
+		switch e.kind {
+		case kindCounter:
+			out[name] = e.c.Value()
+		case kindGauge:
+			out[name] = e.g.Value()
+		case kindHistogram:
+			s := e.h.Snapshot()
+			hj := histogramJSON{Count: s.Count, Sum: s.Sum}
+			if s.Count > 0 {
+				hj.Mean = s.Sum / float64(s.Count)
+			}
+			cum := uint64(0)
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = fmtFloat(s.Bounds[i])
+				}
+				hj.Buckets = append(hj.Buckets, bucketJSON{LE: le, Cumulative: cum})
+			}
+			out[name] = hj
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

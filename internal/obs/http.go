@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the one-time expvar publication: expvar.Publish panics
+// on duplicate names, and the registry snapshot belongs under a single key.
+// /debug/vars always mirrors the Default registry — expvar state is process
+// global, so tying it to whichever registry a handler happens to serve would
+// make the output depend on construction order.
+var expvarOnce sync.Once
+
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("metrics", expvar.Func(func() interface{} { return Default().Snapshot() }))
+	})
+}
+
+// Handler returns the observability mux for a registry:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   JSON exposition
+//	/debug/vars     expvar (cmdline, memstats, and the Default registry snapshot)
+//	/debug/pprof/   CPU/heap/goroutine/etc. profiles
+func Handler(r *Registry) http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<html><body><h1>observability</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/metrics.json">/metrics.json</a></li>
+<li><a href="/debug/vars">/debug/vars</a> (expvar)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`))
+	})
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	// Addr is the bound address (resolves ":0" to the actual port).
+	Addr string
+	srv  *http.Server
+}
+
+// Serve binds addr (e.g. ":9090" or ":0") and serves Handler(r) on a
+// background goroutine. The caller owns the returned Server and may Close it;
+// CLIs typically let process exit tear it down.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, error)", s)
+}
+
+// InitLogger installs a text slog handler on stderr at the given level as
+// the process default and returns it. Structured run logs go to stderr so
+// the CLIs' stdout stays machine-consumable (tables, CSV).
+func InitLogger(level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	l := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	slog.SetDefault(l)
+	return l, nil
+}
+
+// Boot wires the standard CLI observability flags in one call: it installs
+// the default logger at logLevel and, when addr is non-empty, starts the
+// observability HTTP server on the Default registry, logging the resolved
+// address. The returned Server is nil when addr is empty.
+func Boot(logLevel, addr string) (*Server, error) {
+	if _, err := InitLogger(logLevel); err != nil {
+		return nil, err
+	}
+	if addr == "" {
+		return nil, nil
+	}
+	srv, err := Serve(addr, Default())
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve %s: %w", addr, err)
+	}
+	slog.Info("observability endpoint up",
+		"addr", srv.Addr,
+		"metrics", "http://"+srv.Addr+"/metrics",
+		"pprof", "http://"+srv.Addr+"/debug/pprof/")
+	return srv, nil
+}

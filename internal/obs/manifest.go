@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunRecord is one unit of work in a run manifest: an experiment point ×
+// algorithm, a batch policy run, a dessim rate, or a single solver
+// invocation. Zero-valued fields are omitted so each CLI fills only what it
+// has.
+type RunRecord struct {
+	Name    string  `json:"name"`              // e.g. "fig1", "batch", "dessim"
+	Label   string  `json:"label,omitempty"`   // sweep point label, e.g. "8" or "[0.85,0.95)"
+	X       float64 `json:"x,omitempty"`       // numeric x-axis position
+	Solver  string  `json:"solver,omitempty"`  // registered solver name
+	Policy  string  `json:"policy,omitempty"`  // batch ordering policy
+	Seed    int64   `json:"seed,omitempty"`    // base RNG seed of the run
+	Trials  int     `json:"trials,omitempty"`  // trials aggregated into this record
+	Outcome string  `json:"outcome"`           // "ok" or "error"
+	Detail  string  `json:"detail,omitempty"`  // error text or free-form note
+	MeanMS  float64 `json:"mean_ms,omitempty"` // mean wall-clock per trial
+}
+
+// Manifest is the machine-readable record of one CLI invocation, written
+// next to the results by the -run-manifest flag. It captures everything
+// needed to attribute a results file to the exact run that produced it: the
+// command and arguments, seeds, solver set, per-point outcomes, and a final
+// snapshot of the metrics registry.
+type Manifest struct {
+	mu sync.Mutex
+
+	Command   string                 `json:"command"`
+	Args      []string               `json:"args,omitempty"`
+	GoVersion string                 `json:"go_version"`
+	Pid       int                    `json:"pid"`
+	Start     time.Time              `json:"start"`
+	End       time.Time              `json:"end"`
+	Seed      int64                  `json:"seed,omitempty"`
+	Trials    int                    `json:"trials,omitempty"`
+	Workers   int                    `json:"workers,omitempty"`
+	Solvers   []string               `json:"solvers,omitempty"`
+	Runs      []RunRecord            `json:"runs"`
+	Metrics   map[string]interface{} `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest for the named command, stamping the process
+// arguments, Go version, pid, and start time.
+func NewManifest(command string) *Manifest {
+	return &Manifest{
+		Command:   command,
+		Args:      append([]string(nil), os.Args[1:]...),
+		GoVersion: runtime.Version(),
+		Pid:       os.Getpid(),
+		Start:     time.Now(),
+	}
+}
+
+// Add appends one run record. Safe for concurrent use.
+func (m *Manifest) Add(rec RunRecord) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.Runs = append(m.Runs, rec)
+	m.mu.Unlock()
+}
+
+// WriteFile stamps the end time, snapshots reg's metrics (when non-nil),
+// and writes the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string, reg *Registry) error {
+	m.mu.Lock()
+	m.End = time.Now()
+	if reg != nil {
+		m.Metrics = reg.Snapshot()
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "time"
+
+// Span times one logical operation — a trial, a solver call, an experiment
+// point — into the registry's span_duration_seconds histogram, labeled by
+// span name. It is a value type: StartSpan costs one registry lookup and a
+// clock read, End one histogram observe. Spans do not nest or propagate
+// context; for this repo's flat call shapes (trial → solves) that is all the
+// tracing needed, at a price payable inside hot loops.
+//
+//	sp := obs.Default().StartSpan("experiments_point", "fig", "fig1")
+//	... work ...
+//	sp.End()
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing a span with the given name and optional label
+// pairs.
+func (r *Registry) StartSpan(name string, labels ...string) Span {
+	return Span{
+		h:     r.Histogram("span_duration_seconds", DurationBuckets, append([]string{"span", name}, labels...)...),
+		start: time.Now(),
+	}
+}
+
+// End records the elapsed time and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+// ObserveSince records the seconds elapsed since start into h — the
+// convenience the instrumented packages use when a Span value is overkill.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
