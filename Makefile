@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check check test test-race bench experiments figures clean
+.PHONY: all build vet fmt-check check test test-race test-failsoft fuzz bench experiments figures clean
 
 all: build check test test-race
 
@@ -26,6 +26,18 @@ test:
 # harness built on it).
 test-race:
 	$(GO) test -race ./internal/...
+
+# Resilience-layer tests under the race detector: the fail-soft engine
+# (panic recovery, deadlines, deterministic retries), the solver fallback
+# chains, and the fault-injected DES.
+test-failsoft:
+	$(GO) test -race -run 'Partial|FailSoft|Fallback|Fault|Exhaustion|Budget' \
+		./internal/engine/ ./internal/core/ ./internal/des/
+
+# Short fuzzing pass over the fallback chain (the pinned seed corpus in
+# internal/core/testdata/fuzz always runs as part of plain `go test`).
+fuzz:
+	$(GO) test -run FuzzFallbackChain -fuzz FuzzFallbackChain -fuzztime 15s ./internal/core/
 
 # Full test log, as referenced by EXPERIMENTS.md.
 test-log:

@@ -6,6 +6,7 @@
 // engine, so -workers changes wall-clock only, never the table.
 //
 //	go run ./cmd/batchrun -n 40 -rho 0.995 -policy all -solver heuristic
+//	go run ./cmd/batchrun -policy all -fail-soft   # a failing policy run becomes a failed row
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	solver := flag.String("solver", "heuristic", "registered solver name: "+strings.Join(core.Names(), ", "))
 	policy := flag.String("policy", "all", "arrival, neediest, shortest, all")
 	workers := flag.Int("workers", 0, "parallel policy-run workers (<=0: GOMAXPROCS)")
+	failSoft := flag.Bool("fail-soft", false, "report a failed policy run as a failed row instead of aborting the comparison")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090 or :0; empty: off)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	manifestPath := flag.String("run-manifest", "", "write a JSON run manifest to this path")
@@ -73,24 +75,37 @@ func main() {
 	// compare apples to apples; the runs are independent, so they fan out on
 	// the engine.
 	tag := fmt.Sprintf("seed=%d solver=%s policies=%s", *seed, sv.Name(), strings.Join(runPolicies, ","))
-	sums, err := engine.RunTagged(context.Background(), tag, len(runPolicies), *workers,
-		func(int) int64 { return *seed },
-		func(i int, rng *rand.Rand) (*batch.Summary, error) {
-			cfg := workload.NewDefaultConfig()
-			cfg.ResidualFraction = *residual
-			cfg.Expectation = *rho
-			net := cfg.Network(rng)
-			var reqs []*mec.Request
-			for j := 0; j < *n; j++ {
-				reqs = append(reqs, cfg.Request(rng, j, net.Catalog().Size()))
-			}
-			return batch.Run(net, reqs, rng, batch.Options{
-				Solver: sv, Policy: policies[runPolicies[i]], L: *l, RandomPrimaries: true,
-			})
+	seeder := func(int) int64 { return *seed }
+	policyRun := func(i int, rng *rand.Rand) (*batch.Summary, error) {
+		cfg := workload.NewDefaultConfig()
+		cfg.ResidualFraction = *residual
+		cfg.Expectation = *rho
+		net := cfg.Network(rng)
+		var reqs []*mec.Request
+		for j := 0; j < *n; j++ {
+			reqs = append(reqs, cfg.Request(rng, j, net.Catalog().Size()))
+		}
+		return batch.Run(net, reqs, rng, batch.Options{
+			Solver: sv, Policy: policies[runPolicies[i]], L: *l, RandomPrimaries: true,
 		})
+	}
+	var (
+		sums     []*batch.Summary
+		failures []engine.TrialError
+	)
+	if *failSoft {
+		sums, failures, err = engine.RunPartial(context.Background(), len(runPolicies), *workers,
+			seeder, policyRun, engine.FailSoftOptions{Tag: tag})
+	} else {
+		sums, err = engine.RunTagged(context.Background(), tag, len(runPolicies), *workers, seeder, policyRun)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "batchrun: %v\n", err)
 		os.Exit(1)
+	}
+	failed := make(map[int]engine.TrialError, len(failures))
+	for _, f := range failures {
+		failed[f.Trial] = f
 	}
 
 	var manifest *obs.Manifest
@@ -105,6 +120,14 @@ func main() {
 	fmt.Fprintln(w, "policy\tadmitted\tmet ρ\tmet rate\tmean reliability\tresidual left (MHz)")
 	for i, pname := range runPolicies {
 		sum := sums[i]
+		if f, ok := failed[i]; ok || sum == nil {
+			fmt.Fprintf(w, "%s\tfailed\t-\t-\t-\t-\n", pname)
+			manifest.Add(obs.RunRecord{
+				Name: "batch", Policy: pname, Solver: sv.Name(), Seed: *seed,
+				Trials: *n, Outcome: "failed", Detail: f.Error(),
+			})
+			continue
+		}
 		metRate := 0.0
 		if sum.Admitted > 0 {
 			metRate = float64(sum.Met) / float64(sum.Admitted)

@@ -1,8 +1,13 @@
 // Command dessim runs the dynamic-arrival discrete-event simulation: Poisson
 // request arrivals, exponential holding times, admission + reliability
 // augmentation + capacity commitment per session, release on departure.
+// Every solve goes through a fallback chain ([ILP →] Heuristic → Greedy);
+// -faults adds seeded cloudlet crash/repair injection with re-augmentation
+// of the affected sessions.
 //
 //	go run ./cmd/dessim -rate 1.0 -hold 20 -horizon 500 -sweep
+//	go run ./cmd/dessim -faults -mean-up 100 -mean-down 10
+//	go run ./cmd/dessim -ilp -ilp-budget 50ms -faults
 package main
 
 import (
@@ -24,7 +29,11 @@ func main() {
 	warmup := flag.Float64("warmup", 50, "warmup period excluded from metrics")
 	rho := flag.Float64("rho", 0.99, "reliability expectation per request")
 	seed := flag.Int64("seed", 1, "RNG seed")
-	ilp := flag.Bool("ilp", false, "use the exact ILP instead of the heuristic")
+	ilp := flag.Bool("ilp", false, "put the exact ILP at the head of the fallback chain (then heuristic, then greedy)")
+	ilpBudget := flag.Duration("ilp-budget", 0, "wall-clock budget per ILP solve (0: unbounded); past it the solve degrades down the chain")
+	faults := flag.Bool("faults", false, "inject seeded cloudlet crash/repair events")
+	meanUp := flag.Float64("mean-up", 100, "mean time between a cloudlet's repair and its next crash (MTBF, -faults)")
+	meanDown := flag.Float64("mean-down", 10, "mean cloudlet repair duration (MTTR, -faults)")
 	sweep := flag.Bool("sweep", false, "sweep the arrival rate ×{0.25,0.5,1,2,4}")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090 or :0; empty: off)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
@@ -55,7 +64,15 @@ func main() {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rate\tarrivals\tblocked\tblocking\tmet rate\tmean reliability\tutilization\tmean active")
+	header := "rate\tarrivals\tblocked\tblocking\tmet rate\tmean reliability\tutilization\tmean active"
+	if *faults {
+		header += "\tcrashes\treaug ok/fail\tdropped\tSLO-viol time"
+	}
+	fmt.Fprintln(w, header)
+	solverName := "Heuristic+Greedy"
+	if *ilp {
+		solverName = "ILP+Heuristic+Greedy"
+	}
 	for _, r := range rates {
 		cfg := des.Config{
 			ArrivalRate: r,
@@ -64,25 +81,36 @@ func main() {
 			Warmup:      *warmup,
 			Workload:    wl,
 			UseILP:      *ilp,
+			ILPBudget:   *ilpBudget,
+			Faults:      des.FaultConfig{Enabled: *faults, MeanUp: *meanUp, MeanDown: *meanDown},
 		}
 		m, err := des.Run(cfg, rand.New(rand.NewSource(*seed)))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "%.2f\t%d\t%d\t%.3f\t%.3f\t%.4f\t%.3f\t%.1f\n",
+		row := fmt.Sprintf("%.2f\t%d\t%d\t%.3f\t%.3f\t%.4f\t%.3f\t%.1f",
 			r, m.Arrivals, m.Blocked, m.BlockingProbability, m.MetRate,
 			m.MeanReliability, m.MeanUtilization, m.MeanActive)
-		solverName := "Heuristic"
-		if *ilp {
-			solverName = "ILP"
+		if *faults {
+			row += fmt.Sprintf("\t%d\t%d/%d\t%d\t%.1f",
+				m.Crashes, m.Reaugmented, m.ReaugFailed, m.DroppedSessions, m.SLOViolationTime)
+		}
+		fmt.Fprintln(w, row)
+		detail := fmt.Sprintf("blocking=%.3f met_rate=%.3f utilization=%.3f",
+			m.BlockingProbability, m.MetRate, m.MeanUtilization)
+		if *faults {
+			detail += fmt.Sprintf(" crashes=%d reaug=%d dropped=%d slo_viol=%.1f",
+				m.Crashes, m.Reaugmented, m.DroppedSessions, m.SLOViolationTime)
 		}
 		manifest.Add(obs.RunRecord{
 			Name: "dessim", Label: fmt.Sprintf("rate=%.2f", r), X: r,
 			Solver: solverName, Seed: *seed, Trials: m.Arrivals, Outcome: "ok",
-			Detail: fmt.Sprintf("blocking=%.3f met_rate=%.3f utilization=%.3f",
-				m.BlockingProbability, m.MetRate, m.MeanUtilization),
+			Detail: detail,
 		})
+		if len(m.ServedByStage) > 1 {
+			fmt.Fprintf(os.Stderr, "rate %.2f served by stage: %v\n", r, m.ServedByStage)
+		}
 	}
 	w.Flush()
 	if manifest != nil {

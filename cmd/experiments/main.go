@@ -38,6 +38,8 @@ func main() {
 	csvdir := flag.String("csvdir", "", "directory for per-figure CSV output (optional)")
 	svgdir := flag.String("svgdir", "", "directory for per-sub-plot SVG charts (optional)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
+	failSoft := flag.Bool("fail-soft", false, "drop failing/panicking/timed-out trials from the aggregates instead of aborting the sweep")
+	trialTimeout := flag.Duration("trial-timeout", 0, "per-trial wall-clock deadline in fail-soft mode (0: unbounded)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090 or :0; empty: off)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	manifestPath := flag.String("run-manifest", "", "write a JSON run manifest (command, seeds, per-point records, metrics snapshot) to this path")
@@ -57,12 +59,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-solvers: %v\n", err)
 		os.Exit(2)
 	}
+	if *trialTimeout < 0 || (*trialTimeout > 0 && !*failSoft) {
+		fmt.Fprintln(os.Stderr, "-trial-timeout requires -fail-soft and a non-negative duration")
+		os.Exit(2)
+	}
 	opt := experiments.Options{
-		Trials:  *trials,
-		Seed:    *seed,
-		Workers: *workers,
-		Quiet:   *quiet,
-		Solvers: selected,
+		Trials:       *trials,
+		Seed:         *seed,
+		Workers:      *workers,
+		Quiet:        *quiet,
+		Solvers:      selected,
+		FailSoft:     *failSoft,
+		TrialTimeout: *trialTimeout,
 	}
 
 	var manifest *obs.Manifest

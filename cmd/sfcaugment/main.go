@@ -4,6 +4,7 @@
 // selected algorithm(s).
 //
 //	go run ./cmd/sfcaugment -sfc 4 -rho 0.995 -alg all -seed 7
+//	go run ./cmd/sfcaugment -fallback "ILP@50ms,Heuristic,Greedy"
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	l := flag.Int("l", 1, "hop bound for secondary placement")
 	residual := flag.Float64("residual", 0.25, "residual capacity fraction")
 	alg := flag.String("alg", "all", "comma-separated registered solver names ("+strings.Join(core.Names(), ", ")+"), or \"all\"")
+	fallback := flag.String("fallback", "", "solve through a fallback chain instead of -alg, e.g. \"ILP@50ms,Heuristic,Greedy\" (stage@budget, first feasible stage serves)")
 	admit := flag.String("admit", "random", "primary placement: random (paper §7) or maxrel (layered DAG)")
 	load := flag.String("load", "", "load the scenario (network + request) from a JSON file instead of sampling")
 	save := flag.String("save", "", "write the sampled scenario to a JSON file before solving")
@@ -117,10 +119,20 @@ func main() {
 	fmt.Printf("initial reliability (primaries only): %.4f\n", inst.InitialReliability)
 	fmt.Printf("candidate secondary items: %d\n\n", inst.TotalItems())
 
-	solvers, err := core.ResolveSolvers(*alg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "-alg: %v\n", err)
-		os.Exit(2)
+	var solvers []core.Solver
+	if *fallback != "" {
+		chain, err := core.ParseFallback("cli", *fallback)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-fallback: %v\n", err)
+			os.Exit(2)
+		}
+		solvers = []core.Solver{chain}
+	} else {
+		solvers, err = core.ResolveSolvers(*alg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-alg: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var manifest *obs.Manifest
@@ -157,6 +169,9 @@ func main() {
 			Secondaries: res.Secondaries(),
 		})
 		fmt.Printf("== %s ==\n", res.Algorithm)
+		if res.ServedBy != "" {
+			fmt.Printf("  served by fallback stage: %s\n", res.ServedBy)
+		}
 		fmt.Printf("  reliability: %.6f (met ρ: %v)\n", res.Reliability, res.MetExpectation)
 		fmt.Printf("  backups per position: %v\n", res.Counts)
 		fmt.Printf("  placements: %v\n", res.Secondaries())

@@ -50,7 +50,11 @@ func main() {
 			fmt.Printf("%-4d rejected: %v\n", oc.Request.ID, oc.Err)
 			continue
 		}
-		out := failsim.Simulate(oc.Result, 200000, rng)
+		out, err := failsim.Simulate(oc.Result, 200000, rng)
+		if err != nil {
+			fmt.Printf("%-4d simulation failed: %v\n", oc.Request.ID, err)
+			continue
+		}
 		sigma := math.Sqrt(out.Analytical*(1-out.Analytical)/float64(out.Trials)) + 1e-12
 		weak, count := out.WeakestLink()
 		weakName := "none (chain never failed)"
@@ -70,7 +74,10 @@ func main() {
 		}
 		fmt.Printf("\nblast radius for request %d (baseline availability %.5f):\n",
 			oc.Request.ID, oc.Result.Reliability)
-		outage := failsim.CloudletOutage(oc.Result, 50000, rng)
+		outage, err := failsim.CloudletOutage(oc.Result, 50000, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var cls []int
 		for u := range outage {
 			cls = append(cls, u)

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrFallbackExhausted is wrapped by a Fallback solver's error when every
+// stage of the chain failed (error, timeout, or capacity-violating result).
+// Callers that degrade gracefully — the DES records such a request as
+// blocked instead of aborting — match it with errors.Is.
+var ErrFallbackExhausted = errors.New("core: fallback chain exhausted")
+
+// FallbackStage pairs a solver with a wall-clock budget inside a chain.
+type FallbackStage struct {
+	Solver Solver
+	// Budget bounds the stage's wall clock (<= 0: unbounded). On expiry the
+	// stage is abandoned — its goroutine finishes in the background with a
+	// private rng, its result is discarded — and the chain moves on.
+	Budget time.Duration
+}
+
+// Stage is shorthand for constructing a FallbackStage.
+func Stage(s Solver, budget time.Duration) FallbackStage {
+	return FallbackStage{Solver: s, Budget: budget}
+}
+
+// fallbackInstruments caches the per-(chain, stage) obs handles.
+type fallbackInstruments struct {
+	activations *obs.Counter // stage attempts
+	served      *obs.Counter // stage produced the chain's result
+	timeouts    *obs.Counter // stage budget expiries
+	errors      *obs.Counter // stage errors (incl. infeasible results)
+}
+
+func fallbackInstrumentsFor(chain, stage string) *fallbackInstruments {
+	r := obs.Default()
+	return &fallbackInstruments{
+		activations: r.Counter("fallback_activations_total", "chain", chain, "stage", stage),
+		served:      r.Counter("fallback_served_total", "chain", chain, "stage", stage),
+		timeouts:    r.Counter("fallback_stage_timeouts_total", "chain", chain, "stage", stage),
+		errors:      r.Counter("fallback_stage_errors_total", "chain", chain, "stage", stage),
+	}
+}
+
+// Fallback builds a registry-compatible Solver that tries each stage in
+// order under its own wall-clock budget and returns the first feasible
+// result (err == nil and no capacity violation), tagged in Result.ServedBy
+// with the stage that produced it. A typical chain is
+//
+//	core.Fallback("des", core.Stage(ilp, 50*time.Millisecond),
+//	    core.Stage(heuristic, 0), core.Stage(greedy, 0))
+//
+// so a pathological instance degrades to a cheaper algorithm instead of
+// stalling the caller. Per-stage activations, serves, timeouts, and errors
+// are exposed as fallback_*_total{chain,stage} counters.
+//
+// Determinism: the chain draws one seed per stage from the caller's rng up
+// front — regardless of how many stages actually run — so the caller's rng
+// stream advances by exactly len(stages) draws per Solve and an abandoned
+// stage never shares its rng with a later one. Chains whose stages are
+// deterministic and unbudgeted (e.g. Heuristic → Greedy) are themselves
+// deterministic; a wall-clock budget trades that for a latency guarantee,
+// exactly like ILPOptions.Timeout.
+func Fallback(name string, stages ...FallbackStage) Solver {
+	if name == "" {
+		panic("core: Fallback requires a non-empty chain name")
+	}
+	if len(stages) == 0 {
+		panic("core: Fallback requires at least one stage")
+	}
+	ins := make([]*fallbackInstruments, len(stages))
+	for i, st := range stages {
+		if st.Solver == nil {
+			panic(fmt.Sprintf("core: Fallback %q stage %d has a nil solver", name, i))
+		}
+		ins[i] = fallbackInstrumentsFor(name, st.Solver.Name())
+	}
+	return NewSolverFunc(name, func(inst *Instance, rng *rand.Rand) (*Result, error) {
+		// One seed per stage, drawn before any stage runs (see doc comment).
+		seeds := make([]int64, len(stages))
+		if rng != nil {
+			for i := range seeds {
+				seeds[i] = rng.Int63()
+			}
+		}
+		var fails []string
+		for i, st := range stages {
+			ins[i].activations.Inc()
+			var stageRng *rand.Rand
+			if rng != nil {
+				stageRng = rand.New(rand.NewSource(seeds[i]))
+			}
+			res, err, timedOut := runStage(st, inst, stageRng)
+			switch {
+			case timedOut:
+				ins[i].timeouts.Inc()
+				fails = append(fails, fmt.Sprintf("%s: budget %v exceeded", st.Solver.Name(), st.Budget))
+			case err != nil:
+				ins[i].errors.Inc()
+				fails = append(fails, fmt.Sprintf("%s: %v", st.Solver.Name(), err))
+			case res == nil:
+				ins[i].errors.Inc()
+				fails = append(fails, st.Solver.Name()+": nil result")
+			case res.Violated:
+				// A capacity-violating solution (possible for Randomized)
+				// cannot be committed, so for a serving chain it is a
+				// failure: fall through to the next stage.
+				ins[i].errors.Inc()
+				fails = append(fails, st.Solver.Name()+": capacity-violating result")
+			default:
+				ins[i].served.Inc()
+				res.ServedBy = st.Solver.Name()
+				return res, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: %s: %s", ErrFallbackExhausted, name, strings.Join(fails, "; "))
+	})
+}
+
+// runStage executes one stage, enforcing its wall-clock budget by running
+// the solver in a goroutine and abandoning it on expiry. The abandoned
+// goroutine only ever touches its private rng and the read-only instance,
+// and delivers into a buffered channel, so nothing races.
+func runStage(st FallbackStage, inst *Instance, rng *rand.Rand) (*Result, error, bool) {
+	if st.Budget <= 0 {
+		res, err := st.Solver.Solve(inst, rng)
+		return res, err, false
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := st.Solver.Solve(inst, rng)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(st.Budget)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.res, out.err, false
+	case <-timer.C:
+		return nil, nil, true
+	}
+}
+
+// ParseFallback builds a Fallback chain from a spec like
+// "ILP@50ms,Heuristic,Greedy": comma-separated registered solver names,
+// each with an optional @duration wall-clock budget. An ILP stage with a
+// budget is rebuilt with that duration as its internal ILPOptions.Timeout
+// (returning its best incumbent at the deadline) and given a small external
+// slack on top, so the budget degrades the answer before it abandons the
+// search.
+func ParseFallback(name, spec string) (Solver, error) {
+	var stages []FallbackStage
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		solverName := tok
+		var budget time.Duration
+		if at := strings.IndexByte(tok, '@'); at >= 0 {
+			solverName = strings.TrimSpace(tok[:at])
+			d, err := time.ParseDuration(strings.TrimSpace(tok[at+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("core: fallback stage %q: bad budget: %w", tok, err)
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("core: fallback stage %q: budget must be positive", tok)
+			}
+			budget = d
+		}
+		stages = append(stages, buildStage(solverName, budget))
+		if stages[len(stages)-1].Solver == nil {
+			known := Names()
+			return nil, fmt.Errorf("core: fallback stage %q: unknown solver (registered: %s)",
+				tok, strings.Join(known, ", "))
+		}
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("core: empty fallback spec %q", spec)
+	}
+	return Fallback(name, stages...), nil
+}
+
+// buildStage resolves one fallback stage. A budgeted ILP stage gets the
+// budget as its internal deterministic-incumbent deadline plus 25%+10ms of
+// external slack; every other solver is bounded externally only.
+func buildStage(solverName string, budget time.Duration) FallbackStage {
+	if budget > 0 && strings.EqualFold(solverName, "ILP") {
+		return Stage(NewILPSolver(ILPOptions{Timeout: budget}), budget+budget/4+10*time.Millisecond)
+	}
+	s, ok := Get(solverName)
+	if !ok {
+		return FallbackStage{}
+	}
+	return Stage(s, budget)
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// failingSolver always errors — the pathological first stage of a chain.
+func failingSolver(name string) Solver {
+	return NewSolverFunc(name, func(*Instance, *rand.Rand) (*Result, error) {
+		return nil, fmt.Errorf("%s: induced failure", name)
+	})
+}
+
+// stallingSolver blocks for d before answering — the stage a budget is for.
+func stallingSolver(name string, d time.Duration) Solver {
+	return NewSolverFunc(name, func(inst *Instance, _ *rand.Rand) (*Result, error) {
+		time.Sleep(d)
+		return SolveGreedy(inst)
+	})
+}
+
+func TestFallbackFirstStageServes(t *testing.T) {
+	inst := solverTestInstance(t, 11, 4)
+	chain := Fallback("t-first", Stage(NewHeuristicSolver(HeuristicOptions{}), 0), Stage(NewGreedySolver(), 0))
+	res, err := chain.Solve(inst, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy != "Heuristic" {
+		t.Fatalf("ServedBy = %q, want Heuristic", res.ServedBy)
+	}
+	direct, err := SolveHeuristic(inst, HeuristicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability != direct.Reliability {
+		t.Fatalf("chain result diverges from the direct solve: %v vs %v", res.Reliability, direct.Reliability)
+	}
+}
+
+func TestFallbackFallsThroughOnError(t *testing.T) {
+	inst := solverTestInstance(t, 12, 4)
+	chain := Fallback("t-error",
+		Stage(failingSolver("Broken"), 0),
+		Stage(NewHeuristicSolver(HeuristicOptions{}), 0))
+	res, err := chain.Solve(inst, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy != "Heuristic" {
+		t.Fatalf("ServedBy = %q, want the second stage", res.ServedBy)
+	}
+}
+
+func TestFallbackBudgetTimeout(t *testing.T) {
+	inst := solverTestInstance(t, 13, 4)
+	chain := Fallback("t-budget",
+		Stage(stallingSolver("Stall", 5*time.Second), 20*time.Millisecond),
+		Stage(NewGreedySolver(), 0))
+	start := time.Now()
+	res, err := chain.Solve(inst, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budget did not cut the stalling stage off (took %v)", elapsed)
+	}
+	if res.ServedBy != "Greedy" {
+		t.Fatalf("ServedBy = %q, want Greedy after the timeout", res.ServedBy)
+	}
+}
+
+func TestFallbackExhausted(t *testing.T) {
+	inst := solverTestInstance(t, 14, 4)
+	chain := Fallback("t-exhausted", Stage(failingSolver("A"), 0), Stage(failingSolver("B"), 0))
+	res, err := chain.Solve(inst, rand.New(rand.NewSource(1)))
+	if res != nil || err == nil {
+		t.Fatalf("want exhaustion error, got (%v, %v)", res, err)
+	}
+	if !errors.Is(err, ErrFallbackExhausted) {
+		t.Fatalf("error should wrap ErrFallbackExhausted: %v", err)
+	}
+}
+
+func TestFallbackViolatedResultFallsThrough(t *testing.T) {
+	inst := solverTestInstance(t, 15, 4)
+	violating := NewSolverFunc("Violating", func(inst *Instance, _ *rand.Rand) (*Result, error) {
+		res, err := SolveGreedy(inst)
+		if err != nil {
+			return nil, err
+		}
+		res.Violated = true
+		return res, nil
+	})
+	chain := Fallback("t-violated", Stage(violating, 0), Stage(NewHeuristicSolver(HeuristicOptions{}), 0))
+	res, err := chain.Solve(inst, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy != "Heuristic" {
+		t.Fatalf("ServedBy = %q; a violating result must not serve", res.ServedBy)
+	}
+}
+
+// TestFallbackRngStreamFixedWidth pins the determinism contract: a Solve
+// consumes exactly len(stages) draws from the caller's rng no matter which
+// stage serves, so downstream draws stay aligned across degradation paths.
+func TestFallbackRngStreamFixedWidth(t *testing.T) {
+	inst := solverTestInstance(t, 16, 3)
+	serveFirst := Fallback("t-width-a", Stage(NewHeuristicSolver(HeuristicOptions{}), 0), Stage(NewGreedySolver(), 0))
+	serveSecond := Fallback("t-width-b", Stage(failingSolver("Broken"), 0), Stage(NewGreedySolver(), 0))
+	next := func(chain Solver) int64 {
+		rng := rand.New(rand.NewSource(77))
+		if _, err := chain.Solve(inst, rng); err != nil {
+			t.Fatal(err)
+		}
+		return rng.Int63()
+	}
+	if a, b := next(serveFirst), next(serveSecond); a != b {
+		t.Fatalf("caller rng stream diverged across chain paths: %d vs %d", a, b)
+	}
+}
+
+func TestFallbackRegistryFailsafe(t *testing.T) {
+	s, ok := Get("failsafe")
+	if !ok {
+		t.Fatal("Failsafe chain not registered")
+	}
+	inst := solverTestInstance(t, 17, 4)
+	res, err := s.Solve(inst, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy == "" {
+		t.Fatal("registry Failsafe result not stage-tagged")
+	}
+}
+
+func TestParseFallback(t *testing.T) {
+	chain, err := ParseFallback("t-parse", "ILP@50ms, Heuristic ,Greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := solverTestInstance(t, 18, 3)
+	res, err := chain.Solve(inst, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy == "" {
+		t.Fatal("parsed chain result not stage-tagged")
+	}
+	for _, bad := range []string{"", "NoSuchSolver", "ILP@banana", "Heuristic@-3s"} {
+		if _, err := ParseFallback("t-parse-bad", bad); err == nil {
+			t.Fatalf("spec %q should not parse", bad)
+		}
+	}
+}
+
+// FuzzFallbackChain drives a chain over fuzz-chosen workloads and shapes,
+// asserting the chain's contract: it either errors (wrapping
+// ErrFallbackExhausted when every stage failed) or returns a feasible,
+// stage-tagged result whose reliability is a valid probability. The seed
+// corpus is pinned under testdata/fuzz/FuzzFallbackChain.
+func FuzzFallbackChain(f *testing.F) {
+	f.Add(int64(1), int64(3), int64(990), false)
+	f.Add(int64(42), int64(6), int64(999), true)
+	f.Add(int64(7), int64(1), int64(500), true)
+	f.Add(int64(1234), int64(8), int64(1000), false)
+	f.Fuzz(func(t *testing.T, seed, sfcLen, rhoMilli int64, failFirst bool) {
+		if sfcLen < 1 {
+			sfcLen = 1
+		}
+		if sfcLen > 10 {
+			sfcLen = sfcLen%10 + 1
+		}
+		rho := float64((rhoMilli%1000+1000)%1000+1) / 1000.0
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.NewDefaultConfig()
+		cfg.Expectation = rho
+		net := cfg.Network(rng)
+		req := cfg.RequestWithLength(rng, 0, int(sfcLen), net.Catalog().Size())
+		workload.PlacePrimariesRandom(net, req, rng)
+		inst := NewInstance(net, req, Params{L: cfg.HopBound})
+
+		stages := []FallbackStage{
+			Stage(NewHeuristicSolver(HeuristicOptions{}), 0),
+			Stage(NewGreedySolver(), 0),
+		}
+		if failFirst {
+			stages = append([]FallbackStage{Stage(failingSolver("Broken"), 0)}, stages...)
+		}
+		chain := Fallback("fuzz", stages...)
+		res, err := chain.Solve(inst, rng)
+		if err != nil {
+			if !errors.Is(err, ErrFallbackExhausted) {
+				t.Fatalf("chain error does not wrap ErrFallbackExhausted: %v", err)
+			}
+			return
+		}
+		if res == nil {
+			t.Fatal("nil result without error")
+		}
+		if res.ServedBy == "" {
+			t.Fatal("result not stage-tagged")
+		}
+		if res.Violated {
+			t.Fatal("chain served a capacity-violating result")
+		}
+		if res.Reliability < 0 || res.Reliability > 1+1e-9 {
+			t.Fatalf("reliability %v out of [0,1]", res.Reliability)
+		}
+	})
+}

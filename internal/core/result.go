@@ -51,6 +51,9 @@ type Result struct {
 	// Nodes is the number of branch-and-bound nodes the ILP explored,
 	// summed over components (zero for the other algorithms).
 	Nodes int
+	// ServedBy names the fallback-chain stage that produced this result
+	// (set by core.Fallback only; empty for direct solver calls).
+	ServedBy string
 }
 
 // finalize fills the derived fields of a result from PerBin.

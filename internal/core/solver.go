@@ -225,4 +225,11 @@ func init() {
 	Register(NewRandomizedSolver(RandomizedOptions{}))
 	Register(NewHeuristicSolver(HeuristicOptions{}))
 	Register(NewGreedySolver())
+	// Failsafe is the deterministic graceful-degradation chain: the
+	// heuristic serves unless it fails, in which case the greedy baseline
+	// does. No stage carries a wall-clock budget, so the registry's
+	// purity/reproducibility contract above still holds for it.
+	Register(Fallback("Failsafe",
+		Stage(NewHeuristicSolver(HeuristicOptions{}), 0),
+		Stage(NewGreedySolver(), 0)))
 }

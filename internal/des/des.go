@@ -7,6 +7,21 @@
 // expectation-satisfaction rate, and time-averaged capacity utilization —
 // the metrics the dynamic-arrival literature the paper cites ([12], [13])
 // evaluates.
+//
+// Two resilience mechanisms extend the basic churn model:
+//
+//   - Every solve goes through a core.Fallback chain (by default
+//     [ILP →] Heuristic → Greedy), so a request whose preferred solver
+//     fails or exceeds its wall-clock budget degrades to a cheaper
+//     algorithm, and a request no stage can serve is recorded as Blocked
+//     with a reason instead of aborting the run.
+//   - Optional seeded cloudlet crash/repair injection (FaultConfig): a
+//     crash destroys the VNF instances hosted on the cloudlet and takes its
+//     capacity offline; affected sessions are re-augmented through the
+//     chain or dropped; a repair returns the capacity. The run reports
+//     SLO-violation time, re-augmentation successes/failures, and the blast
+//     radius of each crash — a dynamic cross-check of internal/failsim's
+//     static availability numbers.
 package des
 
 import (
@@ -15,6 +30,9 @@ import (
 	"log/slog"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/admission"
 	"repro/internal/core"
@@ -35,8 +53,18 @@ type Config struct {
 	Warmup float64
 	// Workload generates the network and per-request shapes.
 	Workload workload.Config
-	// UseILP selects the exact solver instead of the heuristic.
+	// UseILP puts the exact solver at the head of the fallback chain.
 	UseILP bool
+	// ILPBudget bounds the ILP stage's wall clock per solve when UseILP is
+	// set: the ILP returns its best incumbent at the deadline and is
+	// abandoned (falling through to the heuristic) shortly after. Zero
+	// keeps the deterministic node-budget-only ILP.
+	ILPBudget time.Duration
+	// Chain overrides the solver fallback chain entirely (advanced). nil
+	// builds [ILP@ILPBudget →] Heuristic → Greedy from the fields above.
+	Chain []core.FallbackStage
+	// Faults configures seeded cloudlet crash/repair injection.
+	Faults FaultConfig
 	// L is the hop bound (default 1).
 	L int
 }
@@ -48,15 +76,48 @@ func (c Config) validate() error {
 	if c.Warmup < 0 || c.Warmup >= c.Horizon {
 		return fmt.Errorf("des: warmup %v out of [0,%v)", c.Warmup, c.Horizon)
 	}
-	return nil
+	return c.Faults.validate()
+}
+
+// buildSolver assembles the run's fallback chain (see Config.Chain).
+func (c Config) buildSolver() core.Solver {
+	stages := c.Chain
+	if len(stages) == 0 {
+		if c.UseILP {
+			if c.ILPBudget > 0 {
+				// Internal incumbent deadline plus external slack — the
+				// same policy as core.ParseFallback's budgeted ILP stage.
+				stages = append(stages, core.Stage(
+					core.NewILPSolver(core.ILPOptions{Timeout: c.ILPBudget}),
+					c.ILPBudget+c.ILPBudget/4+10*time.Millisecond))
+			} else {
+				stages = append(stages, core.Stage(core.NewILPSolver(core.ILPOptions{Timeout: core.NoTimeout}), 0))
+			}
+		}
+		stages = append(stages,
+			core.Stage(core.NewHeuristicSolver(core.HeuristicOptions{}), 0),
+			core.Stage(core.NewGreedySolver(), 0))
+	}
+	names := make([]string, len(stages))
+	for i, st := range stages {
+		names[i] = st.Solver.Name()
+	}
+	return core.Fallback(strings.Join(names, "+"), stages...)
 }
 
 // Metrics aggregates a run (post-warmup unless stated).
 type Metrics struct {
 	Arrivals int
 	Accepted int
-	Blocked  int // admission failed: no capacity for primaries
-	Met      int // accepted and reached ρ
+	Blocked  int // admission or augmentation failed (see the reason split)
+	Met      int // accepted and reached ρ at admission
+	// Blocked splits by reason (post-warmup, like Blocked):
+	BlockedNoCapacity int // no cloudlet could host a primary
+	BlockedSolver     int // the fallback chain exhausted every stage
+	BlockedCommit     int // the solution no longer fit the live ledger
+	// ServedByStage counts successful solves (admission and
+	// re-augmentation, full horizon) per fallback stage that served them.
+	ServedByStage map[string]int
 	// BlockingProbability = Blocked / Arrivals.
 	BlockingProbability float64
 	// MetRate = Met / Accepted.
@@ -65,30 +126,68 @@ type Metrics struct {
 	MeanReliability float64
 	// MeanUtilization is the time-averaged fraction of total cloudlet
 	// capacity in use across the full horizon (including warmup, since it is
-	// a state average, reported from warmup onwards).
+	// a state average, reported from warmup onwards). Capacity taken offline
+	// by a crash counts as in use — from the operator's view it is equally
+	// unavailable.
 	MeanUtilization float64
 	// PeakActive is the maximum number of concurrent sessions observed.
 	PeakActive int
 	// MeanActive is the time-averaged number of concurrent sessions.
 	MeanActive float64
-	// EndResidualIntact reports whether, after draining all sessions at the
-	// end of the run, the ledger returned to its initial state (a
-	// conservation check the tests rely on).
+	// EndResidualIntact reports whether, after draining all sessions (and
+	// repairing still-dark cloudlets) at the end of the run, the ledger
+	// returned to its initial state (a conservation check the tests rely
+	// on).
 	EndResidualIntact bool
+
+	// Fault-injection metrics (full horizon; zero when faults are off):
+	Crashes          int
+	Repairs          int
+	AffectedSessions int // session-crash incidences, Σ BlastRadii
+	Reaugmented      int // crash-affected sessions restored through the chain
+	ReaugFailed      int // crash-affected sessions the chain could not restore
+	DroppedSessions  int // sessions terminated early (== ReaugFailed)
+	// BlastRadii records, per crash event in time order, how many active
+	// sessions lost at least one VNF instance.
+	BlastRadii []int
+	// SLOViolationTime integrates, over [Warmup, Horizon], the session-time
+	// during which an accepted session's placement did not meet its
+	// reliability expectation ρ — from admission shortfall, from a crash
+	// until re-augmentation restores ρ, or (for dropped sessions) until the
+	// session's intended departure.
+	SLOViolationTime float64
 }
 
-// event is an arrival or departure.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evDeparture
+	evCrash
+	evRepair
+)
+
+// session is one admitted request's live state: the capacity it holds per
+// node, its scheduled departure, and its SLO bookkeeping.
+type session struct {
+	id       int
+	req      *mec.Request
+	holdings map[int]float64 // node → MHz held (primaries + secondaries)
+	depTime  float64
+	counted  bool // arrived after warmup: contributes to rate metrics
+	met      bool // current placement meets ρ
+	violFrom float64
+	dropped  bool
+}
+
+// event is an arrival, departure, cloudlet crash, or cloudlet repair.
 type event struct {
-	t      float64
-	isDep  bool
-	id     int
-	req    *mec.Request
-	relAmt []release // departure: capacity to give back
-}
-
-type release struct {
-	node int
-	amt  float64
+	t    float64
+	kind eventKind
+	id   int          // arrival: request id
+	req  *mec.Request // arrival
+	sess *session     // departure
+	node int          // crash/repair: the cloudlet
 }
 
 type eventHeap []*event
@@ -107,6 +206,14 @@ func (h *eventHeap) Pop() interface{} {
 // Run executes the simulation. The network is sampled from cfg.Workload with
 // full residual capacity (the residual-fraction knob does not apply to the
 // dynamic regime; churn itself produces partial occupancy).
+//
+// Determinism: a run is a pure function of (cfg, the rng stream). The event
+// loop is single-threaded, affected sessions are visited in ascending id
+// order, and the fallback chain consumes a fixed number of rng draws per
+// solve, so two runs with the same seed produce bit-identical metrics and
+// crash/repair trajectories — unless a stage carries a wall-clock budget
+// (ILPBudget), which deliberately trades reproducibility for latency, the
+// same trade ILPOptions.Timeout documents.
 func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -114,16 +221,11 @@ func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 	if cfg.L <= 0 {
 		cfg.L = 1
 	}
-	// Resolve the solver once through the registry-style adapters so every
-	// solve flows through the instrumented core.Solver wrapper (durations,
-	// pivots, node counts) without touching the event loop's rng stream.
-	solver := core.NewHeuristicSolver(core.HeuristicOptions{})
-	if cfg.UseILP {
-		solver = core.NewILPSolver(core.ILPOptions{})
-	}
+	solver := cfg.buildSolver()
 	slog.Info("des: starting run",
 		"rate", cfg.ArrivalRate, "mean_hold", cfg.MeanHold,
-		"horizon", cfg.Horizon, "warmup_cutoff", cfg.Warmup, "solver", solver.Name())
+		"horizon", cfg.Horizon, "warmup_cutoff", cfg.Warmup, "solver", solver.Name(),
+		"faults", cfg.Faults.Enabled)
 	wl := cfg.Workload
 	wl.ResidualFraction = 1.0
 	net := wl.Network(rng)
@@ -135,15 +237,24 @@ func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 	initialResidual := net.ResidualSnapshot()
 
 	var q eventHeap
+	// Pre-generate the fault process (its rng is split off the main stream
+	// with a single draw so enabling faults shifts, never interleaves, the
+	// arrival stream).
+	if cfg.Faults.Enabled {
+		faultRng := rand.New(rand.NewSource(rng.Int63()))
+		for _, ev := range faultTimeline(net.Cloudlets(), cfg.Faults, cfg.Horizon, faultRng) {
+			heap.Push(&q, ev)
+		}
+	}
 	// Pre-generate the arrival process.
 	id := 0
 	for t := expDraw(rng, 1/cfg.ArrivalRate); t < cfg.Horizon; t += expDraw(rng, 1/cfg.ArrivalRate) {
 		req := wl.Request(rng, id, net.Catalog().Size())
-		heap.Push(&q, &event{t: t, req: req, id: id})
+		heap.Push(&q, &event{t: t, kind: evArrival, req: req, id: id})
 		id++
 	}
 
-	m := &Metrics{}
+	m := &Metrics{ServedByStage: make(map[string]int)}
 	var (
 		utilInt   float64 // ∫ utilization dt after warmup
 		activeInt float64 // ∫ active dt after warmup
@@ -151,6 +262,8 @@ func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 		active    int
 		relSum    float64
 	)
+	sessions := make(map[int]*session)
+	down := make(map[int]bool) // cloudlet → currently crashed
 	used := func() float64 {
 		u := 0.0
 		for _, v := range net.Cloudlets() {
@@ -169,6 +282,70 @@ func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 			lastT = now
 		}
 	}
+	// violSpan clamps an SLO-violation interval to the measured window.
+	violSpan := func(from, to float64) float64 {
+		lo := math.Max(from, cfg.Warmup)
+		hi := math.Min(to, cfg.Horizon)
+		if hi > lo {
+			return hi - lo
+		}
+		return 0
+	}
+	// setMet transitions a session's SLO state at time now, integrating the
+	// violation interval that just ended.
+	setMet := func(s *session, met bool, now float64) {
+		if s.met == met {
+			return
+		}
+		if met {
+			m.SLOViolationTime += violSpan(s.violFrom, now)
+		} else {
+			s.violFrom = now
+		}
+		s.met = met
+	}
+	// drop terminates a crash-affected session the chain could not restore.
+	// Its holdings have already been released by the re-augmentation
+	// attempt; the rest of its intended lifetime counts as violated.
+	drop := func(s *session, now float64) {
+		m.ReaugFailed++
+		m.DroppedSessions++
+		if !s.met {
+			m.SLOViolationTime += violSpan(s.violFrom, now)
+		}
+		m.SLOViolationTime += violSpan(now, s.depTime)
+		s.dropped = true
+		delete(sessions, s.id)
+		active--
+	}
+	// solveAndCommit runs admission + augmentation + commitment for req
+	// against the live ledger, returning the per-node capacity diff. On any
+	// failure the ledger is rolled back and a blocked reason is returned.
+	solveAndCommit := func(req *mec.Request) (map[int]float64, *core.Result, string) {
+		snap := net.ResidualSnapshot()
+		if err := admission.PlaceRandom(net, req, rng); err != nil {
+			return nil, nil, "no_capacity"
+		}
+		inst := core.NewInstance(net, req, core.Params{L: cfg.L})
+		res, err := solver.Solve(inst, rng)
+		if err != nil {
+			net.RestoreResiduals(snap)
+			return nil, nil, "solver_exhausted"
+		}
+		if err := res.Commit(net); err != nil {
+			net.RestoreResiduals(snap)
+			return nil, nil, "commit_failed"
+		}
+		holdings := make(map[int]float64)
+		after := net.ResidualSnapshot()
+		for v := range snap {
+			if d := snap[v] - after[v]; d > 1e-12 {
+				holdings[v] = d
+			}
+		}
+		m.ServedByStage[res.ServedBy]++
+		return holdings, res, ""
+	}
 
 	for q.Len() > 0 {
 		ev := heap.Pop(&q).(*event)
@@ -177,65 +354,133 @@ func Run(cfg Config, rng *rand.Rand) (*Metrics, error) {
 			break
 		}
 		tick(ev.t)
-		if ev.isDep {
-			for _, r := range ev.relAmt {
-				net.Release(r.node, r.amt)
+		switch ev.kind {
+		case evDeparture:
+			s := ev.sess
+			if s.dropped {
+				continue
 			}
+			for u, amt := range s.holdings {
+				net.Release(u, amt)
+			}
+			if !s.met {
+				m.SLOViolationTime += violSpan(s.violFrom, ev.t)
+			}
+			delete(sessions, s.id)
 			active--
-			continue
-		}
 
-		if ev.t >= cfg.Warmup {
-			m.Arrivals++
-		}
-		// Admission: primaries (random placement, the paper's §7.1 default).
-		snap := net.ResidualSnapshot()
-		if err := admission.PlaceRandom(net, ev.req, rng); err != nil {
-			if ev.t >= cfg.Warmup {
-				m.Blocked++
+		case evArrival:
+			counted := ev.t >= cfg.Warmup
+			if counted {
+				m.Arrivals++
 			}
-			continue
-		}
-		inst := core.NewInstance(net, ev.req, core.Params{L: cfg.L})
-		res, err := solver.Solve(inst, rng)
-		if err != nil {
-			return nil, fmt.Errorf("des: solver failed at t=%v: %w", ev.t, err)
-		}
-		if err := res.Commit(net); err != nil {
-			return nil, fmt.Errorf("des: commit failed at t=%v: %w", ev.t, err)
-		}
+			holdings, res, reason := solveAndCommit(ev.req)
+			if reason != "" {
+				if counted {
+					m.Blocked++
+					switch reason {
+					case "no_capacity":
+						m.BlockedNoCapacity++
+					case "solver_exhausted":
+						m.BlockedSolver++
+					case "commit_failed":
+						m.BlockedCommit++
+					}
+				}
+				continue
+			}
+			s := &session{
+				id: ev.id, req: ev.req, holdings: holdings,
+				depTime: ev.t + expDraw(rng, cfg.MeanHold),
+				counted: counted, met: res.MetExpectation, violFrom: ev.t,
+			}
+			sessions[s.id] = s
+			heap.Push(&q, &event{t: s.depTime, kind: evDeparture, sess: s})
+			active++
+			if active > m.PeakActive {
+				m.PeakActive = active
+			}
+			if counted {
+				m.Accepted++
+				relSum += res.Reliability
+				if res.MetExpectation {
+					m.Met++
+				}
+			}
 
-		// Record the exact capacity this session holds, for departure.
-		var rels []release
-		after := net.ResidualSnapshot()
-		for v := range snap {
-			if d := snap[v] - after[v]; d > 1e-12 {
-				rels = append(rels, release{node: v, amt: d})
+		case evCrash:
+			v := ev.node
+			m.Crashes++
+			down[v] = true
+			// Affected sessions, in ascending id order so the re-augmentation
+			// sequence (and its rng draws) is deterministic.
+			var affected []*session
+			for _, s := range sessions {
+				if s.holdings[v] > 0 {
+					affected = append(affected, s)
+				}
 			}
-		}
-		active++
-		if active > m.PeakActive {
-			m.PeakActive = active
-		}
-		if ev.t >= cfg.Warmup {
-			m.Accepted++
-			relSum += res.Reliability
-			if res.MetExpectation {
-				m.Met++
+			sort.Slice(affected, func(i, j int) bool { return affected[i].id < affected[j].id })
+			m.BlastRadii = append(m.BlastRadii, len(affected))
+			m.AffectedSessions += len(affected)
+			// The crash destroys every hosted instance: the capacity those
+			// instances held on v vanishes with the node.
+			for _, s := range affected {
+				delete(s.holdings, v)
 			}
+			// Take the remaining capacity offline so no placement lands on a
+			// dark cloudlet (zero residual excludes it from every bin set).
+			if r := net.Residual(v); r > 0 {
+				net.Consume(v, r)
+			}
+			// Re-augment each affected session through the chain: surviving
+			// instances are migrated (their capacity released, the request
+			// re-admitted and re-solved against the degraded network).
+			for _, s := range affected {
+				for u, amt := range s.holdings {
+					net.Release(u, amt)
+				}
+				s.holdings = make(map[int]float64)
+				s.req.Primaries = nil
+				holdings, res, reason := solveAndCommit(s.req)
+				if reason != "" {
+					drop(s, ev.t)
+					continue
+				}
+				s.holdings = holdings
+				m.Reaugmented++
+				setMet(s, res.MetExpectation, ev.t)
+			}
+
+		case evRepair:
+			v := ev.node
+			m.Repairs++
+			down[v] = false
+			// Nothing holds capacity on a dark cloudlet (the crash destroyed
+			// its instances and zero residual kept new ones away), so the
+			// repaired node returns at full capacity; Release caps there.
+			net.Release(v, net.Capacity[v])
 		}
-		dep := &event{t: ev.t + expDraw(rng, cfg.MeanHold), isDep: true, relAmt: rels}
-		heap.Push(&q, dep)
 	}
 	tick(cfg.Horizon)
 
-	// Drain remaining sessions to verify ledger conservation.
+	// Drain remaining sessions (and repair still-dark cloudlets) to verify
+	// ledger conservation.
 	for q.Len() > 0 {
 		ev := heap.Pop(&q).(*event)
-		if ev.isDep {
-			for _, r := range ev.relAmt {
-				net.Release(r.node, r.amt)
-			}
+		if ev.kind != evDeparture || ev.sess.dropped {
+			continue
+		}
+		for u, amt := range ev.sess.holdings {
+			net.Release(u, amt)
+		}
+		if !ev.sess.met {
+			m.SLOViolationTime += violSpan(ev.sess.violFrom, ev.t)
+		}
+	}
+	for v, isDown := range down {
+		if isDown {
+			net.Release(v, net.Capacity[v])
 		}
 	}
 	m.EndResidualIntact = true
@@ -270,16 +515,33 @@ func (m *Metrics) record(solver string) {
 	r := obs.Default()
 	r.Counter("des_arrivals_total", "solver", solver).Add(int64(m.Arrivals))
 	r.Counter("des_blocked_total", "solver", solver).Add(int64(m.Blocked))
+	r.Counter("des_blocked_reason_total", "solver", solver, "reason", "no_capacity").Add(int64(m.BlockedNoCapacity))
+	r.Counter("des_blocked_reason_total", "solver", solver, "reason", "solver_exhausted").Add(int64(m.BlockedSolver))
+	r.Counter("des_blocked_reason_total", "solver", solver, "reason", "commit_failed").Add(int64(m.BlockedCommit))
 	r.Counter("des_accepted_total", "solver", solver).Add(int64(m.Accepted))
 	r.Counter("des_met_total", "solver", solver).Add(int64(m.Met))
 	r.Gauge("des_mean_utilization_ratio", "solver", solver).Set(m.MeanUtilization)
 	r.Gauge("des_blocking_probability", "solver", solver).Set(m.BlockingProbability)
 	r.Histogram("des_mean_reliability", obs.RatioBuckets, "solver", solver).Observe(m.MeanReliability)
+	r.Counter("des_crashes_total", "solver", solver).Add(int64(m.Crashes))
+	r.Counter("des_repairs_total", "solver", solver).Add(int64(m.Repairs))
+	r.Counter("des_reaug_success_total", "solver", solver).Add(int64(m.Reaugmented))
+	r.Counter("des_reaug_failed_total", "solver", solver).Add(int64(m.ReaugFailed))
+	r.Counter("des_sessions_dropped_total", "solver", solver).Add(int64(m.DroppedSessions))
+	r.Gauge("des_slo_violation_time", "solver", solver).Set(m.SLOViolationTime)
+	for _, blast := range m.BlastRadii {
+		r.Histogram("des_crash_blast_radius", obs.CountBuckets, "solver", solver).Observe(float64(blast))
+	}
+	for stage, n := range m.ServedByStage {
+		r.Counter("des_served_total", "solver", solver, "stage", stage).Add(int64(n))
+	}
 	slog.Info("des: run complete",
 		"solver", solver, "arrivals", m.Arrivals, "accepted", m.Accepted,
 		"blocked", m.Blocked, "met", m.Met,
 		"blocking_probability", m.BlockingProbability, "met_rate", m.MetRate,
 		"mean_utilization", m.MeanUtilization, "mean_active", m.MeanActive,
+		"crashes", m.Crashes, "reaugmented", m.Reaugmented, "dropped", m.DroppedSessions,
+		"slo_violation_time", m.SLOViolationTime,
 		"ledger_intact", m.EndResidualIntact)
 }
 

@@ -1,0 +1,62 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultConfig parameterizes seeded cloudlet crash/repair injection: each
+// cloudlet alternates exponentially distributed up and down periods,
+// independent of the others. A crash destroys every VNF instance hosted on
+// the cloudlet and takes its remaining capacity offline; a repair returns
+// the full capacity to the ledger. Affected requests are re-augmented
+// through the solver fallback chain at crash time.
+//
+// This is the dynamic counterpart of internal/failsim's static snapshot
+// model: failsim samples instance up/down states per trial, while the DES
+// replays an actual crash/repair process against live sessions — the regime
+// the online-backup literature (Wang et al., failure-aware edge backup)
+// studies.
+type FaultConfig struct {
+	// Enabled turns fault injection on.
+	Enabled bool
+	// MeanUp is a cloudlet's mean time between repair and next crash
+	// (exponential; > 0). This is the MTBF knob.
+	MeanUp float64
+	// MeanDown is a cloudlet's mean repair duration (exponential; > 0).
+	// This is the MTTR knob.
+	MeanDown float64
+}
+
+func (f FaultConfig) validate() error {
+	if !f.Enabled {
+		return nil
+	}
+	if f.MeanUp <= 0 || f.MeanDown <= 0 {
+		return fmt.Errorf("des: fault injection needs MeanUp %v and MeanDown %v positive", f.MeanUp, f.MeanDown)
+	}
+	return nil
+}
+
+// faultTimeline pre-generates the crash/repair events of every cloudlet over
+// [0, horizon): per cloudlet an alternating-renewal process of exponential
+// up then down periods, drawn from rng in ascending cloudlet order so the
+// timeline is a pure function of the rng stream. A down period that crosses
+// the horizon gets no repair event; Run releases still-dark cloudlets during
+// the drain so the conservation check stays meaningful.
+func faultTimeline(cloudlets []int, fc FaultConfig, horizon float64, rng *rand.Rand) []*event {
+	var events []*event
+	for _, v := range cloudlets {
+		t := expDraw(rng, fc.MeanUp)
+		for t < horizon {
+			events = append(events, &event{t: t, kind: evCrash, node: v})
+			d := expDraw(rng, fc.MeanDown)
+			if t+d >= horizon {
+				break
+			}
+			events = append(events, &event{t: t + d, kind: evRepair, node: v})
+			t += d + expDraw(rng, fc.MeanUp)
+		}
+	}
+	return events
+}

@@ -1,0 +1,198 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func faultConfig() Config {
+	cfg := baseConfig()
+	cfg.Faults = FaultConfig{Enabled: true, MeanUp: 60, MeanDown: 10}
+	return cfg
+}
+
+func TestFaultInjectionBasics(t *testing.T) {
+	m, err := Run(faultConfig(), rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Crashes == 0 {
+		t.Fatal("no crashes injected over a 200-unit horizon with MTBF 60")
+	}
+	if m.Repairs > m.Crashes {
+		t.Fatalf("repairs %d exceed crashes %d", m.Repairs, m.Crashes)
+	}
+	if len(m.BlastRadii) != m.Crashes {
+		t.Fatalf("one blast radius per crash: %d radii, %d crashes", len(m.BlastRadii), m.Crashes)
+	}
+	sum := 0
+	for _, b := range m.BlastRadii {
+		if b < 0 {
+			t.Fatalf("negative blast radius %d", b)
+		}
+		sum += b
+	}
+	if sum != m.AffectedSessions {
+		t.Fatalf("Σ blast radii %d != affected sessions %d", sum, m.AffectedSessions)
+	}
+	if m.Reaugmented+m.ReaugFailed != m.AffectedSessions {
+		t.Fatalf("reaugmented %d + failed %d != affected %d", m.Reaugmented, m.ReaugFailed, m.AffectedSessions)
+	}
+	if m.DroppedSessions != m.ReaugFailed {
+		t.Fatalf("dropped %d != re-augmentation failures %d", m.DroppedSessions, m.ReaugFailed)
+	}
+	if m.SLOViolationTime < 0 {
+		t.Fatalf("negative SLO-violation time %v", m.SLOViolationTime)
+	}
+	if len(m.ServedByStage) == 0 {
+		t.Fatal("no solves attributed to a fallback stage")
+	}
+}
+
+func TestFaultLedgerConservation(t *testing.T) {
+	// Crashes destroy holdings and zero residuals mid-run; repairs and the
+	// end-of-run drain must still return the ledger to its initial state.
+	for seed := int64(30); seed < 34; seed++ {
+		m, err := Run(faultConfig(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.EndResidualIntact {
+			t.Fatalf("seed %d: ledger did not return to its initial state under faults", seed)
+		}
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	// The full metrics struct — blast radii trajectory and per-stage serve
+	// counts included — must be a pure function of the seed.
+	a, err := Run(faultConfig(), rand.New(rand.NewSource(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(faultConfig(), rand.New(rand.NewSource(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault-injected runs with one seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestSolverExhaustionBlocksNotAborts(t *testing.T) {
+	// A chain whose every stage fails must degrade each arrival to Blocked
+	// (reason: solver_exhausted) instead of aborting the whole run — the
+	// fail-soft contract this PR introduces.
+	cfg := baseConfig()
+	cfg.Horizon = 60
+	cfg.Warmup = 0
+	broken := core.NewSolverFunc("AlwaysBroken", func(*core.Instance, *rand.Rand) (*core.Result, error) {
+		return nil, fmt.Errorf("induced solver failure")
+	})
+	cfg.Chain = []core.FallbackStage{core.Stage(broken, 0)}
+	m, err := Run(cfg, rand.New(rand.NewSource(50)))
+	if err != nil {
+		t.Fatalf("run aborted on solver failure: %v", err)
+	}
+	if m.Arrivals == 0 {
+		t.Fatal("no arrivals")
+	}
+	if m.Blocked != m.Arrivals || m.Accepted != 0 {
+		t.Fatalf("every arrival should block: arrivals %d, blocked %d, accepted %d", m.Arrivals, m.Blocked, m.Accepted)
+	}
+	if m.BlockedSolver != m.Blocked {
+		t.Fatalf("blocked reason split wrong: solver %d of %d (no_capacity %d, commit %d)",
+			m.BlockedSolver, m.Blocked, m.BlockedNoCapacity, m.BlockedCommit)
+	}
+	if !m.EndResidualIntact {
+		t.Fatal("blocking path leaked capacity")
+	}
+}
+
+func TestILPBudgetDegradation(t *testing.T) {
+	// The acceptance scenario: crash events on, the ILP on a tight wall-clock
+	// budget, and the run must complete with every solve attributed to some
+	// stage of the chain.
+	cfg := faultConfig()
+	cfg.Horizon = 60
+	cfg.Warmup = 5
+	cfg.UseILP = true
+	cfg.ILPBudget = 50 * time.Millisecond
+	m, err := Run(cfg, rand.New(rand.NewSource(60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accepted == 0 {
+		t.Fatal("budgeted chain accepted nothing")
+	}
+	served := 0
+	for stage, n := range m.ServedByStage {
+		if stage == "" {
+			t.Fatal("solve attributed to an unnamed stage")
+		}
+		served += n
+	}
+	if served == 0 {
+		t.Fatal("no solves attributed to any stage")
+	}
+	if !m.EndResidualIntact {
+		t.Fatal("budgeted fault run leaked capacity")
+	}
+}
+
+func TestFaultsOffMatchesBaseline(t *testing.T) {
+	// With injection disabled the simulator must reproduce the fault-free
+	// trajectory exactly: zero fault metrics and identical core aggregates.
+	plain, err := Run(baseConfig(), rand.New(rand.NewSource(70)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Crashes != 0 || plain.Repairs != 0 || len(plain.BlastRadii) != 0 || plain.DroppedSessions != 0 {
+		t.Fatalf("fault metrics nonzero without injection: %+v", plain)
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	cfg := faultConfig()
+	cfg.Faults.MeanUp = 0
+	if _, err := Run(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero MeanUp accepted")
+	}
+	cfg = faultConfig()
+	cfg.Faults.MeanDown = -1
+	if _, err := Run(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("negative MeanDown accepted")
+	}
+	disabled := baseConfig()
+	disabled.Faults = FaultConfig{Enabled: false, MeanUp: -1, MeanDown: -1}
+	if _, err := Run(disabled, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("disabled fault config must not be validated: %v", err)
+	}
+}
+
+func TestFaultTimelineAlternates(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	events := faultTimeline([]int{0, 1, 2}, FaultConfig{Enabled: true, MeanUp: 5, MeanDown: 2}, 100, rng)
+	last := map[int]eventKind{}
+	for _, ev := range events {
+		if ev.t < 0 || ev.t >= 100 {
+			t.Fatalf("event at t=%v outside [0,100)", ev.t)
+		}
+		prev, seen := last[ev.node]
+		if !seen && ev.kind != evCrash {
+			t.Fatalf("node %d starts with %v, want crash", ev.node, ev.kind)
+		}
+		if seen && prev == ev.kind {
+			t.Fatalf("node %d has consecutive %v events", ev.node, ev.kind)
+		}
+		last[ev.node] = ev.kind
+	}
+	if len(last) != 3 {
+		t.Fatalf("timeline covered %d nodes, want 3 over a 100-unit horizon with MTBF 5", len(last))
+	}
+}

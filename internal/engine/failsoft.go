@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TrialError records one trial RunPartial could not complete. Failed trials
+// leave the zero value in the results slice; the error list identifies them.
+type TrialError struct {
+	// Trial is the trial index within the run.
+	Trial int
+	// Seed is the RNG seed of the final attempt.
+	Seed int64
+	// Attempts is the number of attempts made (>= 1).
+	Attempts int
+	// Kind classifies the failure: "error" (trial function returned an
+	// error), "panic" (recovered), or "deadline" (per-trial deadline hit).
+	Kind string
+	// Err is the final attempt's error (for deadlines, a synthesized one).
+	Err error
+}
+
+func (e TrialError) Error() string {
+	return fmt.Sprintf("trial %d (%s, %d attempt(s), seed %d): %v",
+		e.Trial, e.Kind, e.Attempts, e.Seed, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e TrialError) Unwrap() error { return e.Err }
+
+// Failure kinds reported in TrialError.Kind.
+const (
+	KindError    = "error"
+	KindPanic    = "panic"
+	KindDeadline = "deadline"
+)
+
+// FailSoftOptions tunes RunPartial.
+type FailSoftOptions struct {
+	// Tag is woven into failure logs and TrialError context, like RunTagged.
+	Tag string
+	// TrialTimeout bounds each attempt's wall clock (<= 0: unbounded). A
+	// timed-out attempt is abandoned — its goroutine keeps running until the
+	// trial function returns, but its result is discarded — and the trial is
+	// reported as a KindDeadline TrialError. Deadline hits are never retried
+	// (a retry would multiply the worst-case latency).
+	TrialTimeout time.Duration
+	// MaxAttempts caps total attempts per trial (<= 1: single attempt).
+	// Retries are deterministic: attempt k reruns the trial with a seed that
+	// is a pure function of (trial seed, k), so whether a retry happens and
+	// what it computes depend only on the trial index — never on scheduling
+	// or worker count.
+	MaxAttempts int
+	// Retryable reports whether a failed attempt is worth retrying. It sees
+	// returned errors and recovered panics (wrapped, Kind in the TrialError
+	// if all attempts fail); deadline hits are never offered. nil means
+	// returned errors are retryable and panics are not.
+	Retryable func(err error, panicked bool) bool
+}
+
+// failSoftMetrics are RunPartial's extra instruments. All recording happens
+// in the pool machinery — never inside the seeded trial function — so
+// instrumented fail-soft runs keep the worker-count bit-identity guarantee.
+var failSoftMetrics = struct {
+	runs            *obs.Counter
+	recoveredPanics *obs.Counter
+	retries         *obs.Counter
+	deadlineHits    *obs.Counter
+	dropped         *obs.Counter
+}{
+	runs:            obs.Default().Counter("engine_failsoft_runs_total"),
+	recoveredPanics: obs.Default().Counter("engine_failsoft_recovered_panics_total"),
+	retries:         obs.Default().Counter("engine_failsoft_retries_total"),
+	deadlineHits:    obs.Default().Counter("engine_failsoft_deadline_hits_total"),
+	dropped:         obs.Default().Counter("engine_failsoft_dropped_trials_total"),
+}
+
+// retrySeedStep is the odd 64-bit golden-ratio constant 0x9E3779B97F4A7C15
+// (written as the int64 it wraps to) used to derive the seed of retry
+// attempt k from the trial's base seed (base + k*step). Any odd constant
+// gives distinct seeds for all k; this one also decorrelates neighbouring
+// trials' retry streams.
+const retrySeedStep int64 = -0x61C8864680B583EB
+
+// RetrySeed returns the RNG seed of attempt k (0-based) for a trial whose
+// base seed is base. Attempt 0 uses the base seed itself, so a run without
+// failures is bit-identical to Run. Exposed for tests that reproduce a
+// specific retry attempt.
+func RetrySeed(base int64, attempt int) int64 {
+	return base + int64(attempt)*retrySeedStep
+}
+
+// attemptOutcome is one attempt's result, sent over a channel when a
+// deadline is armed so the worker can abandon a stuck attempt.
+type attemptOutcome[T any] struct {
+	res      T
+	err      error
+	panicked bool
+}
+
+// safeCall runs fn for one attempt, converting a panic into an error.
+func safeCall[T any](fn TrialFunc[T], trial int, rng *rand.Rand) (out attemptOutcome[T]) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.panicked = true
+			out.err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	out.res, out.err = fn(trial, rng)
+	return out
+}
+
+// RunPartial executes fn for trials 0..n-1 like Run, but fails soft: a trial
+// that panics, errors (after the retry policy is exhausted), or exceeds the
+// per-trial deadline is recorded as a TrialError and the sweep continues.
+// The results slice always has length n with the zero value at failed (or,
+// after cancellation, never-started) indices; the TrialError list — ordered
+// by trial index — identifies the holes.
+//
+// The returned error is non-nil only when ctx was canceled, in which case it
+// is ctx.Err() and the results cover the trials that were fed before
+// cancellation. Trial failures never abort the run and never surface in the
+// error return.
+//
+// Determinism: attempt k of trial t always runs with RetrySeed(seed(t), k),
+// so results — including which trials fail, how many attempts they take, and
+// what retries compute — are bit-identical across worker counts. Deadline
+// hits are the one wall-clock-dependent exception; runs that rely on
+// bit-identity should not run close to TrialTimeout.
+func RunPartial[T any](ctx context.Context, n, workers int, seed Seeder, fn TrialFunc[T], opts FailSoftOptions) ([]T, []TrialError, error) {
+	if fn == nil {
+		panic("engine: RunPartial requires a trial function")
+	}
+	if n <= 0 {
+		return nil, nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if seed == nil {
+		seed = func(trial int) int64 { return int64(trial) }
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	metrics.runs.Inc()
+	failSoftMetrics.runs.Inc()
+
+	// results[t] and failSlots[t] are each written by exactly one worker and
+	// read only after wg.Wait — no locks needed (same discipline as Run).
+	results := make([]T, n)
+	failSlots := make([]*TrialError, n)
+	trials := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			born := time.Now()
+			var busy time.Duration
+			defer func() {
+				if life := time.Since(born); life > 0 {
+					metrics.workerUtil.Observe(float64(busy) / float64(life))
+				}
+				wg.Done()
+			}()
+			for t := range trials {
+				start := time.Now()
+				failSlots[t] = runFailSoftTrial(t, seed(t), maxAttempts, opts, fn, results)
+				d := time.Since(start)
+				busy += d
+				metrics.trialDur.Observe(d.Seconds())
+				metrics.trials.Inc()
+				if te := failSlots[t]; te != nil {
+					metrics.errors.Inc()
+					slog.Error("engine: trial dropped",
+						"tag", opts.Tag, "trial", t, "kind", te.Kind,
+						"attempts", te.Attempts, "seed", te.Seed, "err", te.Err)
+				}
+			}
+		}()
+	}
+feed:
+	for t := 0; t < n; t++ {
+		waitStart := time.Now()
+		select {
+		case trials <- t:
+			metrics.queueWait.Observe(time.Since(waitStart).Seconds())
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(trials)
+	wg.Wait()
+
+	var failures []TrialError
+	for _, te := range failSlots {
+		if te != nil {
+			failures = append(failures, *te)
+		}
+	}
+	failSoftMetrics.dropped.Add(int64(len(failures)))
+	return results, failures, ctx.Err()
+}
+
+// runFailSoftTrial runs every attempt of one trial, writing a successful
+// result into results[t]. It returns nil on success or the TrialError that
+// drops the trial. Metric recording happens here, in the pool machinery,
+// outside the seeded trial function.
+func runFailSoftTrial[T any](t int, baseSeed int64, maxAttempts int, opts FailSoftOptions, fn TrialFunc[T], results []T) *TrialError {
+	var lastErr error
+	kind := KindError
+	attempts := 0
+	finalSeed := baseSeed
+	for attempts < maxAttempts {
+		attemptSeed := RetrySeed(baseSeed, attempts)
+		attempts++
+		finalSeed = attemptSeed
+		rng := rand.New(rand.NewSource(attemptSeed))
+
+		var out attemptOutcome[T]
+		timedOut := false
+		if opts.TrialTimeout > 0 {
+			// The attempt runs in its own goroutine owning its own rng; on
+			// deadline it is abandoned (it still finishes, but only into the
+			// buffered channel) and the trial is dropped.
+			ch := make(chan attemptOutcome[T], 1)
+			go func() { ch <- safeCall(fn, t, rng) }()
+			timer := time.NewTimer(opts.TrialTimeout)
+			select {
+			case out = <-ch:
+				timer.Stop()
+			case <-timer.C:
+				timedOut = true
+			}
+		} else {
+			out = safeCall(fn, t, rng)
+		}
+
+		if timedOut {
+			failSoftMetrics.deadlineHits.Inc()
+			return &TrialError{
+				Trial: t, Seed: attemptSeed, Attempts: attempts, Kind: KindDeadline,
+				Err: fmt.Errorf("engine: trial exceeded %v deadline", opts.TrialTimeout),
+			}
+		}
+		if out.err == nil {
+			results[t] = out.res
+			return nil
+		}
+		if out.panicked {
+			failSoftMetrics.recoveredPanics.Inc()
+			kind = KindPanic
+		} else {
+			kind = KindError
+		}
+		lastErr = out.err
+
+		retryable := false
+		if attempts < maxAttempts {
+			if opts.Retryable != nil {
+				retryable = opts.Retryable(out.err, out.panicked)
+			} else {
+				retryable = !out.panicked
+			}
+		}
+		if !retryable {
+			break
+		}
+		failSoftMetrics.retries.Inc()
+	}
+	return &TrialError{Trial: t, Seed: finalSeed, Attempts: attempts, Kind: kind, Err: lastErr}
+}

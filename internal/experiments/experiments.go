@@ -57,6 +57,14 @@ type Options struct {
 	Quiet bool
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
+	// FailSoft switches the trial executor to engine.RunPartial: a trial
+	// that errors, panics, or exceeds TrialTimeout is dropped from the
+	// point's aggregates (with a structured warning) instead of aborting the
+	// whole sweep. Aggregates are then over the completed trials only.
+	FailSoft bool
+	// TrialTimeout bounds one trial's wall clock in fail-soft mode (zero:
+	// unbounded). Ignored unless FailSoft is set.
+	TrialTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -138,32 +146,48 @@ func solverNames(solvers []core.Solver) string {
 // recorded trials stay bit-identical to an uninstrumented run.
 func runSolvers(cfg workload.Config, fixedLen int, opt Options, solvers []core.Solver, tag string, seed engine.Seeder) (map[string][]trial, error) {
 	sp := obs.Default().StartSpan("experiments_point")
-	perTrial, err := engine.RunTagged(context.Background(), tag, opt.Trials, opt.Workers, seed,
-		func(t int, rng *rand.Rand) ([]trial, error) {
-			net := cfg.Network(rng)
-			req := pickRequest(cfg, rng, t, fixedLen, net.Catalog().Size())
-			workload.PlacePrimariesRandom(net, req, rng)
-			inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
-			recs := make([]trial, len(solvers))
-			for i, s := range solvers {
-				res, err := s.Solve(inst, rng)
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", s.Name(), err)
-				}
-				recs[i] = record(res)
+	trialFn := func(t int, rng *rand.Rand) ([]trial, error) {
+		net := cfg.Network(rng)
+		req := pickRequest(cfg, rng, t, fixedLen, net.Catalog().Size())
+		workload.PlacePrimariesRandom(net, req, rng)
+		inst := core.NewInstance(net, req, core.Params{L: cfg.HopBound})
+		recs := make([]trial, len(solvers))
+		for i, s := range solvers {
+			res, err := s.Solve(inst, rng)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", s.Name(), err)
 			}
-			return recs, nil
-		})
+			recs[i] = record(res)
+		}
+		return recs, nil
+	}
+	var (
+		perTrial [][]trial
+		failures []engine.TrialError
+		err      error
+	)
+	if opt.FailSoft {
+		perTrial, failures, err = engine.RunPartial(context.Background(), opt.Trials, opt.Workers, seed, trialFn,
+			engine.FailSoftOptions{Tag: tag, TrialTimeout: opt.TrialTimeout})
+	} else {
+		perTrial, err = engine.RunTagged(context.Background(), tag, opt.Trials, opt.Workers, seed, trialFn)
+	}
 	elapsed := sp.End()
 	if err != nil {
 		slog.Error("experiments: point failed", "tag", tag, "err", err)
 		return nil, err
 	}
+	for _, f := range failures {
+		slog.Warn("experiments: trial dropped", "tag", tag, "trial", f.Trial, "kind", f.Kind, "err", f.Err)
+	}
 	slog.Debug("experiments: point complete",
-		"tag", tag, "trials", opt.Trials, "solvers", solverNames(solvers),
+		"tag", tag, "trials", opt.Trials, "dropped", len(failures), "solvers", solverNames(solvers),
 		"workers", opt.Workers, "ms", float64(elapsed)/float64(time.Millisecond), "outcome", "ok")
 	out := make(map[string][]trial, len(solvers))
 	for _, recs := range perTrial {
+		if recs == nil {
+			continue // fail-soft: this trial was dropped
+		}
 		for i, s := range solvers {
 			out[s.Name()] = append(out[s.Name()], recs[i])
 		}

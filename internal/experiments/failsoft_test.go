@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// flakySolver fails deterministically on a subset of trials (first rng draw
+// below the threshold) so fail-soft runs drop a predictable set of trials.
+func flakySolver(threshold float64) core.Solver {
+	return core.NewSolverFunc("Flaky", func(inst *core.Instance, rng *rand.Rand) (*core.Result, error) {
+		if rng.Float64() < threshold {
+			return nil, fmt.Errorf("flaky: induced trial failure")
+		}
+		return core.SolveGreedy(inst)
+	})
+}
+
+func TestFailSoftSweepCompletesPastTrialFailures(t *testing.T) {
+	opt := miniOpt()
+	opt.Trials = 12
+	opt.Solvers = []core.Solver{flakySolver(0.5)}
+	opt.FailSoft = true
+	s, err := Fig1(opt)
+	if err != nil {
+		t.Fatalf("fail-soft sweep aborted: %v", err)
+	}
+	total, dropped := 0, 0
+	for _, p := range s.Points {
+		ap, ok := p.Algs["Flaky"]
+		if !ok {
+			t.Fatalf("point %s lost its algorithm entirely", p.Label)
+		}
+		total += ap.Reliability.N
+		dropped += opt.Trials - ap.Reliability.N
+	}
+	if dropped == 0 {
+		t.Fatal("flaky solver at 50% failure rate dropped no trials — fail-soft path not exercised")
+	}
+	if total == 0 {
+		t.Fatal("every trial dropped")
+	}
+
+	// The same sweep without fail-soft must abort.
+	hard := opt
+	hard.FailSoft = false
+	if _, err := Fig1(hard); err == nil {
+		t.Fatal("hard-fail sweep should abort on the flaky solver")
+	}
+}
+
+func TestFailSoftAggregatesMatchAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Sweep {
+		opt := miniOpt()
+		opt.Trials = 8
+		opt.Workers = workers
+		opt.Solvers = []core.Solver{flakySolver(0.4)}
+		opt.FailSoft = true
+		s, err := Fig1(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(1), run(4)
+	for i := range a.Points {
+		pa, pb := a.Points[i].Algs["Flaky"], b.Points[i].Algs["Flaky"]
+		if pa.Reliability.N != pb.Reliability.N || pa.Reliability.Mean != pb.Reliability.Mean {
+			t.Fatalf("point %d: serial (n=%d mean=%v) vs parallel (n=%d mean=%v)",
+				i, pa.Reliability.N, pa.Reliability.Mean, pb.Reliability.N, pb.Reliability.Mean)
+		}
+	}
+}

@@ -37,14 +37,20 @@ type Outcome struct {
 
 // Simulate draws trials independent failure scenarios for a solved placement.
 // Each VNF instance of chain position i is up independently with probability
-// r_i (the paper's identical-reliability assumption).
-func Simulate(res *core.Result, trials int, rng *rand.Rand) *Outcome {
+// r_i (the paper's identical-reliability assumption). Invalid input — a
+// non-positive trial count, a nil result, or a result detached from its
+// instance — is reported as an error, never a panic, so batch pipelines can
+// skip the bad placement and keep going.
+func Simulate(res *core.Result, trials int, rng *rand.Rand) (*Outcome, error) {
 	if trials <= 0 {
-		panic(fmt.Sprintf("failsim: trials %d must be positive", trials))
+		return nil, fmt.Errorf("failsim: trials %d must be positive", trials)
+	}
+	if res == nil {
+		return nil, fmt.Errorf("failsim: nil result")
 	}
 	inst := res.Instance
 	if inst == nil {
-		panic("failsim: result has no instance attached")
+		return nil, fmt.Errorf("failsim: result has no instance attached")
 	}
 	out := &Outcome{
 		Trials:        trials,
@@ -78,7 +84,7 @@ func Simulate(res *core.Result, trials int, rng *rand.Rand) *Outcome {
 		}
 	}
 	out.Availability = float64(out.Up) / float64(trials)
-	return out
+	return out, nil
 }
 
 // WeakestLink returns the chain position that most often had no live
@@ -98,9 +104,19 @@ func (o *Outcome) WeakestLink() (pos, count int) {
 // by the placement, the availability conditioned on that cloudlet being dark.
 // This is a blast-radius diagnostic outside the paper's model (the paper
 // assumes independent per-instance failures; correlated cloudlet failures
-// are the natural operator follow-up question).
-func CloudletOutage(res *core.Result, trials int, rng *rand.Rand) map[int]float64 {
+// are the natural operator follow-up question). Like Simulate it reports
+// invalid input as an error instead of panicking.
+func CloudletOutage(res *core.Result, trials int, rng *rand.Rand) (map[int]float64, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("failsim: trials %d must be positive", trials)
+	}
+	if res == nil {
+		return nil, fmt.Errorf("failsim: nil result")
+	}
 	inst := res.Instance
+	if inst == nil {
+		return nil, fmt.Errorf("failsim: result has no instance attached")
+	}
 	secondaries := res.Secondaries()
 	used := make(map[int]bool)
 	for i := range inst.Positions {
@@ -139,5 +155,5 @@ func CloudletOutage(res *core.Result, trials int, rng *rand.Rand) map[int]float6
 		}
 		out[dark] = float64(up) / float64(trials)
 	}
-	return out
+	return out, nil
 }

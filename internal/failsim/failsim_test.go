@@ -36,10 +36,20 @@ func solvedPlacement(t *testing.T, rho float64) *core.Result {
 	return res
 }
 
+// mustSimulate runs Simulate and fails the test on error.
+func mustSimulate(t *testing.T, res *core.Result, trials int, rng *rand.Rand) *Outcome {
+	t.Helper()
+	out, err := Simulate(res, trials, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestEmpiricalMatchesAnalytical(t *testing.T) {
 	res := solvedPlacement(t, 1.0)
 	rng := rand.New(rand.NewSource(5))
-	out := Simulate(res, 200000, rng)
+	out := mustSimulate(t, res, 200000, rng)
 	// Normal-approximation 5-sigma band around the analytical value.
 	p := out.Analytical
 	sigma := math.Sqrt(p*(1-p)/float64(out.Trials)) + 1e-9
@@ -55,7 +65,7 @@ func TestEmpiricalMatchesAnalyticalNoBackups(t *testing.T) {
 		t.Fatalf("expected no backups, got %d", got)
 	}
 	rng := rand.New(rand.NewSource(6))
-	out := Simulate(res, 200000, rng)
+	out := mustSimulate(t, res, 200000, rng)
 	want := 0.8 * 0.9
 	sigma := math.Sqrt(want * (1 - want) / float64(out.Trials))
 	if math.Abs(out.Availability-want) > 5*sigma+1e-4 {
@@ -67,8 +77,8 @@ func TestBackupsImproveAvailability(t *testing.T) {
 	with := solvedPlacement(t, 1.0)
 	without := solvedPlacement(t, 0.5) // trims to zero backups
 	rng := rand.New(rand.NewSource(7))
-	a1 := Simulate(with, 50000, rng).Availability
-	a2 := Simulate(without, 50000, rng).Availability
+	a1 := mustSimulate(t, with, 50000, rng).Availability
+	a2 := mustSimulate(t, without, 50000, rng).Availability
 	if a1 <= a2 {
 		t.Fatalf("backups did not improve availability: %v vs %v", a1, a2)
 	}
@@ -77,7 +87,7 @@ func TestBackupsImproveAvailability(t *testing.T) {
 func TestFuncDownTracksWeakestLink(t *testing.T) {
 	res := solvedPlacement(t, 0.5) // primaries only: r=0.8 vs r=0.9
 	rng := rand.New(rand.NewSource(8))
-	out := Simulate(res, 100000, rng)
+	out := mustSimulate(t, res, 100000, rng)
 	pos, count := out.WeakestLink()
 	if pos != 0 {
 		t.Fatalf("weakest link should be the r=0.8 function, got %d (count %d)", pos, count)
@@ -95,7 +105,7 @@ func TestFailoverDepthPopulated(t *testing.T) {
 		t.Skip("no backups placed")
 	}
 	rng := rand.New(rand.NewSource(9))
-	out := Simulate(res, 50000, rng)
+	out := mustSimulate(t, res, 50000, rng)
 	if len(out.FailoverDepth) == 0 {
 		t.Fatal("no failovers observed despite backups and r<1")
 	}
@@ -108,8 +118,11 @@ func TestFailoverDepthPopulated(t *testing.T) {
 func TestCloudletOutage(t *testing.T) {
 	res := solvedPlacement(t, 1.0)
 	rng := rand.New(rand.NewSource(10))
-	base := Simulate(res, 50000, rng).Availability
-	outage := CloudletOutage(res, 50000, rng)
+	base := mustSimulate(t, res, 50000, rng).Availability
+	outage, err := CloudletOutage(res, 50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(outage) == 0 {
 		t.Fatal("no cloudlets in outage map")
 	}
@@ -122,22 +135,22 @@ func TestCloudletOutage(t *testing.T) {
 
 func TestSimulateValidation(t *testing.T) {
 	res := solvedPlacement(t, 1.0)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("zero trials should panic")
-			}
-		}()
-		Simulate(res, 0, rand.New(rand.NewSource(1)))
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("detached result should panic")
-			}
-		}()
-		Simulate(&core.Result{}, 10, rand.New(rand.NewSource(1)))
-	}()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Simulate(res, 0, rng); err == nil {
+		t.Fatal("zero trials should error")
+	}
+	if _, err := Simulate(nil, 10, rng); err == nil {
+		t.Fatal("nil result should error")
+	}
+	if _, err := Simulate(&core.Result{}, 10, rng); err == nil {
+		t.Fatal("detached result should error")
+	}
+	if _, err := CloudletOutage(res, -1, rng); err == nil {
+		t.Fatal("negative trials should error")
+	}
+	if _, err := CloudletOutage(&core.Result{}, 10, rng); err == nil {
+		t.Fatal("detached result should error")
+	}
 }
 
 // TestPaperScalePlacementAgreement runs the full pipeline at paper scale and
@@ -155,7 +168,7 @@ func TestPaperScalePlacementAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Simulate(heu, 300000, rng)
+	out := mustSimulate(t, heu, 300000, rng)
 	p := out.Analytical
 	sigma := math.Sqrt(p*(1-p)/float64(out.Trials)) + 1e-9
 	if math.Abs(out.Availability-p) > 5*sigma+2e-4 {
