@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check check test test-race test-failsoft fuzz bench experiments figures clean
+.PHONY: all build vet fmt-check check test test-race test-failsoft fuzz bench bench-short experiments figures clean
 
 all: build check test test-race
 
@@ -22,10 +22,10 @@ check: vet fmt-check
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent paths (the trial engine and every
-# harness built on it).
+# Race-detector pass over the concurrent paths (the trial engine, every
+# harness built on it, and the root-package benchmarks' shared pools).
 test-race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # Resilience-layer tests under the race detector: the fail-soft engine
 # (panic recovery, deadlines, deterministic retries), the solver fallback
@@ -43,8 +43,21 @@ fuzz:
 test-log:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
+# Benchmark run + parsed artifact. BENCH_LABEL names the output JSON
+# (BENCH_<label>.json); compare two runs with
+#   go run ./cmd/benchdiff -diff BENCH_old.json BENCH_new.json
+# The guard fails fast when GOMAXPROCS < 2 (the pool-contention benchmark
+# measures nothing single-threaded); `make bench-short` skips both.
+BENCH_LABEL ?= local
 bench:
-	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	@$(GO) run ./cmd/benchdiff -guard
+	$(GO) test -bench=. -benchmem -count=3 ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/benchdiff -parse bench_output.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
+
+# Single-proc-tolerant variant: contention benchmarks skip themselves.
+bench-short:
+	$(GO) test -short -bench=. -benchmem -count=3 ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/benchdiff -parse bench_output.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
 
 # Reproduce every figure and ablation at the paper's trial count (slow).
 experiments:

@@ -1,0 +1,181 @@
+// Command benchdiff is the repo's stdlib-only benchmark bookkeeping tool,
+// used by `make bench` and by hand. Three modes:
+//
+//	benchdiff -guard [-short]
+//	    Exit nonzero when GOMAXPROCS < 2 unless -short is given. Guards the
+//	    pool-contention benchmark, which silently measures nothing without
+//	    real parallelism.
+//
+//	benchdiff -parse bench_output.txt -label pr4 -out BENCH_pr4.json
+//	    Parse raw `go test -bench` output into the JSON form of
+//	    internal/benchfmt.
+//
+//	benchdiff -diff old.json new.json [-out merged.json]
+//	    Print an old-vs-new delta table (min ns/op and min allocs/op per
+//	    benchmark, the noise-robust statistics for -count runs) and
+//	    optionally write a combined {"before","after"} file — the format of
+//	    the committed BENCH_<label>.json acceptance artifacts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+
+	"repro/internal/benchfmt"
+)
+
+type merged struct {
+	Before benchfmt.File `json:"before"`
+	After  benchfmt.File `json:"after"`
+}
+
+func main() {
+	var (
+		guard = flag.Bool("guard", false, "fail when GOMAXPROCS < 2 (unless -short)")
+		short = flag.Bool("short", false, "with -guard: allow single-proc runs")
+		parse = flag.String("parse", "", "parse raw `go test -bench` output from this file")
+		label = flag.String("label", "local", "label stored in the JSON written by -parse")
+		diff  = flag.Bool("diff", false, "diff two JSON files: benchdiff -diff old.json new.json")
+		out   = flag.String("out", "", "output path for -parse JSON or -diff merged JSON")
+	)
+	flag.Parse()
+	switch {
+	case *guard:
+		if p := runtime.GOMAXPROCS(0); p < 2 && !*short {
+			fatalf("GOMAXPROCS=%d: the pool-contention benchmark needs >=2 procs; re-run with GOMAXPROCS>=2 or use the -short bench target", p)
+		}
+	case *parse != "":
+		if err := runParse(*parse, *label, *out); err != nil {
+			fatalf("%v", err)
+		}
+	case *diff:
+		if flag.NArg() != 2 {
+			fatalf("usage: benchdiff -diff old.json new.json [-out merged.json]")
+		}
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *out); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runParse(path, label, out string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := benchfmt.Parse(f)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no benchmark results in %s", path)
+	}
+	file := benchfmt.File{Label: label, Samples: samples}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d samples, label %q)\n", out, len(samples), label)
+	return nil
+}
+
+// loadFile reads either a plain benchfmt.File or, for convenience, a merged
+// {"before","after"} artifact (in which case "after" is used).
+func loadFile(path string) (benchfmt.File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchfmt.File{}, err
+	}
+	var m merged
+	if err := json.Unmarshal(data, &m); err == nil && len(m.After.Samples) > 0 {
+		return m.After, nil
+	}
+	var f benchfmt.File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return benchfmt.File{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return f, nil
+}
+
+func runDiff(oldPath, newPath, out string) error {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return err
+	}
+	oldG := benchfmt.GroupByName(oldF.Samples)
+	newG := benchfmt.GroupByName(newF.Samples)
+	newByName := make(map[string]benchfmt.Group, len(newG))
+	for _, g := range newG {
+		newByName[g.Name] = g
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tspeedup\told allocs\tnew allocs\tdelta\n")
+	for _, og := range oldG {
+		ng, ok := newByName[og.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t%.0f\t-\t-\t%s\t-\t-\n", og.Name, og.MinNs(), allocStr(og.MinAllocs()))
+			continue
+		}
+		speed := og.MinNs() / ng.MinNs()
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.2fx\t%s\t%s\t%s\n",
+			og.Name, og.MinNs(), ng.MinNs(), speed,
+			allocStr(og.MinAllocs()), allocStr(ng.MinAllocs()),
+			allocDelta(og.MinAllocs(), ng.MinAllocs()))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(merged{Before: oldF, After: newF}, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func allocStr(a int64) string {
+	if a < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", a)
+}
+
+func allocDelta(oldA, newA int64) string {
+	if oldA <= 0 || newA < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*float64(newA-oldA)/float64(oldA))
+}

@@ -1,0 +1,174 @@
+// Package benchfmt parses the text output of `go test -bench` into a small
+// stable structure that can be serialized to JSON and diffed across runs.
+// It understands the standard benchmark result line
+//
+//	BenchmarkName-8   3036   347172 ns/op   81753 B/op   747 allocs/op
+//
+// including names without a -procs suffix (GOMAXPROCS=1) and lines missing
+// the -benchmem columns. Everything else (PASS/ok/goos headers, sub-test
+// noise) is ignored, so raw `go test` logs can be fed in directly.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark result line. With -count N the same benchmark
+// name appears N times, once per run.
+type Sample struct {
+	Name        string  `json:"name"`  // without the -procs suffix
+	Procs       int     `json:"procs"` // 1 when the name had no suffix
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`  // -1 when -benchmem was off
+	AllocsPerOp int64   `json:"allocs_per_op"` // -1 when -benchmem was off
+}
+
+// File is a parsed benchmark run: a human-chosen label plus every sample.
+type File struct {
+	Label   string   `json:"label"`
+	Samples []Sample `json:"samples"`
+}
+
+// Parse reads `go test -bench` output and returns the samples in input
+// order. Lines that are not benchmark results are skipped; a line that
+// starts like a result but fails to parse is an error (truncated logs
+// should not silently produce partial data).
+func Parse(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "<name> <iters> <value> <unit> [...]"; anything
+		// shorter (e.g. a "BenchmarkFoo" header line printed before the
+		// result) is not a result.
+		if len(fields) < 4 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // e.g. "BenchmarkFoo \t--- FAIL"
+		}
+		s, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(fields []string) (Sample, error) {
+	s := Sample{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	s.Name = fields[0]
+	if i := strings.LastIndex(s.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(s.Name[i+1:]); err == nil && p > 0 {
+			s.Procs = p
+			s.Name = s.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("iterations %q: %v", fields[1], err)
+	}
+	s.Iters = iters
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			s.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			s.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			s.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		default:
+			err = nil // custom units (MB/s, user metrics) are ignored
+		}
+		if err != nil {
+			return s, fmt.Errorf("%s %q: %v", unit, val, err)
+		}
+	}
+	return s, nil
+}
+
+// Group collects samples by benchmark name, preserving first-seen order.
+type Group struct {
+	Name    string
+	Samples []Sample
+}
+
+// GroupByName buckets samples per benchmark name in first-seen order.
+func GroupByName(samples []Sample) []Group {
+	idx := make(map[string]int)
+	var out []Group
+	for _, s := range samples {
+		i, ok := idx[s.Name]
+		if !ok {
+			i = len(out)
+			idx[s.Name] = i
+			out = append(out, Group{Name: s.Name})
+		}
+		out[i].Samples = append(out[i].Samples, s.Samples()...)
+	}
+	return out
+}
+
+// Samples exists so GroupByName can treat a Sample uniformly; it returns the
+// one-element slice.
+func (s Sample) Samples() []Sample { return []Sample{s} }
+
+// MinNs returns the fastest ns/op across a group's runs — the conventional
+// noise-robust statistic for repeated -count runs on a busy machine.
+func (g Group) MinNs() float64 {
+	min := g.Samples[0].NsPerOp
+	for _, s := range g.Samples[1:] {
+		if s.NsPerOp < min {
+			min = s.NsPerOp
+		}
+	}
+	return min
+}
+
+// MedianNs returns the median ns/op across the group's runs.
+func (g Group) MedianNs() float64 {
+	v := make([]float64, len(g.Samples))
+	for i, s := range g.Samples {
+		v[i] = s.NsPerOp
+	}
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}
+
+// MinAllocs returns the smallest allocs/op across the group's runs, or -1
+// if the runs carried no -benchmem data.
+func (g Group) MinAllocs() int64 {
+	min := int64(-1)
+	for _, s := range g.Samples {
+		if s.AllocsPerOp < 0 {
+			continue
+		}
+		if min < 0 || s.AllocsPerOp < min {
+			min = s.AllocsPerOp
+		}
+	}
+	return min
+}

@@ -1,0 +1,75 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: unknown
+BenchmarkFig1/SFCLen8/ILP         	    3036	    347172 ns/op	   81753 B/op	     747 allocs/op
+BenchmarkFig1/SFCLen8/ILP         	    4250	    314429 ns/op	   81777 B/op	     747 allocs/op
+BenchmarkSimplexAssignmentLP-8    	    1101	   1075456 ns/op	 1115966 B/op	     780 allocs/op
+BenchmarkNoMem                    	 1000000	      1042 ns/op
+PASS
+ok  	repro	18.663s
+`
+
+func TestParse(t *testing.T) {
+	samples, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	s := samples[0]
+	if s.Name != "BenchmarkFig1/SFCLen8/ILP" || s.Procs != 1 || s.Iters != 3036 {
+		t.Fatalf("bad first sample: %+v", s)
+	}
+	if s.NsPerOp != 347172 || s.BytesPerOp != 81753 || s.AllocsPerOp != 747 {
+		t.Fatalf("bad first sample values: %+v", s)
+	}
+	if p := samples[2]; p.Name != "BenchmarkSimplexAssignmentLP" || p.Procs != 8 {
+		t.Fatalf("procs suffix not stripped: %+v", p)
+	}
+	if n := samples[3]; n.BytesPerOp != -1 || n.AllocsPerOp != -1 {
+		t.Fatalf("missing -benchmem columns should be -1: %+v", n)
+	}
+}
+
+func TestGroupStats(t *testing.T) {
+	samples, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := GroupByName(samples)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	g := groups[0]
+	if g.Name != "BenchmarkFig1/SFCLen8/ILP" || len(g.Samples) != 2 {
+		t.Fatalf("bad group: %+v", g)
+	}
+	if g.MinNs() != 314429 {
+		t.Fatalf("MinNs = %v", g.MinNs())
+	}
+	if g.MedianNs() != (347172+314429)/2.0 {
+		t.Fatalf("MedianNs = %v", g.MedianNs())
+	}
+	if g.MinAllocs() != 747 {
+		t.Fatalf("MinAllocs = %v", g.MinAllocs())
+	}
+	if groups[2].MinAllocs() != -1 {
+		t.Fatalf("group without -benchmem should report -1 allocs, got %d", groups[2].MinAllocs())
+	}
+}
+
+func TestParseRejectsCorruptResultLine(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX 10 notanumber ns/op\n"))
+	if err == nil {
+		t.Fatal("corrupt result line should be an error")
+	}
+}

@@ -50,6 +50,9 @@ type countBB struct {
 
 	// packMemo caches conclusive packing failures by count vector.
 	packMemo map[string]bool
+	// packFail is the packing oracle's failure table, reused (via
+	// generation reset) across every packCounts query this search issues.
+	packFail *failTable
 
 	incumbent    []map[int]int
 	incumbentVal float64
@@ -117,6 +120,7 @@ func solveCountBB(inst *Instance, obj Objective, maxNodes int, timeout time.Dura
 		max:      maxNodes,
 		deadline: deadline,
 		packMemo: make(map[string]bool),
+		packFail: newFailTable(1 + len(inst.BinSet)),
 	}
 	L := len(inst.Positions)
 	root := countBox{lo: make([]int, L), hi: make([]int, L)}
@@ -184,7 +188,7 @@ func (bb *countBB) packMemoized(n []int) (perBin []map[int]int, conclusive bool)
 	if bb.packMemo[key] {
 		return nil, true
 	}
-	perBin, conclusive = packCounts(bb.inst, n, packBudget)
+	perBin, conclusive = packCountsIn(bb.inst, n, packBudget, bb.packFail)
 	if perBin == nil && conclusive {
 		bb.packMemo[key] = true
 	}
@@ -260,7 +264,7 @@ func (bb *countBB) explore(box countBox) {
 				fl[i] = box.lo[i]
 			}
 		}
-		if pb, _ := packCounts(bb.inst, fl, packIncumbentBudget); pb != nil {
+		if pb, _ := packCountsIn(bb.inst, fl, packIncumbentBudget, bb.packFail); pb != nil {
 			bb.consider(pb, bb.valueOf(fl))
 		}
 		down := countBox{lo: append([]int(nil), box.lo...), hi: append([]int(nil), box.hi...), bound: bound}

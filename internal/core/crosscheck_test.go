@@ -39,7 +39,10 @@ func TestCountBBMatchesGenericILP(t *testing.T) {
 		}
 
 		bm := buildModel(inst, ObjectiveLogGain)
-		r := ilp.Solve(bm.m, bm.intVars, ilp.Options{MaxNodes: 100000})
+		r, err := ilp.Solve(bm.m, bm.intVars, ilp.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatalf("seed %d: generic ILP: %v", seed, err)
+		}
 		if r.Status != lp.Optimal || !r.Proven {
 			t.Fatalf("seed %d: generic ILP status %v proven %v", seed, r.Status, r.Proven)
 		}

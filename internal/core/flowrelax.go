@@ -32,6 +32,24 @@ type flowRelax struct {
 	// slots_{i,b}·c_i, the integral-slot upper bound the paper's ILP puts on
 	// y_{i,u}. Without it the relaxation would be weaker than the LP.
 	arcCap [][]float64
+	binIdx []int // bin node id -> index into BinSet (static per instance)
+
+	// per-solve scratch, reused across the thousands of relaxation calls a
+	// count branch-and-bound makes (callers never retain the returned
+	// counts/flows past the next solve):
+	flow    [][]float64
+	binCap  []float64
+	binUsed []float64
+	counts  []float64
+	visited []bool
+	log     []flowHop
+	path    []int
+}
+
+// flowHop is one BFS step of an augmenting-path search.
+type flowHop struct {
+	node int
+	prev int // index into the visit log
 }
 
 type flowItem struct {
@@ -71,9 +89,11 @@ func newFlowRelax(inst *Instance, obj Objective) *flowRelax {
 		return fr.order[a].density > fr.order[b].density
 	})
 	fr.arcCap = make([][]float64, len(inst.Positions))
+	fr.flow = make([][]float64, len(inst.Positions))
 	for i := range inst.Positions {
 		p := &inst.Positions[i]
 		fr.arcCap[i] = make([]float64, len(p.Bins))
+		fr.flow[i] = make([]float64, len(p.Bins))
 		for b := range p.Bins {
 			slots := p.Slots[b]
 			if slots > p.K {
@@ -81,6 +101,14 @@ func newFlowRelax(inst *Instance, obj Objective) *flowRelax {
 			}
 			fr.arcCap[i][b] = float64(slots) * p.Func.Demand
 		}
+	}
+	fr.binIdx = make([]int, len(inst.Residual))
+	fr.binCap = make([]float64, len(inst.BinSet))
+	fr.binUsed = make([]float64, len(inst.BinSet))
+	fr.counts = make([]float64, len(inst.Positions))
+	fr.visited = make([]bool, len(inst.Positions)+len(inst.BinSet))
+	for bi, u := range inst.BinSet {
+		fr.binIdx[u] = bi
 	}
 	return fr
 }
@@ -92,21 +120,28 @@ func (fr *flowRelax) solve(lo, hi []int) (obj float64, counts []float64, flows [
 	inst := fr.inst
 	nPos := len(inst.Positions)
 
-	// Bin residual capacities (MHz), indexed by bin node id.
-	binIdx := make(map[int]int, len(inst.BinSet))
-	binCap := make([]float64, len(inst.BinSet))
+	// Bin residual capacities (MHz), indexed by bin slot; flow[i][b] is the
+	// MHz routed from position i to its b-th bin. All reused scratch.
+	binIdx := fr.binIdx
+	binCap := fr.binCap
 	for bi, u := range inst.BinSet {
-		binIdx[u] = bi
 		binCap[bi] = inst.Residual[u]
 	}
-
-	// flow[i][b]: MHz routed from position i to its b-th bin.
-	flow := make([][]float64, nPos)
+	flow := fr.flow
 	for i := range flow {
-		flow[i] = make([]float64, len(inst.Positions[i].Bins))
+		row := flow[i]
+		for b := range row {
+			row[b] = 0
+		}
 	}
-	binUsed := make([]float64, len(binCap))
-	counts = make([]float64, nPos)
+	binUsed := fr.binUsed
+	for bi := range binUsed {
+		binUsed[bi] = 0
+	}
+	counts = fr.counts
+	for i := range counts {
+		counts[i] = 0
+	}
 
 	// push routes up to amount MHz from position i into its bins, using
 	// augmenting paths through the bipartite residual network (positions may
@@ -166,18 +201,16 @@ func (fr *flowRelax) solve(lo, hi []int) (obj float64, counts []float64, flows [
 // capacity in the residual network and pushes up to want MHz along it.
 // Residual arcs: position→its bins (always available), bin→position (if that
 // position currently routes flow into the bin, it can be rerouted).
-func (fr *flowRelax) augment(src int, want float64, flow [][]float64, binUsed, binCap []float64, binIdx map[int]int) float64 {
+func (fr *flowRelax) augment(src int, want float64, flow [][]float64, binUsed, binCap []float64, binIdx []int) float64 {
 	inst := fr.inst
 	nPos := len(inst.Positions)
-	nBin := len(binCap)
 
 	// BFS over nodes: positions [0,nPos), bins [nPos, nPos+nBin).
-	type hop struct {
-		node int
-		prev int // index into the visit log
+	visited := fr.visited
+	for n := range visited {
+		visited[n] = false
 	}
-	visited := make([]bool, nPos+nBin)
-	log := []hop{{node: src, prev: -1}}
+	log := append(fr.log[:0], flowHop{node: src, prev: -1})
 	visited[src] = true
 	goal := -1
 	for qi := 0; qi < len(log) && goal < 0; qi++ {
@@ -192,7 +225,7 @@ func (fr *flowRelax) augment(src int, want float64, flow [][]float64, binUsed, b
 				bi := binIdx[u] + nPos
 				if !visited[bi] {
 					visited[bi] = true
-					log = append(log, hop{node: bi, prev: qi})
+					log = append(log, flowHop{node: bi, prev: qi})
 					if binCap[binIdx[u]]-binUsed[binIdx[u]] > flowEps {
 						goal = len(log) - 1
 						break
@@ -210,22 +243,24 @@ func (fr *flowRelax) augment(src int, want float64, flow [][]float64, binUsed, b
 				for b, bu := range inst.Positions[j].Bins {
 					if bu == u && flow[j][b] > flowEps {
 						visited[j] = true
-						log = append(log, hop{node: j, prev: qi})
+						log = append(log, flowHop{node: j, prev: qi})
 						break
 					}
 				}
 			}
 		}
 	}
+	fr.log = log // keep the grown buffer for the next call
 	if goal < 0 {
 		return 0
 	}
 
 	// Reconstruct path (node sequence src → ... → free bin).
-	var path []int
+	path := fr.path[:0]
 	for idx := goal; idx >= 0; idx = log[idx].prev {
 		path = append(path, log[idx].node)
 	}
+	fr.path = path
 	// reverse
 	for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
 		path[a], path[b] = path[b], path[a]

@@ -104,7 +104,9 @@ func NewInstance(net *mec.Network, req *mec.Request, p Params) *Instance {
 			Primary:  v,
 			PrimCost: -math.Log(ft.Reliability),
 		}
-		for _, u := range net.G.NeighborsWithinPlus(v, p.L) {
+		// Memoized on the network: repeated NewInstance calls on one network
+		// (every trial, every solver) reuse the same bounded-BFS result.
+		for _, u := range net.NeighborsWithinPlus(v, p.L) {
 			if net.Capacity[u] <= 0 {
 				continue
 			}

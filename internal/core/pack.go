@@ -27,12 +27,23 @@ const packIncumbentBudget = 8000
 // symmetry breaking (items of one position are placed in non-decreasing bin
 // order). A best-fit greedy pass runs first and usually succeeds without
 // any search.
+//
+// This is the hottest loop of the exact solver, so the inner state is flat:
+// placement counts live in per-position slices indexed by bin slot
+// (converted to the map witness only on success), the failure cache is an
+// open-addressing table keyed by (position, quantized residual vector)
+// without any per-probe allocation, and the quantized residuals are
+// maintained incrementally as items are placed and removed.
 func packCounts(inst *Instance, counts []int, budget int) (perBin []map[int]int, conclusive bool) {
-	// Fast path: greedy best-fit.
-	if pb := greedyPack(inst, counts); pb != nil {
-		return pb, true
-	}
+	return packCountsIn(inst, counts, budget, newFailTable(1+len(inst.BinSet)))
+}
 
+// packCountsIn is packCounts with a caller-owned failure table, so a
+// branch-and-bound issuing thousands of packing queries reuses one table's
+// probe array and key arena instead of reallocating them per query (the
+// table is generation-reset, not cleared). Membership semantics — and hence
+// every search decision — are identical to a fresh table.
+func packCountsIn(inst *Instance, counts []int, budget int, failed *failTable) (perBin []map[int]int, conclusive bool) {
 	order := make([]int, 0, len(inst.Positions))
 	for i := range inst.Positions {
 		if counts[i] > 0 {
@@ -44,9 +55,19 @@ func packCounts(inst *Instance, counts []int, budget int) (perBin []map[int]int,
 	})
 
 	residual := append([]float64(nil), inst.Residual...)
-	assign := make([]map[int]int, len(inst.Positions))
-	for i := range assign {
-		assign[i] = make(map[int]int)
+	// cnt[i][b] counts items of position i placed into inst.Positions[i].Bins[b].
+	cnt := make([][]int, len(inst.Positions))
+	for _, i := range order {
+		cnt[i] = make([]int, len(inst.Positions[i].Bins))
+	}
+
+	// Fast path: greedy best-fit.
+	if greedyPack(inst, counts, order, residual, cnt) {
+		return countsToPerBin(inst, cnt), true
+	}
+	copy(residual, inst.Residual)
+	for _, i := range order {
+		clearInts(cnt[i])
 	}
 
 	nodes := 0
@@ -54,25 +75,25 @@ func packCounts(inst *Instance, counts []int, budget int) (perBin []map[int]int,
 	// failed caches residual states (at position boundaries) from which no
 	// completion exists, collapsing the exponential re-exploration that
 	// different same-total allocations of earlier positions would cause.
-	failed := make(map[string]bool)
-	stateKey := func(oi int) string {
-		b := make([]byte, 0, 4+8*len(inst.BinSet))
-		b = append(b, byte(oi), byte(oi>>8))
-		for _, u := range inst.BinSet {
-			q := int64(residual[u]*64 + 0.5) // 1/64-MHz resolution
-			for s := 0; s < 48; s += 8 {
-				b = append(b, byte(q>>s))
-			}
-		}
-		return string(b)
+	// A state is the position index plus every bin's residual quantized at
+	// 1/64-MHz resolution; quant mirrors residual incrementally so probing
+	// never rebuilds the vector.
+	nBins := len(inst.BinSet)
+	failed.reset(1 + nBins)
+	quant := make([]int64, 1+nBins)
+	binPos := make([]int, len(residual)) // bin node id -> index in quant
+	for k, u := range inst.BinSet {
+		binPos[u] = 1 + k
+		quant[1+k] = quantize(residual[u])
 	}
 	var placePos func(oi int) bool
 	placePos = func(oi int) bool {
 		if oi == len(order) {
 			return true
 		}
-		key := stateKey(oi)
-		if failed[key] {
+		quant[0] = int64(oi)
+		h := hashKey(quant)
+		if failed.has(h, quant) {
 			return false
 		}
 		i := order[oi]
@@ -86,7 +107,7 @@ func packCounts(inst *Instance, counts []int, budget int) (perBin []map[int]int,
 				slots += int(residual[u] / pj.Func.Demand)
 			}
 			if slots < counts[j] {
-				failed[key] = true
+				failed.insert(h, quant)
 				return false
 			}
 		}
@@ -106,29 +127,33 @@ func packCounts(inst *Instance, counts []int, budget int) (perBin []map[int]int,
 					continue
 				}
 				residual[u] -= p.Func.Demand
-				assign[i][u]++
+				quant[binPos[u]] = quantize(residual[u])
+				cnt[i][b]++
 				if placeItem(itemIdx+1, b) {
 					return true
 				}
+				residual[u] += p.Func.Demand
+				quant[binPos[u]] = quantize(residual[u])
+				cnt[i][b]--
 				if exhausted {
 					// Unwind without exploring alternatives.
-					residual[u] += p.Func.Demand
-					decOrDelete(assign[i], u)
 					return false
 				}
-				residual[u] += p.Func.Demand
-				decOrDelete(assign[i], u)
 			}
 			return false
 		}
 		ok := placeItem(0, 0)
 		if !ok && !exhausted {
-			failed[key] = true
+			// placeItem restored residual (and quant) to the entry state on
+			// every failing path, so the entry key is still current — but
+			// quant[0] was clobbered by deeper placePos calls.
+			quant[0] = int64(oi)
+			failed.insert(h, quant)
 		}
 		return ok
 	}
 	if placePos(0) {
-		return assign, true
+		return countsToPerBin(inst, cnt), true
 	}
 	if exhausted {
 		return nil, false
@@ -136,47 +161,187 @@ func packCounts(inst *Instance, counts []int, budget int) (perBin []map[int]int,
 	return nil, true
 }
 
-// greedyPack attempts a best-fit packing: positions by decreasing demand,
-// each item into the allowed bin with the most residual capacity.
-func greedyPack(inst *Instance, counts []int) []map[int]int {
-	order := make([]int, 0, len(inst.Positions))
-	for i := range inst.Positions {
-		if counts[i] > 0 {
-			order = append(order, i)
+// quantize maps a residual capacity to the cache's 1/64-MHz grid.
+func quantize(r float64) int64 { return int64(r*64 + 0.5) }
+
+// countsToPerBin converts flat slot counters into the per-position bin→count
+// map witness packCounts promises its callers.
+func countsToPerBin(inst *Instance, cnt [][]int) []map[int]int {
+	perBin := make([]map[int]int, len(inst.Positions))
+	for i := range perBin {
+		perBin[i] = make(map[int]int)
+		for b, c := range cnt[i] {
+			if c > 0 {
+				perBin[i][inst.Positions[i].Bins[b]] += c
+			}
 		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return inst.Positions[order[a]].Func.Demand > inst.Positions[order[b]].Func.Demand
-	})
-	residual := append([]float64(nil), inst.Residual...)
-	assign := make([]map[int]int, len(inst.Positions))
-	for i := range assign {
-		assign[i] = make(map[int]int)
-	}
+	return perBin
+}
+
+// greedyPack attempts a best-fit packing: positions by decreasing demand
+// (the caller-provided order), each item into the allowed bin with the most
+// residual capacity. On success the placements are left in cnt and residual
+// reflects them; on failure it reports false and the caller resets both.
+func greedyPack(inst *Instance, counts []int, order []int, residual []float64, cnt [][]int) bool {
 	for _, i := range order {
 		p := &inst.Positions[i]
 		for item := 0; item < counts[i]; item++ {
 			best := -1
 			var bestRes float64
-			for _, u := range p.Bins {
+			for b, u := range p.Bins {
 				if residual[u] >= p.Func.Demand && residual[u] > bestRes {
-					best, bestRes = u, residual[u]
+					best, bestRes = b, residual[u]
 				}
 			}
 			if best < 0 {
-				return nil
+				return false
 			}
-			residual[best] -= p.Func.Demand
-			assign[i][best]++
+			residual[p.Bins[best]] -= p.Func.Demand
+			cnt[i][best]++
 		}
 	}
-	return assign
+	return true
 }
 
-func decOrDelete(m map[int]int, u int) {
-	if m[u] <= 1 {
-		delete(m, u)
-	} else {
-		m[u]--
+func clearInts(s []int) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// hashKey is FNV-1a folded over the key's int64 words. Collisions are
+// harmless (the table compares full keys); the hash only spreads probes.
+func hashKey(key []int64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, q := range key {
+		h = (h ^ uint64(q)) * 1099511628211
+	}
+	return h
+}
+
+// failChunkShift sizes the arena chunks: 1<<failChunkShift keys per chunk.
+const failChunkShift = 11
+
+// failProbe is one open-addressing slot: the cached key hash, the 1-based
+// key index (0 = empty), and the generation that wrote it (a stale
+// generation also reads as empty — see failTable.reset).
+type failProbe struct {
+	h   uint64
+	idx int32
+	gen int32
+}
+
+// failTable is an allocation-light set of fixed-length int64 keys: open
+// addressing with linear probing, keys appended to fixed-size arena chunks
+// so growth never copies existing keys. It replaces a map[string]bool whose
+// per-insert string materialization and byte-wise rehashing dominated the
+// pack oracle's profile.
+type failTable struct {
+	keyLen int
+	chunks [][]int64
+	probes []failProbe
+	mask   uint64
+	n      int
+	gen    int32
+}
+
+func newFailTable(keyLen int) *failTable {
+	const initSlots = 128
+	return &failTable{
+		keyLen: keyLen,
+		probes: make([]failProbe, initSlots),
+		mask:   initSlots - 1,
+		gen:    1,
+	}
+}
+
+// reset empties the table in O(#chunks) by bumping the generation: probes
+// written by earlier generations read as empty slots, and the key arena is
+// truncated in place. Slot claiming always takes the first stale-or-empty
+// slot, so live entries keep unbroken probe chains.
+func (t *failTable) reset(keyLen int) {
+	if keyLen != t.keyLen {
+		t.keyLen = keyLen
+		t.chunks = nil
+	}
+	for i := range t.chunks {
+		t.chunks[i] = t.chunks[i][:0]
+	}
+	t.n = 0
+	t.gen++
+}
+
+func (t *failTable) keyAt(idx int32) []int64 {
+	i := int(idx - 1)
+	off := (i & (1<<failChunkShift - 1)) * t.keyLen
+	return t.chunks[i>>failChunkShift][off : off+t.keyLen]
+}
+
+func (t *failTable) has(h uint64, key []int64) bool {
+	for p := h & t.mask; ; p = (p + 1) & t.mask {
+		pr := t.probes[p]
+		if pr.idx == 0 || pr.gen != t.gen {
+			return false
+		}
+		if pr.h != h {
+			continue
+		}
+		stored := t.keyAt(pr.idx)
+		match := true
+		for k, q := range stored {
+			if key[k] != q {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+}
+
+func (t *failTable) insert(h uint64, key []int64) {
+	if uint64(t.n+1)*4 > uint64(len(t.probes))*3 {
+		t.grow()
+	}
+	c := t.n >> failChunkShift
+	if c == len(t.chunks) {
+		// Logical chunk capacity is fixed (keyAt indexes by shift). The
+		// first chunk starts small and doubles via append so the frequent
+		// sparse searches don't pay for a full chunk up front; a search
+		// dense enough to need a second chunk allocates full chunks.
+		capKeys := 1 << failChunkShift
+		if c == 0 {
+			capKeys = 64
+		}
+		t.chunks = append(t.chunks, make([]int64, 0, t.keyLen*capKeys))
+	}
+	t.chunks[c] = append(t.chunks[c], key...)
+	t.n++
+	idx := int32(t.n)
+	for p := h & t.mask; ; p = (p + 1) & t.mask {
+		if pr := t.probes[p]; pr.idx == 0 || pr.gen != t.gen {
+			t.probes[p] = failProbe{h: h, idx: idx, gen: t.gen}
+			return
+		}
+	}
+}
+
+func (t *failTable) grow() {
+	old := t.probes
+	size := len(old) * 2
+	t.probes = make([]failProbe, size)
+	t.mask = uint64(size - 1)
+	for _, pr := range old {
+		if pr.idx == 0 || pr.gen != t.gen {
+			continue
+		}
+		for q := pr.h & t.mask; ; q = (q + 1) & t.mask {
+			if t.probes[q].idx == 0 {
+				t.probes[q] = pr
+				break
+			}
+		}
 	}
 }

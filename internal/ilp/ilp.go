@@ -8,6 +8,12 @@
 // branching, and an LP-rounding incumbent heuristic at every node. Node and
 // pivot budgets make worst-case behaviour predictable; the result reports
 // whether optimality was proven.
+//
+// Node relaxations reuse one mutable copy of the model — branching bound
+// changes are applied before each solve and undone after — and each child
+// starts phase 2 directly from its parent's optimal basis, falling back to
+// a cold two-phase solve only when the warm start cannot be installed or
+// does not conclude optimal.
 package ilp
 
 import (
@@ -51,28 +57,37 @@ type Result struct {
 	Pivots    int     // simplex pivots over root + node relaxations (rounding re-solves excluded)
 	Proven    bool    // true if optimality was proven within budgets
 	Gap       float64 // remaining relative gap when !Proven and an incumbent exists
+	WarmHits  int     // node relaxations answered by a warm-started phase 2
+	ColdRuns  int     // node relaxations that needed the cold two-phase path
 }
 
 // Solve optimizes the model requiring the variables listed in intVars to take
-// integer values (they must have finite bounds; in this repo they are 0/1).
-// The model is not mutated. Every run records its node count, max depth, and
-// simplex pivot total into the default obs registry (ilp_nodes, ilp_depth,
-// ilp_lp_pivots histograms).
-func Solve(m *lp.Model, intVars []int, opt Options) *Result {
-	res := solve(m, intVars, opt)
+// integer values. Integer variables must have finite bounds (in this repo
+// they are 0/1); an infinite bound is reported as an error. The model is not
+// mutated. Every run records its node count, max depth, simplex pivot total,
+// and warm-start outcomes into the default obs registry (ilp_nodes,
+// ilp_depth, ilp_lp_pivots histograms; ilp_warmstart_hits, ilp_cold_restarts
+// counters).
+func Solve(m *lp.Model, intVars []int, opt Options) (*Result, error) {
+	res, err := solve(m, intVars, opt)
+	if err != nil {
+		return nil, err
+	}
 	r := obs.Default()
 	r.Histogram("ilp_nodes", obs.CountBuckets).Observe(float64(res.Nodes))
 	r.Histogram("ilp_depth", obs.CountBuckets).Observe(float64(res.Depth))
 	r.Histogram("ilp_lp_pivots", obs.CountBuckets).Observe(float64(res.Pivots))
-	return res
+	r.Counter("ilp_warmstart_hits").Add(int64(res.WarmHits))
+	r.Counter("ilp_cold_restarts").Add(int64(res.ColdRuns))
+	return res, nil
 }
 
-func solve(m *lp.Model, intVars []int, opt Options) *Result {
+func solve(m *lp.Model, intVars []int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	for _, v := range intVars {
 		lb, ub := m.VarBounds(v)
 		if math.IsInf(lb, -1) || math.IsInf(ub, 1) {
-			panic(fmt.Sprintf("ilp: integer variable %d has infinite bounds", v))
+			return nil, fmt.Errorf("ilp: integer variable %d has infinite bounds", v)
 		}
 	}
 
@@ -84,25 +99,29 @@ func solve(m *lp.Model, intVars []int, opt Options) *Result {
 		return a < b
 	}
 
-	root := m.Clone()
-	rootSol := root.Solve()
+	ws := lp.AcquireWorkspace()
+	defer lp.ReleaseWorkspace(ws)
+
+	// One mutable copy serves every node relaxation: branching fixes are
+	// bound changes applied before the solve and undone (from m, which is
+	// never touched) afterwards. A second copy serves the rounding
+	// heuristic, which fixes all integer variables at once.
+	work := m.Clone()
+	roundWork := m.Clone()
+
+	rootSol := work.SolveWithWorkspace(ws)
 	res := &Result{Status: lp.Infeasible, Pivots: rootSol.Iterations}
 	switch rootSol.Status {
 	case lp.Infeasible:
-		return res
+		return res, nil
 	case lp.Unbounded:
 		res.Status = lp.Unbounded
-		return res
+		return res, nil
 	case lp.IterLimit:
 		res.Status = lp.IterLimit
-		return res
+		return res, nil
 	}
-
-	type node struct {
-		fixes []fix
-		bound float64 // LP relaxation objective of the parent (or self)
-		depth int
-	}
+	rootBasis := ws.FinalBasis(nil)
 
 	var (
 		incumbent    []float64
@@ -118,12 +137,12 @@ func solve(m *lp.Model, intVars []int, opt Options) *Result {
 	}
 
 	// Try rounding the root solution for an initial incumbent.
-	if x, obj, ok := roundToFeasible(m, intVars, rootSol.X); ok {
+	if x, obj, ok := roundToFeasible(m, roundWork, ws, intVars, rootSol.X); ok {
 		consider(x, obj)
 	}
 
 	pq := &nodeHeap{better: better}
-	pq.push(nodeEntry{bound: rootSol.Objective, depth: 0})
+	pq.push(nodeEntry{bound: rootSol.Objective, depth: 0, basis: rootBasis})
 	nodes := 0
 
 	bestBound := rootSol.Objective
@@ -139,15 +158,22 @@ func solve(m *lp.Model, intVars []int, opt Options) *Result {
 			continue
 		}
 
-		sub := m.Clone()
 		for _, f := range ent.fixes {
-			sub.SetVarBounds(f.v, f.val, f.val)
+			work.SetVarBounds(f.v, f.val, f.val)
 		}
-		sol := sub.Solve()
+		sol, warm := solveNode(work, ws, ent.basis)
 		res.Pivots += sol.Iterations
+		if warm {
+			res.WarmHits++
+		} else {
+			res.ColdRuns++
+		}
 		if sol.Status != lp.Optimal {
+			undoFixes(work, m, ent.fixes)
 			continue
 		}
+		childBasis := ws.FinalBasis(nil)
+		undoFixes(work, m, ent.fixes)
 		if haveInc && !better(sol.Objective, incumbentObj) &&
 			math.Abs(sol.Objective-incumbentObj) > intTol {
 			continue
@@ -159,7 +185,7 @@ func solve(m *lp.Model, intVars []int, opt Options) *Result {
 			consider(snapIntegers(sol.X, intVars), sol.Objective)
 			continue
 		}
-		if x, obj, ok := roundToFeasible(m, intVars, sol.X); ok {
+		if x, obj, ok := roundToFeasible(m, roundWork, ws, intVars, sol.X); ok {
 			consider(x, obj)
 		}
 
@@ -173,11 +199,11 @@ func solve(m *lp.Model, intVars []int, opt Options) *Result {
 		}
 		if lbv >= varLB {
 			down := append(append([]fix(nil), ent.fixes...), fix{v: frac, val: lbv})
-			pq.push(nodeEntry{fixes: down, bound: sol.Objective, depth: ent.depth + 1})
+			pq.push(nodeEntry{fixes: down, bound: sol.Objective, depth: ent.depth + 1, basis: childBasis})
 		}
 		if ubv <= varUB {
 			up := append(append([]fix(nil), ent.fixes...), fix{v: frac, val: ubv})
-			pq.push(nodeEntry{fixes: up, bound: sol.Objective, depth: ent.depth + 1})
+			pq.push(nodeEntry{fixes: up, bound: sol.Objective, depth: ent.depth + 1, basis: childBasis})
 		}
 
 		// Termination by gap.
@@ -193,7 +219,7 @@ func solve(m *lp.Model, intVars []int, opt Options) *Result {
 				res.X = incumbent
 				res.Nodes = nodes
 				res.Proven = true
-				return res
+				return res, nil
 			}
 		}
 	}
@@ -209,14 +235,35 @@ func solve(m *lp.Model, intVars []int, opt Options) *Result {
 			res.Status = lp.IterLimit
 			res.Gap = math.Abs(pq.peekBound()-incumbentObj) / math.Max(1, math.Abs(incumbentObj))
 		}
-		return res
+		return res, nil
 	}
 	if pq.len() == 0 {
 		res.Status = lp.Infeasible
 	} else {
 		res.Status = lp.IterLimit
 	}
-	return res
+	return res, nil
+}
+
+// solveNode evaluates one node relaxation: warm-started phase 2 from the
+// parent basis when possible, cold two-phase otherwise. The bool result
+// reports whether the warm path answered.
+func solveNode(work *lp.Model, ws *lp.Workspace, basis []int) (*lp.Solution, bool) {
+	if len(basis) > 0 {
+		if sol, ok := work.SolveWarm(ws, basis, 0); ok && sol.Status == lp.Optimal {
+			return sol, true
+		}
+	}
+	return work.SolveWithWorkspace(ws), false
+}
+
+// undoFixes restores the bounds changed by a node's fixes from the pristine
+// model.
+func undoFixes(work, orig *lp.Model, fixes []fix) {
+	for _, f := range fixes {
+		lb, ub := orig.VarBounds(f.v)
+		work.SetVarBounds(f.v, lb, ub)
+	}
 }
 
 type fix struct {
@@ -251,9 +298,10 @@ func snapIntegers(x []float64, intVars []int) []float64 {
 // roundToFeasible rounds the fractional LP point and re-solves the LP with
 // the integers fixed, yielding a feasible mixed solution when one exists.
 // Variables are rounded to the nearest integer; ties and capacity conflicts
-// are resolved by the LP itself reporting infeasibility.
-func roundToFeasible(m *lp.Model, intVars []int, x []float64) ([]float64, float64, bool) {
-	sub := m.Clone()
+// are resolved by the LP itself reporting infeasibility. sub is a scratch
+// clone of m whose bounds are mutated for the solve and restored before
+// returning.
+func roundToFeasible(m, sub *lp.Model, ws *lp.Workspace, intVars []int, x []float64) ([]float64, float64, bool) {
 	for _, v := range intVars {
 		r := math.Round(x[v])
 		lb, ub := m.VarBounds(v)
@@ -265,7 +313,11 @@ func roundToFeasible(m *lp.Model, intVars []int, x []float64) ([]float64, float6
 		}
 		sub.SetVarBounds(v, r, r)
 	}
-	sol := sub.Solve()
+	sol := sub.SolveWithWorkspace(ws)
+	for _, v := range intVars {
+		lb, ub := m.VarBounds(v)
+		sub.SetVarBounds(v, lb, ub)
+	}
 	if sol.Status != lp.Optimal {
 		return nil, 0, false
 	}
@@ -278,6 +330,7 @@ type nodeEntry struct {
 	fixes []fix
 	bound float64
 	depth int
+	basis []int // parent's optimal basis, the warm-start seed
 }
 
 type nodeHeap struct {

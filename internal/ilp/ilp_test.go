@@ -8,6 +8,16 @@ import (
 	"repro/internal/lp"
 )
 
+// mustSolve runs Solve and fails the test on a model-validation error.
+func mustSolve(t *testing.T, m *lp.Model, intVars []int, opt Options) *Result {
+	t.Helper()
+	r, err := Solve(m, intVars, opt)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return r
+}
+
 // bruteKnapsack solves 0/1 knapsack max Σp x, Σw x <= cap exactly by
 // enumeration (n <= ~20).
 func bruteKnapsack(p, w []float64, cap float64) float64 {
@@ -40,7 +50,7 @@ func TestKnapsackSmall(t *testing.T) {
 		terms[i] = lp.Term{Var: vars[i], Coeff: w[i]}
 	}
 	m.AddConstr(terms, lp.LE, capV, "cap")
-	r := Solve(m, vars, Options{})
+	r := mustSolve(t, m, vars, Options{})
 	if r.Status != lp.Optimal || !r.Proven {
 		t.Fatalf("status=%v proven=%v", r.Status, r.Proven)
 	}
@@ -74,7 +84,7 @@ func TestKnapsackRandomAgainstBrute(t *testing.T) {
 			terms[i] = lp.Term{Var: vars[i], Coeff: w[i]}
 		}
 		m.AddConstr(terms, lp.LE, cap, "cap")
-		r := Solve(m, vars, Options{})
+		r := mustSolve(t, m, vars, Options{})
 		if r.Status != lp.Optimal {
 			t.Fatalf("trial %d: status %v", trial, r.Status)
 		}
@@ -149,7 +159,7 @@ func TestGAPRandomAgainstBrute(t *testing.T) {
 			}
 			m.AddConstr(capTerms, lp.LE, capV[b], "cap")
 		}
-		r := Solve(m, intVars, Options{})
+		r := mustSolve(t, m, intVars, Options{})
 		if r.Status != lp.Optimal {
 			t.Fatalf("trial %d: status %v", trial, r.Status)
 		}
@@ -165,7 +175,7 @@ func TestInfeasibleILP(t *testing.T) {
 	x := m.AddVar(0, 1, 1, "x")
 	y := m.AddVar(0, 1, 1, "y")
 	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.GE, 3, "impossible")
-	r := Solve(m, []int{x, y}, Options{})
+	r := mustSolve(t, m, []int{x, y}, Options{})
 	if r.Status != lp.Infeasible {
 		t.Fatalf("status %v, want infeasible", r.Status)
 	}
@@ -176,7 +186,7 @@ func TestIntegerForcing(t *testing.T) {
 	m := lp.NewModel(lp.Maximize)
 	x := m.AddVar(0, 10, 1, "x")
 	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}}, lp.LE, 2.5, "cap")
-	r := Solve(m, []int{x}, Options{})
+	r := mustSolve(t, m, []int{x}, Options{})
 	if r.Status != lp.Optimal || math.Abs(r.Objective-2) > 1e-6 {
 		t.Fatalf("status=%v obj=%v, want optimal 2", r.Status, r.Objective)
 	}
@@ -199,7 +209,7 @@ func TestIntegralRootHasZeroDepth(t *testing.T) {
 	m := lp.NewModel(lp.Maximize)
 	x := m.AddVar(0, 10, 1, "x")
 	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}}, lp.LE, 2, "cap")
-	r := Solve(m, []int{x}, Options{})
+	r := mustSolve(t, m, []int{x}, Options{})
 	if r.Status != lp.Optimal || math.Abs(r.Objective-2) > 1e-6 {
 		t.Fatalf("status=%v obj=%v, want optimal 2", r.Status, r.Objective)
 	}
@@ -222,7 +232,7 @@ func TestDepthBoundedByNodes(t *testing.T) {
 			terms[i] = lp.Term{Var: vars[i], Coeff: rng.Float64()*5 + 1}
 		}
 		m.AddConstr(terms, lp.LE, float64(n), "cap")
-		r := Solve(m, vars, Options{})
+		r := mustSolve(t, m, vars, Options{})
 		if r.Status != lp.Optimal {
 			t.Fatalf("trial %d: status %v", trial, r.Status)
 		}
@@ -241,7 +251,7 @@ func TestMixedIntegerContinuous(t *testing.T) {
 	x := m.AddVar(0, 10, 1, "x")
 	y := m.AddVar(0, 0.7, 1, "y")
 	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}}, lp.LE, 2.5, "cx")
-	r := Solve(m, []int{x}, Options{})
+	r := mustSolve(t, m, []int{x}, Options{})
 	if r.Status != lp.Optimal || math.Abs(r.Objective-2.7) > 1e-6 {
 		t.Fatalf("status=%v obj=%v, want 2.7", r.Status, r.Objective)
 	}
@@ -257,7 +267,7 @@ func TestMinimizationILP(t *testing.T) {
 	x := m.AddVar(0, 1, 3, "x")
 	y := m.AddVar(0, 1, 2, "y")
 	m.AddConstr([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.GE, 1.5, "cover")
-	r := Solve(m, []int{x, y}, Options{})
+	r := mustSolve(t, m, []int{x, y}, Options{})
 	if r.Status != lp.Optimal || math.Abs(r.Objective-5) > 1e-6 {
 		t.Fatalf("status=%v obj=%v, want 5", r.Status, r.Objective)
 	}
@@ -278,7 +288,7 @@ func TestNodeBudgetReportsGap(t *testing.T) {
 		terms[i] = lp.Term{Var: vars[i], Coeff: w}
 	}
 	m.AddConstr(terms, lp.LE, 25, "cap")
-	r := Solve(m, vars, Options{MaxNodes: 1})
+	r := mustSolve(t, m, vars, Options{MaxNodes: 1})
 	if r.Status == lp.Optimal && !r.Proven {
 		t.Fatal("optimal must imply proven")
 	}
@@ -287,15 +297,13 @@ func TestNodeBudgetReportsGap(t *testing.T) {
 	}
 }
 
-func TestInfiniteBoundIntegerPanics(t *testing.T) {
+func TestInfiniteBoundIntegerIsError(t *testing.T) {
 	m := lp.NewModel(lp.Maximize)
 	x := m.AddVar(0, math.Inf(1), 1, "x")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unbounded integer var")
-		}
-	}()
-	Solve(m, []int{x}, Options{})
+	r, err := Solve(m, []int{x}, Options{})
+	if err == nil {
+		t.Fatalf("expected error for unbounded integer var, got result %+v", r)
+	}
 }
 
 func TestSortVarsByFraction(t *testing.T) {

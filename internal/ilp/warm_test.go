@@ -1,0 +1,127 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// randomGAP builds a random generalized-assignment model with 0/1 variables,
+// the workload shape the B&B sees in this repo.
+func randomGAP(rng *rand.Rand) (*lp.Model, []int) {
+	n := 2 + rng.Intn(6)
+	bins := 1 + rng.Intn(3)
+	m := lp.NewModel(lp.Maximize)
+	var intVars []int
+	x := make([][]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = make([]int, bins)
+		rowTerms := make([]lp.Term, 0, bins)
+		for b := 0; b < bins; b++ {
+			x[i][b] = m.AddVar(0, 1, rng.Float64()*10, "x")
+			intVars = append(intVars, x[i][b])
+			rowTerms = append(rowTerms, lp.Term{Var: x[i][b], Coeff: 1})
+		}
+		m.AddConstr(rowTerms, lp.LE, 1, "assign")
+	}
+	for b := 0; b < bins; b++ {
+		capTerms := make([]lp.Term, 0, n)
+		for i := 0; i < n; i++ {
+			capTerms = append(capTerms, lp.Term{Var: x[i][b], Coeff: 1 + rng.Float64()*3})
+		}
+		m.AddConstr(capTerms, lp.LE, 2+rng.Float64()*6, "cap")
+	}
+	return m, intVars
+}
+
+// TestWarmStartMatchesColdLP asserts the core warm-start contract at the LP
+// level: after solving a model, fixing one binary (the branching move) and
+// re-solving warm from the parent basis must agree with the cold two-phase
+// solve on status and objective, bit for status and to tight tolerance on
+// the objective (X may differ only across alternative optima).
+func TestWarmStartMatchesColdLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ws := lp.NewWorkspace()
+	wsCold := lp.NewWorkspace()
+	attempted, installed := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		m, intVars := randomGAP(rng)
+		parent := m.Clone()
+		psol := parent.SolveWithWorkspace(ws)
+		if psol.Status != lp.Optimal {
+			continue
+		}
+		basis := ws.FinalBasis(nil)
+
+		// Branch: fix a random integer variable to 0 or 1.
+		v := intVars[rng.Intn(len(intVars))]
+		val := float64(rng.Intn(2))
+		child := m.Clone()
+		child.SetVarBounds(v, val, val)
+
+		cold := child.SolveWithWorkspace(wsCold)
+		attempted++
+		warm, ok := child.SolveWarm(ws, basis, 0)
+		if !ok {
+			continue // install failed; the cold fallback path decides
+		}
+		installed++
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm status %v, cold status %v", trial, warm.Status, cold.Status)
+		}
+		if warm.Status == lp.Optimal && math.Abs(warm.Objective-cold.Objective) > 1e-7 {
+			t.Fatalf("trial %d: warm obj %v, cold obj %v", trial, warm.Objective, cold.Objective)
+		}
+	}
+	if attempted == 0 {
+		t.Fatal("no warm starts were attempted; sampler is broken")
+	}
+	if installed == 0 {
+		t.Fatal("no warm start ever installed; the fast path is dead")
+	}
+}
+
+// TestWarmBBMatchesBruteAndReportsHits runs the full warm-started B&B on
+// random instances and checks (a) the optimum still matches exhaustive
+// enumeration, and (b) warm starts actually fire on trees that branch, so
+// the fast path cannot silently regress to all-cold.
+func TestWarmBBMatchesBruteAndReportsHits(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	totalWarm, totalCold := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		p := make([]float64, n)
+		w := make([]float64, n)
+		for i := range p {
+			p[i] = math.Round(rng.Float64()*20) + 1
+			w[i] = math.Round(rng.Float64()*10) + 1
+		}
+		cap := rng.Float64() * 25
+		m := lp.NewModel(lp.Maximize)
+		terms := make([]lp.Term, n)
+		vars := make([]int, n)
+		for i := 0; i < n; i++ {
+			vars[i] = m.AddVar(0, 1, p[i], "x")
+			terms[i] = lp.Term{Var: vars[i], Coeff: w[i]}
+		}
+		m.AddConstr(terms, lp.LE, cap, "cap")
+		r := mustSolve(t, m, vars, Options{})
+		if r.Status != lp.Optimal || !r.Proven {
+			t.Fatalf("trial %d: status=%v proven=%v", trial, r.Status, r.Proven)
+		}
+		if want := bruteKnapsack(p, w, cap); math.Abs(r.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: ilp=%v brute=%v", trial, r.Objective, want)
+		}
+		if r.WarmHits+r.ColdRuns != r.Nodes {
+			t.Fatalf("trial %d: WarmHits %d + ColdRuns %d != Nodes %d",
+				trial, r.WarmHits, r.ColdRuns, r.Nodes)
+		}
+		totalWarm += r.WarmHits
+		totalCold += r.ColdRuns
+	}
+	if totalWarm == 0 {
+		t.Fatalf("no warm-start hit across all trials (cold runs: %d); the warm path never fires", totalCold)
+	}
+}

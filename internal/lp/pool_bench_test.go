@@ -1,0 +1,59 @@
+package lp
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// contentionModel builds a small dense assignment LP; solving it repeatedly
+// from many goroutines exercises the workspace pool's acquire/release path
+// under contention (models are read-only during Solve, so sharing one is
+// safe).
+func contentionModel(n int) *Model {
+	rng := rand.New(rand.NewSource(7))
+	m := NewModel(Minimize)
+	vars := make([][]int, n)
+	for i := 0; i < n; i++ {
+		vars[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			vars[i][j] = m.AddVar(0, 1, rng.Float64()*10, "x")
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]Term, 0, n)
+		col := make([]Term, 0, n)
+		for j := 0; j < n; j++ {
+			row = append(row, Term{Var: vars[i][j], Coeff: 1})
+			col = append(col, Term{Var: vars[j][i], Coeff: 1})
+		}
+		m.AddConstr(row, EQ, 1, "r")
+		m.AddConstr(col, EQ, 1, "c")
+	}
+	return m
+}
+
+// BenchmarkWorkspacePoolContention measures parallel solves of one shared
+// model through the sync.Pool of workspaces — the access pattern of
+// engine.Run's trial fan-out. It is skipped under -short and under
+// GOMAXPROCS < 2, where no cross-goroutine contention exists to measure
+// (`make bench` fails fast in that configuration instead of reporting a
+// meaningless number).
+func BenchmarkWorkspacePoolContention(b *testing.B) {
+	if testing.Short() {
+		b.Skip("contention benchmark skipped under -short")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		b.Skipf("GOMAXPROCS=%d: no contention to measure", p)
+	}
+	m := contentionModel(8)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if s := m.Solve(); s.Status != Optimal {
+				b.Errorf("status %v", s.Status)
+				return
+			}
+		}
+	})
+}

@@ -12,10 +12,21 @@ const (
 // standardForm is the internal min c'y, Ay = b, y >= 0 representation built
 // from a Model. Each model variable maps to either one shifted column
 // (finite lb) or a pair of split columns (free variable).
+//
+// The tableau is stored flat, row-major: row i occupies
+// tab[i*stride : i*stride+cols]. stride is fixed at construction (the full
+// width including artificial columns) while cols shrinks from n+nArt to n
+// when driveOutArtificials truncates the artificial block, so every row
+// kernel works on one contiguous slice. All backing slices live in the
+// owning Workspace and are reused across solves.
 type standardForm struct {
-	a        [][]float64 // m rows × n structural+slack+artificial columns
+	tab    []float64 // rows × stride flat tableau (active width: cols)
+	stride int
+	cols   int // active columns: n + nArt, then n after drive-out
+	rows   int
+
 	b        []float64
-	c        []float64 // phase-2 costs per column
+	c        []float64 // phase-2 costs per column (length n)
 	n        int       // columns excluding artificials
 	nArt     int       // artificial columns (appended at the end)
 	basis    []int     // basic column per row
@@ -27,31 +38,72 @@ type standardForm struct {
 	flip   bool // true if the model was Maximize (costs were negated)
 }
 
+// row returns the active slice of tableau row i.
+func (sf *standardForm) row(i int) []float64 {
+	off := i * sf.stride
+	return sf.tab[off : off+sf.cols]
+}
+
+// scaleRow is the pivot-row kernel: row *= inv over one contiguous slice.
+func scaleRow(row []float64, inv float64) {
+	for j := range row {
+		row[j] *= inv
+	}
+}
+
+// elimRow is the rank-1 elimination kernel: dst -= f * src over two
+// contiguous equal-length slices.
+func elimRow(dst, src []float64, f float64) {
+	if len(dst) != len(src) {
+		panic("lp: elimRow length mismatch")
+	}
+	for j, s := range src {
+		dst[j] -= f * s
+	}
+}
+
 // Solve optimizes the model with the two-phase simplex method.
 func (m *Model) Solve() *Solution {
 	return m.SolveWithLimit(0)
 }
 
 // SolveWithLimit is Solve with an explicit pivot budget; maxIter <= 0 selects
-// an automatic budget proportional to the model size.
+// an automatic budget proportional to the model size. Scratch storage comes
+// from the package workspace pool, so repeated solves allocate only the
+// returned Solution.
 func (m *Model) SolveWithLimit(maxIter int) *Solution {
-	sf, infeasible := m.toStandardForm()
+	ws := AcquireWorkspace()
+	defer ReleaseWorkspace(ws)
+	return m.SolveWithLimitWorkspace(ws, maxIter)
+}
+
+// SolveWithWorkspace is Solve reusing an explicit workspace arena.
+func (m *Model) SolveWithWorkspace(ws *Workspace) *Solution {
+	return m.SolveWithLimitWorkspace(ws, 0)
+}
+
+// SolveWithLimitWorkspace solves the model with ws owning every piece of
+// scratch storage (tableau, basis, reduced costs). The returned Solution and
+// its X are freshly allocated and safe to retain; everything else is reused
+// by the next solve through ws.
+func (m *Model) SolveWithLimitWorkspace(ws *Workspace, maxIter int) *Solution {
+	sf, infeasible := m.toStandardForm(ws, true)
 	if infeasible {
 		return &Solution{Status: Infeasible, X: make([]float64, len(m.vars))}
 	}
 	if maxIter <= 0 {
-		size := len(sf.b) + sf.n
+		size := sf.rows + sf.n
 		maxIter = 2000 + 40*size
 	}
 	iters := 0
 
 	// Phase 1: minimize the sum of artificial variables.
 	if sf.nArt > 0 {
-		phase1 := make([]float64, sf.n+sf.nArt)
+		phase1 := ws.costs(sf.n + sf.nArt)
 		for j := sf.n; j < sf.n+sf.nArt; j++ {
 			phase1[j] = 1
 		}
-		st, it := sf.simplex(phase1, maxIter)
+		st, it := sf.simplex(phase1, maxIter, ws)
 		iters += it
 		if st == IterLimit {
 			return &Solution{Status: IterLimit, Iterations: iters, X: make([]float64, len(m.vars))}
@@ -68,7 +120,7 @@ func (m *Model) SolveWithLimit(maxIter int) *Solution {
 	}
 
 	// Phase 2: minimize original costs.
-	st, it := sf.simplex(sf.c, maxIter)
+	st, it := sf.simplex(sf.c, maxIter, ws)
 	iters += it
 	switch st {
 	case Unbounded:
@@ -77,34 +129,39 @@ func (m *Model) SolveWithLimit(maxIter int) *Solution {
 		return &Solution{Status: IterLimit, Iterations: iters, X: make([]float64, len(m.vars))}
 	}
 
-	x := sf.extract(len(m.vars))
+	return sf.solution(m, iters, ws)
+}
+
+// solution extracts the optimum into a fresh Solution.
+func (sf *standardForm) solution(m *Model, iters int, ws *Workspace) *Solution {
+	x := sf.extract(len(m.vars), ws)
 	obj := 0.0
-	for j, v := range m.vars {
-		obj += v.obj * x[j]
+	for j := range m.vars {
+		obj += m.vars[j].obj * x[j]
 	}
 	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: iters}
 }
 
-// toStandardForm converts the model. The bool result reports trivial
-// infeasibility detected during conversion (e.g., empty constraint with an
-// unsatisfiable rhs).
-func (m *Model) toStandardForm() (*standardForm, bool) {
+// toStandardForm converts the model into ws's arena. The bool result reports
+// trivial infeasibility detected during conversion (e.g., empty constraint
+// with an unsatisfiable rhs). When artificials is false the conversion stops
+// before choosing an initial basis: no artificial columns are created and
+// basis is left unassigned (-1), which is the entry state for a warm start.
+func (m *Model) toStandardForm(ws *Workspace, artificials bool) (*standardForm, bool) {
 	nv := len(m.vars)
-	sf := &standardForm{
-		posCol: make([]int, nv),
-		negCol: make([]int, nv),
-		lbs:    make([]float64, nv),
-		flip:   m.sense == Maximize,
-	}
+	sf := &ws.sf
+	sf.posCol = grow(sf.posCol, nv)
+	sf.negCol = grow(sf.negCol, nv)
+	sf.lbs = growF(sf.lbs, nv)
+	sf.flip = m.sense == Maximize
+	sf.objShift = 0
 
 	// Assign structural columns.
 	col := 0
-	type ubRow struct {
-		v  int
-		ub float64
-	}
-	var ubRows []ubRow
-	for j, v := range m.vars {
+	ubV := ws.ubV[:0]
+	ubW := ws.ubW[:0]
+	for j := range m.vars {
+		v := &m.vars[j]
 		lb, ub := v.lb, v.ub
 		switch {
 		case math.IsInf(lb, -1):
@@ -113,7 +170,8 @@ func (m *Model) toStandardForm() (*standardForm, bool) {
 			sf.lbs[j] = 0
 			col += 2
 			if !math.IsInf(ub, 1) {
-				ubRows = append(ubRows, ubRow{v: j, ub: ub})
+				ubV = append(ubV, j)
+				ubW = append(ubW, ub)
 			}
 		default:
 			sf.posCol[j] = col
@@ -125,45 +183,32 @@ func (m *Model) toStandardForm() (*standardForm, bool) {
 				if w < 0 {
 					w = 0
 				}
-				ubRows = append(ubRows, ubRow{v: j, ub: w})
+				ubV = append(ubV, j)
+				ubW = append(ubW, w)
 			}
 		}
 	}
+	ws.ubV, ws.ubW = ubV, ubW
 	nStruct := col
 
 	// Count rows: model constraints + finite upper-bound rows.
-	rows := len(m.cons) + len(ubRows)
-	a := make([][]float64, rows)
-	b := make([]float64, rows)
-	rels := make([]Rel, rows)
-	for i := range a {
-		a[i] = make([]float64, nStruct)
-	}
+	rows := len(m.cons) + len(ubV)
+	sf.rows = rows
+	b := growF(sf.b, rows)
+	rels := ws.growRels(rows)
 
-	// Objective in min sense, adjusted for lb shifts.
-	c := make([]float64, nStruct)
+	// Objective in min sense, adjusted for lb shifts. c is filled to the full
+	// slack-extended width below once nSlack is known.
 	objShift := 0.0
-	for j, v := range m.vars {
-		coef := v.obj
-		if sf.flip {
-			coef = -coef
-		}
-		c[sf.posCol[j]] += coef
-		if sf.negCol[j] >= 0 {
-			c[sf.negCol[j]] -= coef
-		}
-		objShift += coef * sf.lbs[j]
-	}
 
-	for i, con := range m.cons {
+	// First pass: adjusted right-hand sides, relations, and trivial
+	// infeasibility — everything needed to size the tableau (slack and
+	// artificial counts) before a single coefficient is written.
+	for i := range m.cons {
+		con := &m.cons[i]
 		rhs := con.rhs
 		for _, t := range con.terms {
-			j := t.Var
-			a[i][sf.posCol[j]] += t.Coeff
-			if sf.negCol[j] >= 0 {
-				a[i][sf.negCol[j]] -= t.Coeff
-			}
-			rhs -= t.Coeff * sf.lbs[j]
+			rhs -= t.Coeff * sf.lbs[t.Var]
 		}
 		b[i] = rhs
 		rels[i] = con.rel
@@ -184,20 +229,19 @@ func (m *Model) toStandardForm() (*standardForm, bool) {
 			}
 		}
 	}
-	for k, ur := range ubRows {
+	for k := range ubV {
 		i := len(m.cons) + k
-		a[i][sf.posCol[ur.v]] = 1
-		if sf.negCol[ur.v] >= 0 {
-			a[i][sf.negCol[ur.v]] = -1
-		}
-		b[i] = ur.ub
+		b[i] = ubW[k]
 		rels[i] = LE
 	}
 
-	// Add slack/surplus columns, then fix b >= 0, then artificials.
-	slackCol := make([]int, rows)
+	// Slack/surplus layout and, when requested, the artificial count: a row
+	// keeps a slack basis iff its slack coefficient is +1 after the b >= 0
+	// normalization, i.e. (LE, b >= 0) or (GE, b < 0). EQ rows and the rest
+	// need an artificial.
+	slackCol := ws.growSlack(rows)
 	nSlack := 0
-	for i := range rels {
+	for i := 0; i < rows; i++ {
 		if rels[i] == EQ {
 			slackCol[i] = -1
 			continue
@@ -206,73 +250,118 @@ func (m *Model) toStandardForm() (*standardForm, bool) {
 		nSlack++
 	}
 	total := nStruct + nSlack
-	for i := range a {
-		row := make([]float64, total)
-		copy(row, a[i])
-		if sc := slackCol[i]; sc >= 0 {
-			if rels[i] == LE {
-				row[sc] = 1
-			} else {
-				row[sc] = -1
+	nArt := 0
+	artRows := ws.artRows[:0]
+	if artificials {
+		for i := 0; i < rows; i++ {
+			slackPlus := (rels[i] == LE) == (b[i] >= 0)
+			if slackCol[i] < 0 || !slackPlus {
+				artRows = append(artRows, i)
 			}
 		}
-		a[i] = row
+		nArt = len(artRows)
 	}
-	cFull := make([]float64, total)
-	copy(cFull, c)
+	ws.artRows = artRows
 
-	// Normalize to b >= 0.
-	for i := range b {
+	// Allocate the flat tableau at full final width and zero it.
+	stride := total + nArt
+	sf.stride = stride
+	sf.cols = stride
+	sf.n = total
+	sf.nArt = nArt
+	sf.tab = growF(sf.tab, rows*stride)
+	clearF(sf.tab[:rows*stride])
+
+	// Costs.
+	c := growF(sf.c, total)
+	clearF(c)
+	for j := range m.vars {
+		coef := m.vars[j].obj
+		if sf.flip {
+			coef = -coef
+		}
+		c[sf.posCol[j]] += coef
+		if sf.negCol[j] >= 0 {
+			c[sf.negCol[j]] -= coef
+		}
+		objShift += coef * sf.lbs[j]
+	}
+	sf.c = c
+	sf.objShift = objShift
+
+	// Structural coefficients.
+	for i := range m.cons {
+		row := sf.tab[i*stride : i*stride+stride]
+		for _, t := range m.cons[i].terms {
+			row[sf.posCol[t.Var]] += t.Coeff
+			if sf.negCol[t.Var] >= 0 {
+				row[sf.negCol[t.Var]] -= t.Coeff
+			}
+		}
+	}
+	for k, vj := range ubV {
+		i := len(m.cons) + k
+		row := sf.tab[i*stride : i*stride+stride]
+		row[sf.posCol[vj]] = 1
+		if sf.negCol[vj] >= 0 {
+			row[sf.negCol[vj]] = -1
+		}
+	}
+
+	// Slack/surplus coefficients.
+	for i := 0; i < rows; i++ {
+		if sc := slackCol[i]; sc >= 0 {
+			if rels[i] == LE {
+				sf.tab[i*stride+sc] = 1
+			} else {
+				sf.tab[i*stride+sc] = -1
+			}
+		}
+	}
+
+	// Normalize to b >= 0 (structural + slack columns only; the artificial
+	// block is written after normalization, exactly like the seed solver).
+	for i := 0; i < rows; i++ {
 		if b[i] < 0 {
-			for j := range a[i] {
-				a[i][j] = -a[i][j]
+			row := sf.tab[i*stride : i*stride+total]
+			for j := range row {
+				row[j] = -row[j]
 			}
 			b[i] = -b[i]
 		}
 	}
+	sf.b = b
 
-	// Choose initial basis: a slack column with +1 coefficient if available,
-	// otherwise a fresh artificial.
-	basis := make([]int, rows)
-	var artRows []int
-	for i := range a {
-		sc := slackCol[i]
-		if sc >= 0 && a[i][sc] > 0.5 {
-			basis[i] = sc
-		} else {
-			basis[i] = -1
-			artRows = append(artRows, i)
-		}
-	}
-	nArt := len(artRows)
-	if nArt > 0 {
-		for i := range a {
-			row := make([]float64, total+nArt)
-			copy(row, a[i])
-			a[i] = row
+	// Initial basis: slack where usable, fresh artificials elsewhere.
+	basis := grow(sf.basis, rows)
+	if artificials {
+		for i := 0; i < rows; i++ {
+			sc := slackCol[i]
+			if sc >= 0 && sf.tab[i*stride+sc] > 0.5 {
+				basis[i] = sc
+			} else {
+				basis[i] = -1
+			}
 		}
 		for k, i := range artRows {
-			a[i][total+k] = 1
+			sf.tab[i*stride+total+k] = 1
 			basis[i] = total + k
 		}
+	} else {
+		for i := 0; i < rows; i++ {
+			basis[i] = -1
+		}
 	}
-
-	sf.a = a
-	sf.b = b
-	sf.c = cFull
-	sf.n = total
-	sf.nArt = nArt
 	sf.basis = basis
-	sf.objShift = objShift
 	return sf, false
 }
 
-// simplex runs the revised (full-tableau) simplex on the current basis with
-// the given cost vector (length >= n; artificial columns beyond len(costs)
-// are treated as cost 0 — callers pass a full-length vector in phase 1).
-func (sf *standardForm) simplex(costs []float64, maxIter int) (Status, int) {
-	mRows := len(sf.a)
-	totalCols := sf.n + sf.nArt
+// simplex runs the primal simplex on the current basis with the given cost
+// vector (length >= n; artificial columns beyond len(costs) are treated as
+// cost 0 — callers pass a full-length vector in phase 1).
+func (sf *standardForm) simplex(costs []float64, maxIter int, ws *Workspace) (Status, int) {
+	mRows := sf.rows
+	totalCols := sf.cols
 	costAt := func(j int) float64 {
 		if j < len(costs) {
 			return costs[j]
@@ -283,7 +372,7 @@ func (sf *standardForm) simplex(costs []float64, maxIter int) (Status, int) {
 	// Price out the basis: reduced costs r_j = c_j - c_B' * a_j where a is
 	// the current (transformed) tableau. We recompute r from scratch each
 	// call and maintain it incrementally across pivots.
-	r := make([]float64, totalCols)
+	r := ws.reduced(totalCols)
 	for j := 0; j < totalCols; j++ {
 		r[j] = costAt(j)
 	}
@@ -292,10 +381,7 @@ func (sf *standardForm) simplex(costs []float64, maxIter int) (Status, int) {
 		if cb == 0 {
 			continue
 		}
-		row := sf.a[i]
-		for j := 0; j < totalCols; j++ {
-			r[j] -= cb * row[j]
-		}
+		elimRow(r, sf.row(i), cb)
 	}
 
 	blandAfter := maxIter / 2
@@ -326,7 +412,7 @@ func (sf *standardForm) simplex(costs []float64, maxIter int) (Status, int) {
 		leave := -1
 		bestRatio := math.Inf(1)
 		for i := 0; i < mRows; i++ {
-			aie := sf.a[i][enter]
+			aie := sf.tab[i*sf.stride+enter]
 			if aie > pivotEps {
 				ratio := sf.b[i] / aie
 				if ratio < bestRatio-eps ||
@@ -340,20 +426,20 @@ func (sf *standardForm) simplex(costs []float64, maxIter int) (Status, int) {
 			return Unbounded, iter
 		}
 
-		sf.pivot(leave, enter, r, costAt)
+		sf.pivot(leave, enter, r)
 	}
 	return IterLimit, maxIter
 }
 
-// pivot performs a tableau pivot on (row, col) and updates reduced costs.
-func (sf *standardForm) pivot(row, col int, r []float64, costAt func(int) float64) {
-	mRows := len(sf.a)
-	piv := sf.a[row][col]
-	prow := sf.a[row]
+// pivot performs a tableau pivot on (row, col) and updates reduced costs r
+// (pass nil to skip the bookkeeping). The body is the two kernels: scale the
+// pivot row, then rank-1-eliminate every other row.
+func (sf *standardForm) pivot(row, col int, r []float64) {
+	mRows := sf.rows
+	prow := sf.row(row)
+	piv := prow[col]
 	inv := 1 / piv
-	for j := range prow {
-		prow[j] *= inv
-	}
+	scaleRow(prow, inv)
 	sf.b[row] *= inv
 	prow[col] = 1 // fight rounding
 
@@ -361,26 +447,24 @@ func (sf *standardForm) pivot(row, col int, r []float64, costAt func(int) float6
 		if i == row {
 			continue
 		}
-		f := sf.a[i][col]
+		arow := sf.row(i)
+		f := arow[col]
 		if f == 0 {
 			continue
 		}
-		arow := sf.a[i]
-		for j := range arow {
-			arow[j] -= f * prow[j]
-		}
+		elimRow(arow, prow, f)
 		arow[col] = 0
 		sf.b[i] -= f * sf.b[row]
 		if sf.b[i] < 0 && sf.b[i] > -eps {
 			sf.b[i] = 0
 		}
 	}
-	f := r[col]
-	if f != 0 {
-		for j := range r {
-			r[j] -= f * prow[j]
+	if r != nil {
+		f := r[col]
+		if f != 0 {
+			elimRow(r, prow, f)
+			r[col] = 0
 		}
-		r[col] = 0
 	}
 	sf.basis[row] = col
 }
@@ -388,7 +472,7 @@ func (sf *standardForm) pivot(row, col int, r []float64, costAt func(int) float6
 // phaseObjective evaluates Σ costs over the current basic solution.
 func (sf *standardForm) phaseObjective(costs []float64) float64 {
 	obj := 0.0
-	for i, bj := range sf.basis {
+	for i, bj := range sf.basis[:sf.rows] {
 		if bj < len(costs) && costs[bj] != 0 {
 			obj += costs[bj] * sf.b[i]
 		}
@@ -400,38 +484,36 @@ func (sf *standardForm) phaseObjective(costs []float64) float64 {
 // basic artificials (necessarily at value 0) are pivoted out onto any
 // structural/slack column with a usable pivot element; rows where no such
 // column exists are rank-deficient (redundant constraints) and are deleted.
-// Finally the artificial columns themselves are truncated so they can never
-// re-enter in phase 2.
+// Finally the artificial block is truncated (cols shrinks to n) so the
+// columns can never re-enter in phase 2.
 func (sf *standardForm) driveOutArtificials() {
-	mRows := len(sf.a)
+	mRows := sf.rows
 	for i := 0; i < mRows; i++ {
 		if sf.basis[i] < sf.n { // structural or slack
 			continue
 		}
 		// Try to pivot in any structural/slack column with nonzero entry.
+		irow := sf.row(i)
 		for j := 0; j < sf.n; j++ {
-			if math.Abs(sf.a[i][j]) > pivotEps {
+			if math.Abs(irow[j]) > pivotEps {
 				// Manual pivot without reduced-cost bookkeeping (phase-2
 				// simplex recomputes reduced costs from scratch).
-				piv := sf.a[i][j]
+				piv := irow[j]
 				inv := 1 / piv
-				for k := range sf.a[i] {
-					sf.a[i][k] *= inv
-				}
+				scaleRow(irow, inv)
 				sf.b[i] *= inv
-				sf.a[i][j] = 1
+				irow[j] = 1
 				for i2 := 0; i2 < mRows; i2++ {
 					if i2 == i {
 						continue
 					}
-					f := sf.a[i2][j]
+					arow := sf.row(i2)
+					f := arow[j]
 					if f == 0 {
 						continue
 					}
-					for k := range sf.a[i2] {
-						sf.a[i2][k] -= f * sf.a[i][k]
-					}
-					sf.a[i2][j] = 0
+					elimRow(arow, irow, f)
+					arow[j] = 0
 					sf.b[i2] -= f * sf.b[i]
 				}
 				sf.basis[i] = j
@@ -439,34 +521,31 @@ func (sf *standardForm) driveOutArtificials() {
 			}
 		}
 	}
-	// Delete rows whose artificial could not be pivoted out (redundant).
-	keepA := sf.a[:0]
-	keepB := sf.b[:0]
-	keepBasis := sf.basis[:0]
+	// Delete rows whose artificial could not be pivoted out (redundant),
+	// compacting the flat tableau in place (same row order as the seed's
+	// slice-of-rows filtering).
+	keep := 0
 	for i := 0; i < mRows; i++ {
 		if sf.basis[i] >= sf.n {
 			continue
 		}
-		keepA = append(keepA, sf.a[i])
-		keepB = append(keepB, sf.b[i])
-		keepBasis = append(keepBasis, sf.basis[i])
-	}
-	sf.a = keepA
-	sf.b = keepB
-	sf.basis = keepBasis
-	// Hard-delete artificial columns so they can never re-enter.
-	if sf.nArt > 0 {
-		for i := range sf.a {
-			sf.a[i] = sf.a[i][:sf.n]
+		if keep != i {
+			copy(sf.tab[keep*sf.stride:keep*sf.stride+sf.cols], sf.tab[i*sf.stride:i*sf.stride+sf.cols])
+			sf.b[keep] = sf.b[i]
+			sf.basis[keep] = sf.basis[i]
 		}
-		sf.nArt = 0
+		keep++
 	}
+	sf.rows = keep
+	// Truncate the artificial block so it can never re-enter.
+	sf.cols = sf.n
+	sf.nArt = 0
 }
 
 // extract reads the model-variable values out of the current basic solution.
-func (sf *standardForm) extract(nVars int) []float64 {
-	val := make([]float64, sf.n+sf.nArt)
-	for i, bj := range sf.basis {
+func (sf *standardForm) extract(nVars int, ws *Workspace) []float64 {
+	val := ws.values(sf.n + sf.nArt)
+	for i, bj := range sf.basis[:sf.rows] {
 		v := sf.b[i]
 		if v < 0 && v > -eps {
 			v = 0

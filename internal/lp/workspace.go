@@ -1,0 +1,105 @@
+package lp
+
+import "sync"
+
+// Workspace is a reusable solve arena: it owns the flat tableau, basis,
+// reduced-cost vector, and every other piece of scratch storage the simplex
+// needs, so repeated solves through one workspace allocate nothing once the
+// buffers have grown to the model's size. A Workspace is not safe for
+// concurrent use; give each goroutine its own (or go through Solve, which
+// draws from an internal sync.Pool).
+type Workspace struct {
+	sf standardForm // tableau, b, c, basis, posCol/negCol/lbs all reused
+
+	rels     []Rel // per-row relation scratch
+	slackCol []int // per-row slack column (or -1) scratch
+	artRows  []int // rows needing an artificial
+	ubV      []int // model vars with a finite upper bound
+	ubW      []float64
+	phase1   []float64 // phase-1 cost vector
+	red      []float64 // reduced costs
+	val      []float64 // column values during extraction
+	used     []bool    // rows claimed during warm-start basis install
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// AcquireWorkspace takes a workspace from the package pool.
+func AcquireWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// ReleaseWorkspace returns a workspace to the package pool. The caller must
+// not retain any slice that aliases workspace storage (Solution and its X
+// never do).
+func ReleaseWorkspace(ws *Workspace) { wsPool.Put(ws) }
+
+func (ws *Workspace) growRels(n int) []Rel {
+	if cap(ws.rels) < n {
+		ws.rels = make([]Rel, n)
+	}
+	ws.rels = ws.rels[:n]
+	return ws.rels
+}
+
+func (ws *Workspace) growSlack(n int) []int {
+	ws.slackCol = grow(ws.slackCol, n)
+	return ws.slackCol
+}
+
+// costs returns a zeroed length-n cost vector.
+func (ws *Workspace) costs(n int) []float64 {
+	ws.phase1 = growF(ws.phase1, n)
+	clearF(ws.phase1)
+	return ws.phase1
+}
+
+// reduced returns a length-n reduced-cost buffer (contents undefined; the
+// simplex overwrites every entry before reading).
+func (ws *Workspace) reduced(n int) []float64 {
+	ws.red = growF(ws.red, n)
+	return ws.red
+}
+
+// values returns a zeroed length-n value buffer for solution extraction.
+func (ws *Workspace) values(n int) []float64 {
+	ws.val = growF(ws.val, n)
+	clearF(ws.val)
+	return ws.val
+}
+
+// rowUsed returns a cleared length-n row-claim buffer.
+func (ws *Workspace) rowUsed(n int) []bool {
+	if cap(ws.used) < n {
+		ws.used = make([]bool, n)
+	}
+	ws.used = ws.used[:n]
+	for i := range ws.used {
+		ws.used[i] = false
+	}
+	return ws.used
+}
+
+// grow resizes an int scratch slice to length n, reusing capacity.
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growF resizes a float64 scratch slice to length n, reusing capacity.
+// Contents are unspecified; callers that need zeros clear explicitly.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func clearF(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -10,6 +10,7 @@ package mec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -64,6 +65,12 @@ type Network struct {
 	Capacity []float64 // total computing capacity C_v per AP, MHz
 	residual []float64 // current residual capacity C'_v
 	catalog  *Catalog
+
+	// nbrCache memoizes NeighborsWithinPlus per (v, l): the hop-bounded
+	// neighborhoods are re-queried for every request built on this network,
+	// and the graph never changes after construction.
+	nbrMu    sync.RWMutex
+	nbrCache map[uint64][]int
 }
 
 // NewNetwork wraps a graph with cloudlet capacities and a function catalog.
@@ -88,6 +95,32 @@ func NewNetwork(g *graph.Graph, capacity []float64, catalog *Catalog) *Network {
 
 // Catalog returns the function catalog.
 func (n *Network) Catalog() *Catalog { return n.catalog }
+
+// NeighborsWithinPlus returns N_l^+(v) = N_l(v) ∪ {v} in ascending order,
+// memoized per (v, l) for the lifetime of the network (the AP graph is
+// immutable after construction). The returned slice is shared; callers must
+// not modify it. Safe for concurrent use.
+func (n *Network) NeighborsWithinPlus(v, l int) []int {
+	key := uint64(uint32(v))<<32 | uint64(uint32(l))
+	n.nbrMu.RLock()
+	nbrs, ok := n.nbrCache[key]
+	n.nbrMu.RUnlock()
+	if ok {
+		return nbrs
+	}
+	nbrs = n.G.NeighborsWithinPlus(v, l)
+	n.nbrMu.Lock()
+	if cached, ok := n.nbrCache[key]; ok {
+		nbrs = cached // another goroutine won the race; keep one canonical slice
+	} else {
+		if n.nbrCache == nil {
+			n.nbrCache = make(map[uint64][]int)
+		}
+		n.nbrCache[key] = nbrs
+	}
+	n.nbrMu.Unlock()
+	return nbrs
+}
 
 // Cloudlets returns the IDs of APs with nonzero total capacity, ascending.
 func (n *Network) Cloudlets() []int {
@@ -250,7 +283,7 @@ func (p *Placement) Validate(n *Network, l int) error {
 			return fmt.Errorf("mec: primary of position %d on non-cloudlet AP %d", i, v)
 		}
 		allowed := make(map[int]bool)
-		for _, u := range n.G.NeighborsWithinPlus(v, l) {
+		for _, u := range n.NeighborsWithinPlus(v, l) {
 			allowed[u] = true
 		}
 		for _, u := range p.Secondaries[i] {
