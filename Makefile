@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check check test test-race test-failsoft fuzz bench bench-short experiments figures clean
+.PHONY: all build vet fmt-check doc-check smoke-serve check test test-race test-failsoft fuzz bench bench-short bench-serve experiments figures clean
 
 all: build check test test-race
 
@@ -16,8 +16,20 @@ vet:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Static checks: vet + formatting.
-check: vet fmt-check
+# Every exported identifier in every package must carry a doc comment
+# (stdlib-only AST linter, see cmd/doccheck).
+doc-check:
+	$(GO) run ./cmd/doccheck $(shell find ./internal ./cmd -type d | sort)
+
+# Build the augmentation server and run its deterministic selftest: the
+# in-process load generator replays one request stream at 1 and 8 solver
+# workers and the placements must agree bit-for-bit with zero drops.
+smoke-serve:
+	$(GO) build ./cmd/augmentd
+	$(GO) run ./cmd/augmentd -selftest -requests 128 -selftest-workers 1,8 -residual 1.0 -log-level warn
+
+# Static checks + the serving smoke test.
+check: vet fmt-check doc-check smoke-serve
 
 test:
 	$(GO) test ./...
@@ -59,6 +71,12 @@ bench-short:
 	$(GO) test -short -bench=. -benchmem -count=3 ./... 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/benchdiff -parse bench_output.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
 
+# Serving-throughput snapshot: the augmentd selftest prints a benchmark-style
+# line that benchdiff parses into BENCH_<label>.json (e.g. BENCH_pr5.json).
+bench-serve:
+	$(GO) run ./cmd/augmentd -selftest -requests 256 -selftest-workers 1,8 -residual 1.0 -log-level warn | tee serve_bench.txt
+	$(GO) run ./cmd/benchdiff -parse serve_bench.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
+
 # Reproduce every figure and ablation at the paper's trial count (slow).
 experiments:
 	$(GO) run ./cmd/experiments -fig all -trials 1000 -csvdir results
@@ -68,4 +86,4 @@ figures:
 	$(GO) run ./cmd/experiments -fig all -trials 100 -csvdir results -svgdir results/svg
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt serve_bench.txt

@@ -1,0 +1,248 @@
+// Command augmentd is the online augmentation service: a long-running
+// HTTP/JSON server that admits requests with SFC reliability expectations
+// against a live MEC network, places their secondaries through the solver
+// registry, and releases them on demand. See API.md for the wire protocol.
+//
+//	go run ./cmd/augmentd -addr :8080 -obs-addr :9090
+//	go run ./cmd/augmentd -selftest -requests 128 -selftest-workers 1,8
+//	curl -s localhost:8080/v1/healthz
+//
+// In server mode SIGINT/SIGTERM drain gracefully: the admission queue stops
+// accepting (503), every queued request is still solved and answered, then
+// the listener shuts down. In -selftest mode no socket is opened: the
+// deterministic in-process load generator runs the same request stream at
+// each worker count in -selftest-workers and the process exits non-zero
+// unless the placement logs are bit-identical and nothing was dropped below
+// the queue bound. The selftest prints a `go test -bench`-style result line,
+// so `cmd/benchdiff -parse` can record throughput snapshots (BENCH_pr5.json).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mec"
+	"repro/internal/netio"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address for the augmentation API")
+	seed := flag.Int64("seed", 1, "seed for the sampled network and per-request RNG derivations")
+	residual := flag.Float64("residual", 0.25, "residual capacity fraction of the sampled network")
+	hopBound := flag.Int("l", 1, "hop bound for secondary placement")
+	scenario := flag.String("scenario", "", "serve a netio JSON scenario instead of sampling a network")
+	queueDepth := flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+	batchSize := flag.Int("batch", 8, "micro-batch size B")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "micro-batch wait bound T")
+	workers := flag.Int("workers", 0, "solver workers per batch (0 = GOMAXPROCS)")
+	solver := flag.String("solver", "Failsafe", "registered solver serving augmentations ("+strings.Join(core.Names(), ", ")+")")
+	fallbackSpec := flag.String("fallback", "", "serve through an ad-hoc fallback chain instead of -solver, e.g. \"ILP@50ms,Heuristic,Greedy\"")
+	admit := flag.String("admit", serve.AdmitRandom, "primary placement policy: random or maxrel")
+	deadline := flag.Duration("deadline", 0, "default per-request solve deadline (0 = unbounded)")
+	cacheSize := flag.Int("cache", 256, "solver-result LRU entries (0 disables caching)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090; empty: off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	selftest := flag.Bool("selftest", false, "run the in-process load-generator selftest instead of serving")
+	requests := flag.Int("requests", 128, "selftest: requests per run")
+	selftestWorkers := flag.String("selftest-workers", "1,8", "selftest: comma-separated worker counts that must agree")
+	wave := flag.Int("wave", 0, "selftest: submissions per wave (0 = queue depth)")
+	dupEvery := flag.Int("dup-every", 4, "selftest: duplicate every k-th request (cache exercise, 0 off)")
+	releaseEvery := flag.Int("release-every", 16, "selftest: release every k-th placement (0 off)")
+	rho := flag.Float64("rho", 0.95, "selftest: reliability expectation of generated requests")
+	flag.Parse()
+
+	obsSrv, err := obs.Boot(*logLevel, *obsAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if obsSrv != nil {
+		defer obsSrv.Close()
+	}
+
+	buildNetwork := func() *mec.Network {
+		if *scenario != "" {
+			scen, err := netio.ReadFile(*scenario)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
+				os.Exit(1)
+			}
+			net, _, err := scen.Build()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
+				os.Exit(1)
+			}
+			return net
+		}
+		cfg := workload.NewDefaultConfig()
+		cfg.ResidualFraction = *residual
+		cfg.HopBound = *hopBound
+		return cfg.Network(rand.New(rand.NewSource(*seed)))
+	}
+
+	resolveSolver := func() core.Solver {
+		if *fallbackSpec != "" {
+			chain, err := core.ParseFallback("augmentd", *fallbackSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "augmentd: -fallback: %v\n", err)
+				os.Exit(2)
+			}
+			return chain
+		}
+		sv, ok := core.Get(*solver)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "augmentd: unknown solver %q (registered: %s)\n", *solver, strings.Join(core.Names(), ", "))
+			os.Exit(2)
+		}
+		return sv
+	}
+
+	newService := func(w int) *serve.Service {
+		svc, err := serve.New(buildNetwork(), serve.Options{
+			QueueDepth:      *queueDepth,
+			BatchSize:       *batchSize,
+			BatchWait:       *batchWait,
+			Workers:         w,
+			Solver:          resolveSolver(),
+			HopBound:        *hopBound,
+			AdmitPolicy:     *admit,
+			DefaultDeadline: *deadline,
+			CacheSize:       *cacheSize,
+			Seed:            *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
+			os.Exit(2)
+		}
+		return svc
+	}
+
+	if *selftest {
+		os.Exit(runSelftest(newService, *requests, *selftestWorkers, *wave, *queueDepth, *dupEvery, *releaseEvery, *rho, *seed))
+	}
+
+	svc := newService(*workers)
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	slog.Info("augmentd serving", "addr", *addr, "solver", svc.SolverName(),
+		"queue", *queueDepth, "batch", *batchSize, "batch_wait", *batchWait)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	slog.Info("augmentd draining: refusing new admissions, flushing queue")
+	svc.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	slog.Info("augmentd drained cleanly")
+}
+
+// runSelftest runs the deterministic load generator at every worker count in
+// spec against identically seeded fresh services and pins that the placement
+// logs agree and nothing was rejected below the queue bound. Returns the
+// process exit code.
+func runSelftest(newService func(workers int) *serve.Service, requests int, spec string, wave, queueDepth, dupEvery, releaseEvery int, rho float64, seed int64) int {
+	var workerCounts []int
+	for _, tok := range strings.Split(spec, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "augmentd: bad -selftest-workers %q\n", spec)
+			return 2
+		}
+		workerCounts = append(workerCounts, w)
+	}
+	if len(workerCounts) == 0 {
+		fmt.Fprintf(os.Stderr, "augmentd: empty -selftest-workers\n")
+		return 2
+	}
+	if wave <= 0 {
+		wave = queueDepth
+	}
+	if wave > queueDepth {
+		fmt.Fprintf(os.Stderr, "augmentd: -wave %d exceeds -queue %d; the zero-drop guarantee needs wave <= queue\n", wave, queueDepth)
+		return 2
+	}
+	cfg := loadgen.Config{
+		Seed:           seed,
+		Requests:       requests,
+		WaveSize:       wave,
+		Expectation:    rho,
+		DuplicateEvery: dupEvery,
+		ReleaseEvery:   releaseEvery,
+	}
+
+	var refLog string
+	var refResult *loadgen.Result
+	ok := true
+	for i, w := range workerCounts {
+		svc := newService(w)
+		res, err := loadgen.Run(svc, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d: %v\n", w, err)
+			return 1
+		}
+		svc.Drain()
+		fmt.Printf("selftest workers=%d: %d requests in %v (%.0f req/s), admitted=%d infeasible=%d rejected=%d deadline=%d released=%d cache_hits=%d\n",
+			w, len(res.Records), res.Elapsed.Round(time.Millisecond), res.Throughput,
+			res.Admitted, res.Infeasible, res.Rejected, res.Deadline, res.Released, res.CacheHits)
+		if res.Rejected != 0 {
+			fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d: %d requests rejected below the queue bound\n", w, res.Rejected)
+			ok = false
+		}
+		log := res.PlacementLog()
+		if i == 0 {
+			refLog, refResult = log, res
+			continue
+		}
+		if log != refLog {
+			fmt.Fprintf(os.Stderr, "augmentd: selftest DETERMINISM FAILURE: workers=%d placement log differs from workers=%d\n%s",
+				w, workerCounts[0], firstDiff(refLog, log))
+			ok = false
+		}
+	}
+	if !ok {
+		fmt.Println("selftest FAILED")
+		return 1
+	}
+	// A `go test -bench`-style line so cmd/benchdiff -parse can record the
+	// selftest throughput (make bench-serve → BENCH_pr5.json).
+	nsPerOp := float64(refResult.Elapsed.Nanoseconds()) / float64(requests)
+	fmt.Printf("BenchmarkAugmentdSelftest\t%d\t%.0f ns/op\n", requests, nsPerOp)
+	fmt.Printf("selftest OK: %d worker counts agree on %d placements\n", len(workerCounts), refResult.Admitted)
+	return 0
+}
+
+// firstDiff renders the first differing line of two placement logs.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("  line %d:\n  - %s\n  + %s\n", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("  log lengths differ: %d vs %d lines\n", len(al), len(bl))
+}

@@ -54,13 +54,7 @@ func main() {
 	var net *mec.Network
 	var req *mec.Request
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "load: %v\n", err)
-			os.Exit(1)
-		}
-		scen, err := netio.Read(f)
-		f.Close()
+		scen, err := netio.ReadFile(*load)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "load: %v\n", err)
 			os.Exit(1)
@@ -99,16 +93,10 @@ func main() {
 		}
 	}
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
+		if err := netio.WriteFile(*save, netio.Export(net, []*mec.Request{req})); err != nil {
 			fmt.Fprintf(os.Stderr, "save: %v\n", err)
 			os.Exit(1)
 		}
-		if err := netio.Export(net, []*mec.Request{req}).Write(f); err != nil {
-			fmt.Fprintf(os.Stderr, "save: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
 		fmt.Printf("scenario written to %s\n", *save)
 	}
 
@@ -180,18 +168,10 @@ func main() {
 		fmt.Printf("  runtime: %v\n\n", res.Runtime)
 	}
 	if *dump != "" {
-		f, err := os.Create(*dump)
-		if err != nil {
+		if err := writePlacements(*dump, dumps); err != nil {
 			fmt.Fprintf(os.Stderr, "dump: %v\n", err)
 			os.Exit(1)
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(dumps); err != nil {
-			fmt.Fprintf(os.Stderr, "dump: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
 		fmt.Printf("placements written to %s\n", *dump)
 	}
 	if manifest != nil {
@@ -201,4 +181,21 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *manifestPath)
 	}
+}
+
+// writePlacements dumps solved placements as indented JSON, closing the file
+// on every path and surfacing Close errors (which is where a full disk bites).
+func writePlacements(path string, dumps []netio.PlacementDump) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dumps)
 }

@@ -35,6 +35,7 @@ const (
 	ShortestFirst
 )
 
+// String names the ordering policy for flags and logs.
 func (p Policy) String() string {
 	switch p {
 	case Arrival:

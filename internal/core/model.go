@@ -21,6 +21,7 @@ const (
 	ObjectivePaperCost
 )
 
+// String names the objective for flags and logs.
 func (o Objective) String() string {
 	switch o {
 	case ObjectiveLogGain:

@@ -29,6 +29,8 @@ type TrialError struct {
 	Err error
 }
 
+// Error renders the trial index, failure kind, attempt count, and seed —
+// everything needed to replay the failing trial deterministically.
 func (e TrialError) Error() string {
 	return fmt.Sprintf("trial %d (%s, %d attempt(s), seed %d): %v",
 		e.Trial, e.Kind, e.Attempts, e.Seed, e.Err)

@@ -36,6 +36,7 @@ const (
 	EQ
 )
 
+// String renders the relation as its mathematical symbol.
 func (r Rel) String() string {
 	switch r {
 	case LE:
@@ -62,6 +63,7 @@ const (
 	IterLimit
 )
 
+// String names the solver status for logs and error messages.
 func (s Status) String() string {
 	switch s {
 	case Optimal:

@@ -1,0 +1,58 @@
+package netio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ReadFile loads a scenario from a JSON file. Errors carry the file name and,
+// for malformed JSON, the byte offset of the failure, so a bad hand-edited
+// scenario points at the offending spot instead of a bare decode error. The
+// file handle is closed on every path.
+func ReadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netio: read scenario: %w", err)
+	}
+	defer f.Close()
+	s, err := decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("netio: read scenario %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteFile atomically-ish saves a scenario as indented JSON: errors from
+// Create, Write, and Close are all surfaced (a full disk often only shows up
+// at Close), and the handle is never leaked on early return.
+func WriteFile(path string, s *Scenario) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("netio: write scenario: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("netio: write scenario %s: %w", path, cerr)
+		}
+	}()
+	if werr := s.Write(f); werr != nil {
+		return fmt.Errorf("netio: write scenario %s: %w", path, werr)
+	}
+	return nil
+}
+
+// offsetContext annotates JSON decode errors that carry a byte offset.
+// Returns err unchanged when no offset is available.
+func offsetContext(err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Errorf("at byte %d: %w", syn.Offset, err)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return fmt.Errorf("at byte %d (field %q): %w", typ.Offset, typ.Field, err)
+	}
+	return err
+}

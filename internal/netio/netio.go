@@ -151,13 +151,24 @@ func (s *Scenario) Write(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// Read parses a scenario from JSON.
+// Read parses a scenario from JSON. Malformed input errors carry the byte
+// offset of the failure when the decoder reports one.
 func Read(r io.Reader) (*Scenario, error) {
+	s, err := decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("netio: %w", err)
+	}
+	return s, nil
+}
+
+// decode is the shared scenario decoder behind Read and ReadFile; it applies
+// offset context but no package prefix, so callers compose their own.
+func decode(r io.Reader) (*Scenario, error) {
 	var s Scenario
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("netio: %w", err)
+		return nil, offsetContext(err)
 	}
 	return &s, nil
 }

@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mec"
+)
+
+// Submission errors surfaced by the admission queue. The HTTP layer maps
+// ErrQueueFull to 429 + Retry-After and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: draining, not accepting requests")
+)
+
+// pending is one request waiting in the admission queue.
+type pending struct {
+	seq         int
+	sfc         []int
+	expectation float64
+	source      int
+	destination int
+	primaries   []int // optional pre-set primaries
+	deadline    time.Duration
+	enqueued    time.Time
+	done        chan outcome // buffered; the batcher never blocks on it
+}
+
+// outcome is the batcher's answer to one pending request.
+type outcome struct {
+	status    int // HTTP status code
+	errText   string
+	placed    *placed
+	cached    bool
+	initial   float64
+	queueWait time.Duration
+	solveTime time.Duration
+}
+
+// queue is the bounded admission queue plus its micro-batching consumer.
+type queue struct {
+	svc      *Service
+	ch       chan *pending
+	draining atomic.Bool
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+func newQueue(svc *Service, depth int) *queue {
+	q := &queue{
+		svc:    svc,
+		ch:     make(chan *pending, depth),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	go q.run()
+	return q
+}
+
+// Submit enqueues p without blocking. A full queue rejects with ErrQueueFull
+// (the caller answers 429 with Retry-After); a draining queue rejects with
+// ErrDraining (503).
+func (q *queue) Submit(p *pending) error {
+	if q.draining.Load() {
+		return ErrDraining
+	}
+	select {
+	case q.ch <- p:
+		metrics.queueDepth.Set(float64(len(q.ch)))
+		metrics.inflight.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Drain stops accepting new requests, flushes every request already queued
+// through the normal batch path, and returns when the batcher has exited.
+// Safe to call more than once.
+func (q *queue) Drain() {
+	if q.draining.CompareAndSwap(false, true) {
+		close(q.stopCh)
+	}
+	<-q.doneCh
+}
+
+// run is the micro-batching consumer: collect up to BatchSize requests or
+// wait at most BatchWait after the first, then solve the batch. On drain it
+// flushes the queue in full batches without waiting on the timer.
+func (q *queue) run() {
+	defer close(q.doneCh)
+	for {
+		var first *pending
+		select {
+		case first = <-q.ch:
+		case <-q.stopCh:
+			// Drain: every request that made it into the channel before the
+			// drain flag flipped still gets served.
+			for {
+				select {
+				case p := <-q.ch:
+					q.processFrom(p, true)
+				default:
+					return
+				}
+			}
+		}
+		q.processFrom(first, false)
+	}
+}
+
+// processFrom collects a batch starting at first and hands it to the
+// service. When draining, only immediately available requests join (no
+// timer wait).
+func (q *queue) processFrom(first *pending, draining bool) {
+	batch := []*pending{first}
+	maxB := q.svc.opt.BatchSize
+	if !draining && maxB > 1 {
+		timer := time.NewTimer(q.svc.opt.BatchWait)
+	collect:
+		for len(batch) < maxB {
+			select {
+			case p := <-q.ch:
+				batch = append(batch, p)
+			case <-timer.C:
+				break collect
+			case <-q.stopCh:
+				break collect
+			}
+		}
+		timer.Stop()
+	}
+	for len(batch) < maxB {
+		select {
+		case p := <-q.ch:
+			batch = append(batch, p)
+		default:
+			goto full
+		}
+	}
+full:
+	metrics.queueDepth.Set(float64(len(q.ch)))
+	q.svc.processBatch(batch)
+}
+
+// admitSeedStep and solveSeedStep decorrelate the per-request admission and
+// solver RNG streams; both are pure functions of the admission sequence
+// number, which is what keeps placements bit-identical across worker counts.
+const (
+	admitSeedStep = 1_000_003
+	solveSeedStep = 10_007
+)
+
+func (s *Service) admitSeed(seq int) int64 { return s.opt.Seed + int64(seq)*admitSeedStep }
+func (s *Service) solveSeed(seq int) int64 { return s.opt.Seed + int64(seq)*solveSeedStep + 1 }
+
+// batchItem carries one request through the three batch phases.
+type batchItem struct {
+	p         *pending
+	req       *mec.Request
+	inst      *core.Instance
+	key       cacheKey
+	hit       *cacheEntry
+	sharedHit bool            // result shared from an identical item in this batch
+	primNode  map[int]float64 // MHz consumed for primaries, for rollback/release
+	initial   float64
+	failErr   error // phase-1 admission failure
+	res       *core.Result
+	trialErr  *engine.TrialError
+}
+
+// processBatch runs one micro-batch through three phases:
+//
+//  1. Under the ledger write lock: place (or charge) primaries in sequence
+//     order, hash the post-primaries ledger once, build read-only instances,
+//     and look each up in the result cache.
+//  2. Without the lock: solve every cache miss in parallel on the
+//     deterministic trial engine, fail-soft, with the batch's minimum
+//     per-request deadline as the trial timeout.
+//  3. Under the lock again: commit in sequence order. A commit conflict
+//     (an earlier commit consumed the headroom this solution budgeted
+//     against) triggers one serial re-solve against the live ledger.
+//
+// Determinism: phases 1 and 3 iterate in admission-sequence order, and every
+// RNG seed is a pure function of the sequence number, so identical request
+// streams yield identical placements at any Workers count.
+func (s *Service) processBatch(batch []*pending) {
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	metrics.batches.Inc()
+	metrics.batchSize.Observe(float64(len(batch)))
+	pickup := time.Now()
+	items := make([]*batchItem, len(batch))
+
+	// Phase 1: primaries + instances + cache lookups, under the ledger lock.
+	s.state.mu.Lock()
+	for i, p := range batch {
+		metrics.queueWait.Observe(pickup.Sub(p.enqueued).Seconds())
+		it := &batchItem{p: p}
+		items[i] = it
+		req := mec.NewRequest(p.seq, p.sfc, p.expectation, p.source, p.destination)
+		it.req = req
+		if len(p.primaries) > 0 {
+			req.Primaries = append([]int(nil), p.primaries...)
+			it.failErr = s.state.consumePrimariesLocked(req)
+		} else {
+			it.failErr = s.placePrimariesLocked(req)
+		}
+		if it.failErr == nil {
+			it.primNode = make(map[int]float64, len(req.Primaries))
+			for pos, v := range req.Primaries {
+				it.primNode[v] += s.state.net.Catalog().Type(req.SFC[pos]).Demand
+			}
+		}
+	}
+	ledgerHash := s.state.hashLocked()
+	for _, it := range items {
+		if it.failErr != nil {
+			continue
+		}
+		it.inst = core.NewInstance(s.state.net, it.req, core.Params{L: s.opt.HopBound})
+		it.initial = it.inst.InitialReliability
+		it.key = cacheKey{state: ledgerHash, sig: signatureHash(
+			it.req.SFC, it.req.Expectation, it.req.Primaries, s.opt.HopBound, s.opt.Solver.Name())}
+		if s.cacheable {
+			if e, ok := s.cache.Get(it.key); ok {
+				it.hit = &e
+			}
+		}
+	}
+	s.state.mu.Unlock()
+
+	// Phase 2: parallel fail-soft solve of the cache misses. For cacheable
+	// (deterministic) solvers, identical instances in the same batch — same
+	// post-primaries ledger, same signature — solve once: the lowest-seq item
+	// is the representative, followers share its result. A deterministic
+	// solver would return the identical result for each anyway, so sharing
+	// changes nothing but the work done.
+	var toSolve []*batchItem
+	followers := make(map[*batchItem]*batchItem)
+	byKey := make(map[cacheKey]*batchItem)
+	for _, it := range items {
+		if it.failErr != nil || it.hit != nil {
+			continue
+		}
+		if s.cacheable {
+			if rep, ok := byKey[it.key]; ok {
+				followers[it] = rep
+				continue
+			}
+			byKey[it.key] = it
+		}
+		toSolve = append(toSolve, it)
+	}
+	solveStart := time.Now()
+	if len(toSolve) > 0 {
+		seeder := func(t int) int64 { return s.solveSeed(toSolve[t].seq()) }
+		results, fails, _ := engine.RunPartial(context.Background(),
+			len(toSolve), s.opt.Workers, seeder,
+			func(t int, rng *rand.Rand) (*core.Result, error) {
+				return s.opt.Solver.Solve(toSolve[t].inst, rng)
+			},
+			engine.FailSoftOptions{
+				Tag:          "serve",
+				TrialTimeout: batchDeadline(batch, s.opt.DefaultDeadline),
+			})
+		for t, res := range results {
+			toSolve[t].res = res
+		}
+		for i := range fails {
+			toSolve[fails[i].Trial].trialErr = &fails[i]
+		}
+	}
+	for it, rep := range followers {
+		it.res, it.trialErr, it.sharedHit = rep.res, rep.trialErr, true
+		metrics.cacheHits.Inc()
+	}
+	solveTime := time.Since(solveStart)
+
+	// Phase 3: commit in sequence order, respond.
+	s.state.mu.Lock()
+	for _, it := range items {
+		s.finishItem(it, solveTime)
+	}
+	s.state.mu.Unlock()
+}
+
+func (it *batchItem) seq() int { return it.p.seq }
+
+// placePrimariesLocked places a request's primaries with the configured
+// admission policy, consuming capacity. Callers hold the ledger lock.
+func (s *Service) placePrimariesLocked(req *mec.Request) error {
+	var err error
+	if s.opt.AdmitPolicy == AdmitMaxReliability {
+		err = admission.PlaceMaxReliability(s.state.net, req)
+	} else {
+		rng := rand.New(rand.NewSource(s.admitSeed(req.ID)))
+		err = admission.PlaceRandom(s.state.net, req, rng)
+	}
+	if err == nil {
+		s.state.epoch++
+	}
+	return err
+}
+
+// batchDeadline returns the batch's trial timeout: the smallest positive
+// per-request deadline (falling back to def for requests that set none).
+// Zero means unbounded.
+func batchDeadline(batch []*pending, def time.Duration) time.Duration {
+	min := time.Duration(0)
+	for _, p := range batch {
+		d := p.deadline
+		if d <= 0 {
+			d = def
+		}
+		if d > 0 && (min == 0 || d < min) {
+			min = d
+		}
+	}
+	return min
+}
+
+// finishItem commits one item and answers its pending request. Callers hold
+// the ledger write lock.
+func (s *Service) finishItem(it *batchItem, solveTime time.Duration) {
+	defer metrics.inflight.Add(-1)
+	wait := time.Since(it.p.enqueued)
+
+	fail := func(status int, cached bool, err error) {
+		if it.primNode != nil {
+			s.state.rollbackLocked(it.primNode)
+		}
+		if status == http.StatusGatewayTimeout {
+			metrics.deadlineHits.Inc()
+		} else {
+			metrics.infeasible.Inc()
+		}
+		it.p.done <- outcome{status: status, errText: err.Error(), cached: cached, queueWait: wait, solveTime: solveTime}
+	}
+
+	if it.failErr != nil {
+		fail(http.StatusUnprocessableEntity, false, fmt.Errorf("admission: %w", it.failErr))
+		return
+	}
+	if it.hit != nil && it.hit.infeasible {
+		// Negative hit: the solver already failed on this exact instance.
+		fail(http.StatusUnprocessableEntity, true, errors.New(it.hit.errText))
+		return
+	}
+	if it.trialErr != nil {
+		if it.trialErr.Kind == engine.KindDeadline {
+			fail(http.StatusGatewayTimeout, false, it.trialErr.Err)
+			return
+		}
+		// A solver error (not a panic, not a timeout) is a pure function of
+		// the instance for cacheable solvers, so remember it: the failed
+		// request rolled its primaries back, leaving the state hash intact
+		// for the next identical attempt to hit.
+		if s.cacheable && !it.sharedHit && it.trialErr.Kind == engine.KindError {
+			s.cache.Put(it.key, cacheEntry{infeasible: true, errText: it.trialErr.Err.Error()})
+		}
+		fail(http.StatusUnprocessableEntity, it.sharedHit, it.trialErr.Err)
+		return
+	}
+
+	entry, cached := s.entryFor(it)
+	if entry == nil {
+		fail(http.StatusUnprocessableEntity, false, fmt.Errorf("serve: solver %s produced no usable result", s.opt.Solver.Name()))
+		return
+	}
+	if err := s.state.commitSecondariesLocked(it.req.SFC, entry.perBin); err != nil {
+		// Commit conflict: an earlier commit in this batch (or a concurrent
+		// release) consumed the headroom. Re-solve once against the live
+		// ledger, serially, with a deterministically re-derived seed.
+		metrics.conflicts.Inc()
+		entry = s.resolveConflictLocked(it)
+		if entry == nil {
+			fail(http.StatusUnprocessableEntity, false, fmt.Errorf("serve: re-solve after commit conflict failed"))
+			return
+		}
+		cached = false
+		if err := s.state.commitSecondariesLocked(it.req.SFC, entry.perBin); err != nil {
+			fail(http.StatusUnprocessableEntity, false, err)
+			return
+		}
+	} else if !cached && s.cacheable {
+		s.cache.Put(it.key, *entry)
+	}
+
+	perNode := it.primNode
+	for pos, m := range entry.perBin {
+		demand := s.state.net.Catalog().Type(it.req.SFC[pos]).Demand
+		for u, c := range m {
+			perNode[u] += demand * float64(c)
+		}
+	}
+	rec := &placed{
+		ID:          it.req.ID,
+		SFC:         it.req.SFC,
+		Expectation: it.req.Expectation,
+		Primaries:   it.req.Primaries,
+		Secondaries: secondariesOf(entry.perBin),
+		Reliability: entry.reliability,
+		Met:         entry.met,
+		Algorithm:   entry.algorithm,
+		ServedBy:    entry.servedBy,
+		perNode:     perNode,
+	}
+	s.state.record(rec)
+	metrics.admitted.Inc()
+	it.p.done <- outcome{
+		status: http.StatusOK, placed: rec, cached: cached,
+		initial: it.initial, queueWait: wait, solveTime: solveTime,
+	}
+}
+
+// entryFor converts an item's cache hit or solver result into a commit-ready
+// entry. A capacity-violating result (possible for the Randomized solver) is
+// not servable and yields nil. The bool reports whether solver work was
+// avoided (LRU hit or within-batch share).
+func (s *Service) entryFor(it *batchItem) (*cacheEntry, bool) {
+	if it.hit != nil {
+		return it.hit, true
+	}
+	res := it.res
+	if res == nil || res.Violated {
+		return nil, false
+	}
+	e := entryFromResult(res)
+	return &e, it.sharedHit
+}
+
+// resolveConflictLocked rebuilds the instance against the live ledger and
+// solves it serially (attempt seed RetrySeed(solveSeed, 1), mirroring the
+// fail-soft engine's retry derivation). Callers hold the ledger write lock;
+// the solvers never touch the ledger, so solving under it is safe.
+func (s *Service) resolveConflictLocked(it *batchItem) *cacheEntry {
+	inst := core.NewInstance(s.state.net, it.req, core.Params{L: s.opt.HopBound})
+	rng := rand.New(rand.NewSource(engine.RetrySeed(s.solveSeed(it.seq()), 1)))
+	res, err := s.opt.Solver.Solve(inst, rng)
+	if err != nil || res == nil || res.Violated {
+		return nil
+	}
+	e := entryFromResult(res)
+	if s.cacheable {
+		s.cache.Put(cacheKey{state: s.state.hashLocked(), sig: it.key.sig}, e)
+	}
+	return &e
+}
+
+// entryFromResult deep-copies a solver result into cache-entry form.
+func entryFromResult(res *core.Result) cacheEntry {
+	perBin := make([]map[int]int, len(res.PerBin))
+	for i, m := range res.PerBin {
+		nm := make(map[int]int, len(m))
+		for k, v := range m {
+			nm[k] = v
+		}
+		perBin[i] = nm
+	}
+	return cacheEntry{
+		perBin:      perBin,
+		reliability: res.Reliability,
+		met:         res.MetExpectation,
+		algorithm:   res.Algorithm,
+		servedBy:    res.ServedBy,
+		objective:   res.Objective,
+	}
+}
+
+// secondariesOf expands per-bin counts into sorted per-position host lists.
+func secondariesOf(perBin []map[int]int) [][]int {
+	out := make([][]int, len(perBin))
+	for i, m := range perBin {
+		var list []int
+		for u, c := range m {
+			for j := 0; j < c; j++ {
+				list = append(list, u)
+			}
+		}
+		sort.Ints(list)
+		out[i] = list
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// cacheKey identifies a solver result: the canonical hash of the residual
+// ledger the instance was built against plus the request-signature hash
+// (SFC, ρ, primaries, hop bound, solver name). Keying on the exact state
+// hash is what makes serving a cached entry always correct: a hit proves the
+// solver would see a bit-identical instance, and every registered serving
+// solver is a pure function of its instance (see Options.Solver for the
+// Randomized caveat).
+type cacheKey struct {
+	state uint64
+	sig   uint64
+}
+
+// cacheEntry is a stored solver outcome, deep-copied on insert and on hit so
+// neither the cache nor its consumers can alias each other's maps.
+type cacheEntry struct {
+	perBin      []map[int]int
+	reliability float64
+	met         bool
+	algorithm   string
+	servedBy    string
+	objective   float64
+	// infeasible marks a negative entry: the solver deterministically failed
+	// on this exact instance, and errText carries the failure. Negative
+	// entries are the cache's bread and butter — a successful solve mutates
+	// the ledger (so its key can never match a later state), but a failed one
+	// rolls back, leaving the state hash intact for the next identical retry.
+	infeasible bool
+	errText    string
+}
+
+// resultCache is a mutex-guarded LRU over solver outcomes. Capacity
+// mutations invalidate implicitly — the state hash in the key changes — and
+// explicitly via Invalidate, which the service calls on /v1/release (a
+// release can resurrect an earlier ledger state, but the pinned behaviour is
+// that mutations outside the admission path flush the cache).
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *cacheItem
+	items map[cacheKey]*list.Element
+}
+
+type cacheItem struct {
+	key   cacheKey
+	entry cacheEntry
+}
+
+// newResultCache returns an LRU bounded to max entries; max <= 0 disables
+// caching entirely (every Get misses, every Put is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+// Get returns a deep copy of the entry for key, marking it most recent.
+func (c *resultCache) Get(key cacheKey) (cacheEntry, bool) {
+	if c.max <= 0 {
+		metrics.cacheMisses.Inc()
+		return cacheEntry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		metrics.cacheMisses.Inc()
+		return cacheEntry{}, false
+	}
+	c.order.MoveToFront(el)
+	metrics.cacheHits.Inc()
+	return el.Value.(*cacheItem).entry.copy(), true
+}
+
+// Put stores a deep copy of entry under key, evicting the least recently
+// used entry when the cache is full.
+func (c *resultCache) Put(key cacheKey, entry cacheEntry) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).entry = entry.copy()
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+		metrics.cacheEvicted.Inc()
+	}
+	c.items[key] = c.order.PushFront(&cacheItem{key: key, entry: entry.copy()})
+	metrics.cacheSize.Set(float64(c.order.Len()))
+}
+
+// Invalidate drops every entry.
+func (c *resultCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[cacheKey]*list.Element)
+	metrics.cacheSize.Set(0)
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// copy deep-copies the entry's per-bin maps.
+func (e cacheEntry) copy() cacheEntry {
+	out := e
+	out.perBin = make([]map[int]int, len(e.perBin))
+	for i, m := range e.perBin {
+		nm := make(map[int]int, len(m))
+		for k, v := range m {
+			nm[k] = v
+		}
+		out.perBin[i] = nm
+	}
+	return out
+}
+
+// signatureHash hashes everything besides the ledger that determines a
+// solver's output: the SFC, the expectation, the primaries, the hop bound,
+// and the solver name.
+func signatureHash(sfc []int, expectation float64, primaries []int, hopBound int, solver string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(len(sfc)))
+	for _, f := range sfc {
+		put(uint64(int64(f)))
+	}
+	put(math.Float64bits(expectation))
+	put(uint64(len(primaries)))
+	for _, v := range primaries {
+		put(uint64(int64(v)))
+	}
+	put(uint64(int64(hopBound)))
+	h.Write([]byte(solver))
+	return h.Sum64()
+}

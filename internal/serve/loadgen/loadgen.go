@@ -1,0 +1,218 @@
+// Package loadgen is the deterministic in-process load generator for the
+// augmentation service (internal/serve). It drives Service.Enqueue directly
+// — no sockets, no HTTP client — from a single goroutine, so the admission
+// sequence (and therefore every per-request RNG seed) is a pure function of
+// the generator seed. Two runs with the same Config against identically
+// seeded networks produce identical placement logs at any Service worker
+// count; cmd/augmentd -selftest pins exactly that.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Config shapes one generated request stream.
+type Config struct {
+	// Seed drives request generation (chains, endpoints, duplicates).
+	Seed int64
+	// Requests is the total number of augmentations to submit.
+	Requests int
+	// WaveSize requests are submitted per wave; the generator waits for the
+	// whole wave before submitting the next. Keep it at or below the
+	// service's queue depth for a zero-drop run. Default 8.
+	WaveSize int
+	// ChainLenMin/Max bound the sampled SFC lengths. Defaults 3 and 6.
+	ChainLenMin, ChainLenMax int
+	// Expectation is ρ for every generated request. Default 0.95.
+	Expectation float64
+	// DuplicateEvery makes every k-th request a repeat of its predecessor
+	// (same SFC and endpoints) to exercise the result cache. 0 disables.
+	DuplicateEvery int
+	// ReleaseEvery releases every k-th admitted placement between waves,
+	// exercising /v1/release capacity restoration. 0 disables.
+	ReleaseEvery int
+	// DeadlineMS is forwarded to each request (0: server default).
+	DeadlineMS int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WaveSize <= 0 {
+		c.WaveSize = 8
+	}
+	if c.ChainLenMin <= 0 {
+		c.ChainLenMin = 3
+	}
+	if c.ChainLenMax < c.ChainLenMin {
+		c.ChainLenMax = c.ChainLenMin + 3
+	}
+	if c.Expectation <= 0 || c.Expectation > 1 {
+		c.Expectation = 0.95
+	}
+	return c
+}
+
+// Record is the outcome of one generated request, in submission order.
+type Record struct {
+	Seq         int
+	Status      int
+	ID          int
+	Reliability float64
+	Met         bool
+	Counts      []int
+	Secondaries [][]int
+	ServedBy    string
+	Cached      bool
+}
+
+// Result aggregates one load-generator run.
+type Result struct {
+	Records    []Record
+	Admitted   int
+	Infeasible int
+	Rejected   int // 429/503 backpressure rejections
+	Deadline   int
+	Released   int
+	CacheHits  int
+	Elapsed    time.Duration
+	// Throughput is answered augment requests per second.
+	Throughput float64
+}
+
+// PlacementLog renders the canonical per-request placement log used by the
+// determinism selftest: one line per submitted request, independent of
+// timing, worker count, and cache hit pattern.
+func (r *Result) PlacementLog() string {
+	var b strings.Builder
+	for _, rec := range r.Records {
+		if rec.Status != http.StatusOK {
+			fmt.Fprintf(&b, "seq=%d status=%d\n", rec.Seq, rec.Status)
+			continue
+		}
+		fmt.Fprintf(&b, "seq=%d id=%d rel=%.9f met=%v counts=%v sec=%v by=%s\n",
+			rec.Seq, rec.ID, rec.Reliability, rec.Met, rec.Counts, rec.Secondaries, rec.ServedBy)
+	}
+	return b.String()
+}
+
+// Run submits cfg.Requests augmentations to svc in waves and returns the
+// aggregated result. It must be the only producer touching svc while it
+// runs; determinism of the resulting placements is inherited from the
+// service's sequence-seeded batching.
+func Run(svc *serve.Service, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: Requests must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+	start := time.Now()
+
+	var prev *serve.AugmentRequest
+	var admittedIDs []int
+	submitted := 0
+	for submitted < cfg.Requests {
+		wave := cfg.WaveSize
+		if left := cfg.Requests - submitted; wave > left {
+			wave = left
+		}
+		type waveEntry struct {
+			seqIdx int
+			ticket *serve.Ticket
+			reject int // non-zero: rejected at submit with this status
+		}
+		entries := make([]waveEntry, 0, wave)
+		for i := 0; i < wave; i++ {
+			ar := nextRequest(rng, svc, cfg, submitted, prev)
+			prev = &ar
+			entry := waveEntry{seqIdx: submitted}
+			t, err := svc.Enqueue(ar)
+			if err != nil {
+				res.Rejected++
+				entry.reject = http.StatusTooManyRequests
+				if err == serve.ErrDraining {
+					entry.reject = http.StatusServiceUnavailable
+				}
+			} else {
+				entry.ticket = t
+			}
+			entries = append(entries, entry)
+			submitted++
+		}
+		for _, e := range entries {
+			rec := Record{Seq: e.seqIdx}
+			if e.ticket == nil {
+				rec.Status = e.reject
+				res.Records = append(res.Records, rec)
+				continue
+			}
+			out := e.ticket.Wait()
+			rec.Status = out.Status
+			rec.Cached = out.Cached
+			if rec.Cached {
+				res.CacheHits++
+			}
+			switch {
+			case out.Status == http.StatusOK:
+				rec.ID = out.Response.ID
+				rec.Reliability = out.Response.Reliability
+				rec.Met = out.Response.MetExpectation
+				rec.Counts = out.Response.BackupCounts
+				rec.Secondaries = out.Response.Secondaries
+				rec.ServedBy = out.Response.ServedBy
+				res.Admitted++
+				admittedIDs = append(admittedIDs, out.Response.ID)
+			case out.Status == http.StatusGatewayTimeout:
+				res.Deadline++
+			default:
+				res.Infeasible++
+			}
+			res.Records = append(res.Records, rec)
+		}
+		// Between waves, optionally release every k-th admitted placement —
+		// a deterministic point in the stream, so capacity restoration does
+		// not perturb the determinism contract.
+		if cfg.ReleaseEvery > 0 {
+			for len(admittedIDs) >= cfg.ReleaseEvery {
+				id := admittedIDs[cfg.ReleaseEvery-1]
+				admittedIDs = admittedIDs[cfg.ReleaseEvery:]
+				if _, err := svc.State().Release(id); err == nil {
+					res.Released++
+				}
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(len(res.Records)) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// nextRequest samples one augment request; every DuplicateEvery-th submission
+// repeats the previous spec to give the result cache identical signatures.
+func nextRequest(rng *rand.Rand, svc *serve.Service, cfg Config, idx int, prev *serve.AugmentRequest) serve.AugmentRequest {
+	if cfg.DuplicateEvery > 0 && prev != nil && idx%cfg.DuplicateEvery == cfg.DuplicateEvery-1 {
+		dup := *prev
+		dup.SFC = append([]int(nil), prev.SFC...)
+		dup.Primaries = append([]int(nil), prev.Primaries...)
+		return dup
+	}
+	chainLen := cfg.ChainLenMin + rng.Intn(cfg.ChainLenMax-cfg.ChainLenMin+1)
+	sfc := make([]int, chainLen)
+	for i := range sfc {
+		sfc[i] = rng.Intn(svc.CatalogSize())
+	}
+	return serve.AugmentRequest{
+		SFC:         sfc,
+		Expectation: cfg.Expectation,
+		Source:      rng.Intn(svc.NumAPs()),
+		Destination: rng.Intn(svc.NumAPs()),
+		DeadlineMS:  cfg.DeadlineMS,
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import "repro/internal/obs"
+
+// metrics are the serving layer's obs instruments, resolved once at package
+// init. All recording happens in the queue/batch machinery and the HTTP
+// handlers — never inside the seeded solver calls — so instrumented servers
+// keep the engine's worker-count bit-identity guarantee.
+var metrics = struct {
+	queueDepth   *obs.Gauge     // requests currently waiting in the admission queue
+	queueWait    *obs.Histogram // enqueue → batch-pickup latency per request
+	batchSize    *obs.Histogram // requests per solved micro-batch
+	batches      *obs.Counter   // micro-batches solved
+	inflight     *obs.Gauge     // requests admitted to the queue but not yet answered
+	admitted     *obs.Counter   // requests placed and committed
+	infeasible   *obs.Counter   // requests that no solver stage could serve
+	deadlineHits *obs.Counter   // requests dropped on the per-request deadline
+	conflicts    *obs.Counter   // commit conflicts that forced a serial re-solve
+	released     *obs.Counter   // placements torn down via /v1/release
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheSize    *obs.Gauge
+	cacheEvicted *obs.Counter
+}{
+	queueDepth:   obs.Default().Gauge("serve_queue_depth"),
+	queueWait:    obs.Default().Histogram("serve_queue_wait_seconds", obs.DurationBuckets),
+	batchSize:    obs.Default().Histogram("serve_batch_size", obs.CountBuckets),
+	batches:      obs.Default().Counter("serve_batches_total"),
+	inflight:     obs.Default().Gauge("serve_inflight"),
+	admitted:     obs.Default().Counter("serve_admitted_total"),
+	infeasible:   obs.Default().Counter("serve_infeasible_total"),
+	deadlineHits: obs.Default().Counter("serve_deadline_hits_total"),
+	conflicts:    obs.Default().Counter("serve_commit_conflicts_total"),
+	released:     obs.Default().Counter("serve_released_total"),
+	cacheHits:    obs.Default().Counter("serve_cache_hits_total"),
+	cacheMisses:  obs.Default().Counter("serve_cache_misses_total"),
+	cacheSize:    obs.Default().Gauge("serve_cache_size"),
+	cacheEvicted: obs.Default().Counter("serve_cache_evictions_total"),
+}
+
+// endpointInstruments caches the per-endpoint request counter and latency
+// histogram (serve_requests_total / serve_request_duration_seconds).
+type endpointInstruments struct {
+	total    *obs.Counter
+	rejected map[string]*obs.Counter
+	duration *obs.Histogram
+}
+
+func endpointInstrumentsFor(endpoint string) *endpointInstruments {
+	r := obs.Default()
+	return &endpointInstruments{
+		total: r.Counter("serve_requests_total", "endpoint", endpoint),
+		rejected: map[string]*obs.Counter{
+			reasonFull:     r.Counter("serve_rejected_total", "endpoint", endpoint, "reason", reasonFull),
+			reasonDraining: r.Counter("serve_rejected_total", "endpoint", endpoint, "reason", reasonDraining),
+		},
+		duration: r.Histogram("serve_request_duration_seconds", obs.DurationBuckets, "endpoint", endpoint),
+	}
+}
+
+// Rejection reasons for serve_rejected_total.
+const (
+	reasonFull     = "queue_full"
+	reasonDraining = "draining"
+)

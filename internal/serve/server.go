@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mec"
+)
+
+// Admission policies for requests that arrive without primaries.
+const (
+	// AdmitRandom places each primary on a uniformly random cloudlet with
+	// residual headroom (the paper's §7.1 evaluation policy), seeded per
+	// request sequence number.
+	AdmitRandom = "random"
+	// AdmitMaxReliability places primaries via the layered-DAG
+	// maximum-reliability construction of Section 4.1. Deterministic, so
+	// identical requests get identical primaries — the cache-friendly choice.
+	AdmitMaxReliability = "maxrel"
+)
+
+// Options configures a Service. The zero value is usable: every field has a
+// serving-ready default (see New).
+type Options struct {
+	// QueueDepth bounds the admission queue; a full queue answers 429 with
+	// Retry-After. Default 64.
+	QueueDepth int
+	// BatchSize is the micro-batch bound B: the batcher solves as soon as B
+	// requests are waiting. Default 8.
+	BatchSize int
+	// BatchWait is the micro-batch latency bound T: a non-full batch is
+	// solved at most this long after its first request. Default 2ms.
+	BatchWait time.Duration
+	// Workers is the trial-engine worker count used to solve a batch in
+	// parallel. <= 0 means GOMAXPROCS. Placements are bit-identical for any
+	// value (the engine's determinism guarantee).
+	Workers int
+	// Solver serves augmentations; nil selects the registered Failsafe chain
+	// (Heuristic → Greedy). Results from solvers whose name contains
+	// "random" are never cached: their output depends on the per-request
+	// seed, so a cached result would not equal a fresh solve.
+	Solver core.Solver
+	// HopBound is the paper's l: secondaries sit within HopBound hops of
+	// their primary. Default 1.
+	HopBound int
+	// AdmitPolicy places primaries for requests that omit them:
+	// AdmitRandom (default) or AdmitMaxReliability.
+	AdmitPolicy string
+	// DefaultDeadline bounds each request's solve wall-clock via the
+	// fail-soft engine's per-trial deadline (requests may lower it with
+	// deadline_ms). Zero means unbounded — the deterministic default.
+	DefaultDeadline time.Duration
+	// CacheSize bounds the solver-result LRU (entries); 0 disables caching.
+	// Default 256.
+	CacheSize int
+	// Seed is the base of every per-request RNG seed derivation. Default 1.
+	Seed int64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() (Options, error) {
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.QueueDepth < 0 {
+		return o, fmt.Errorf("serve: queue depth %d must be positive", o.QueueDepth)
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 8
+	}
+	if o.BatchSize < 0 {
+		return o, fmt.Errorf("serve: batch size %d must be positive", o.BatchSize)
+	}
+	if o.BatchWait == 0 {
+		o.BatchWait = 2 * time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Solver == nil {
+		sv, ok := core.Get("Failsafe")
+		if !ok {
+			return o, fmt.Errorf("serve: no Failsafe solver registered and Options.Solver unset")
+		}
+		o.Solver = sv
+	}
+	if o.HopBound == 0 {
+		o.HopBound = 1
+	}
+	if o.HopBound < 1 {
+		return o, fmt.Errorf("serve: hop bound %d must be >= 1", o.HopBound)
+	}
+	switch o.AdmitPolicy {
+	case "":
+		o.AdmitPolicy = AdmitRandom
+	case AdmitRandom, AdmitMaxReliability:
+	default:
+		return o, fmt.Errorf("serve: unknown admit policy %q (want %s or %s)", o.AdmitPolicy, AdmitRandom, AdmitMaxReliability)
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.CacheSize < 0 {
+		o.CacheSize = 0 // explicit disable
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}
+
+// Service is the online augmentation server: state + cache + queue + the
+// HTTP handlers. Construct with New, mount Handler on an http.Server, and
+// call Drain on shutdown.
+type Service struct {
+	opt       Options
+	state     *State
+	cache     *resultCache
+	queue     *queue
+	cacheable bool
+	nextSeq   atomic.Int64
+
+	augmentIns *endpointInstruments
+	releaseIns *endpointInstruments
+	stateIns   *endpointInstruments
+}
+
+// New builds a Service over net. The service owns net's residual ledger from
+// this point on.
+func New(net *mec.Network, opt Options) (*Service, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opt:        opt,
+		state:      NewState(net),
+		cache:      newResultCache(opt.CacheSize),
+		cacheable:  opt.CacheSize > 0 && !strings.Contains(strings.ToLower(opt.Solver.Name()), "random"),
+		augmentIns: endpointInstrumentsFor("augment"),
+		releaseIns: endpointInstrumentsFor("release"),
+		stateIns:   endpointInstrumentsFor("state"),
+	}
+	s.queue = newQueue(s, opt.QueueDepth)
+	return s, nil
+}
+
+// State exposes the service's live network state (read-mostly accessors).
+func (s *Service) State() *State { return s.state }
+
+// NumAPs returns the AP count of the served network (for request generators).
+func (s *Service) NumAPs() int { return s.state.net.G.N() }
+
+// CatalogSize returns |ℱ| of the served network's function catalog.
+func (s *Service) CatalogSize() int { return s.state.net.Catalog().Size() }
+
+// SolverName returns the name of the solver serving augmentations.
+func (s *Service) SolverName() string { return s.opt.Solver.Name() }
+
+// CacheLen returns the current result-cache entry count.
+func (s *Service) CacheLen() int { return s.cache.Len() }
+
+// Draining reports whether Drain has started.
+func (s *Service) Draining() bool { return s.queue.draining.Load() }
+
+// Drain gracefully shuts the admission path down: new submissions are
+// refused with 503, every queued request is still solved and answered, and
+// Drain returns once the queue is empty. The HTTP handlers stay mounted so
+// in-flight responses and /v1/state keep working; tear the http.Server down
+// after Drain returns.
+func (s *Service) Drain() { s.queue.Drain() }
+
+// AugmentRequest is the JSON body of POST /v1/augment.
+type AugmentRequest struct {
+	// SFC is the ordered service function chain, as catalog type IDs.
+	SFC []int `json:"sfc"`
+	// Expectation is the reliability expectation ρ in (0,1].
+	Expectation float64 `json:"expectation"`
+	// Source and Destination are the request's traffic endpoints (AP IDs).
+	Source      int `json:"source"`
+	Destination int `json:"destination"`
+	// Primaries optionally pins the primary cloudlet per chain position;
+	// omitted means the server places them per its admission policy.
+	Primaries []int `json:"primaries,omitempty"`
+	// DeadlineMS optionally bounds this request's solve wall-clock in
+	// milliseconds (capped below the server's default deadline if one is
+	// configured).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// AugmentResponse is the JSON body answered by POST /v1/augment on success.
+type AugmentResponse struct {
+	ID                 int     `json:"id"`
+	Primaries          []int   `json:"primaries"`
+	Secondaries        [][]int `json:"secondaries"`
+	BackupCounts       []int   `json:"backup_counts"`
+	InitialReliability float64 `json:"initial_reliability"`
+	Reliability        float64 `json:"reliability"`
+	MetExpectation     bool    `json:"met_expectation"`
+	Algorithm          string  `json:"algorithm"`
+	ServedBy           string  `json:"served_by,omitempty"`
+	Cached             bool    `json:"cached"`
+	QueueWaitMS        float64 `json:"queue_wait_ms"`
+	SolveMS            float64 `json:"solve_ms"`
+}
+
+// ReleaseRequest is the JSON body of POST /v1/release.
+type ReleaseRequest struct {
+	ID int `json:"id"`
+}
+
+// ReleaseResponse is the JSON body answered by POST /v1/release on success.
+type ReleaseResponse struct {
+	ID       int     `json:"id"`
+	FreedMHz float64 `json:"freed_mhz"`
+}
+
+// StateResponse is the JSON body of GET /v1/state.
+type StateResponse struct {
+	Cloudlets  []CloudletState `json:"cloudlets"`
+	Placed     int             `json:"placed_requests"`
+	Epoch      uint64          `json:"epoch"`
+	StateHash  string          `json:"state_hash"`
+	QueueDepth int             `json:"queue_depth"`
+	CacheLen   int             `json:"cache_entries"`
+	Draining   bool            `json:"draining"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer. Cached marks a 422
+// answered from a negative cache entry (the solver already failed on the
+// identical instance).
+type errorResponse struct {
+	Error  string `json:"error"`
+	Cached bool   `json:"cached,omitempty"`
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/augment
+//	POST /v1/release
+//	GET  /v1/state
+//	GET  /v1/healthz
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/augment", s.handleAugment)
+	mux.HandleFunc("/v1/release", s.handleRelease)
+	mux.HandleFunc("/v1/state", s.handleState)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// validate checks an augment request against the network before any mec
+// constructor can panic on it.
+func (s *Service) validate(ar *AugmentRequest) error {
+	if len(ar.SFC) == 0 {
+		return fmt.Errorf("sfc must be non-empty")
+	}
+	catSize := s.state.net.Catalog().Size()
+	for _, f := range ar.SFC {
+		if f < 0 || f >= catSize {
+			return fmt.Errorf("sfc function %d outside catalog [0,%d)", f, catSize)
+		}
+	}
+	if ar.Expectation <= 0 || ar.Expectation > 1 {
+		return fmt.Errorf("expectation %v out of (0,1]", ar.Expectation)
+	}
+	n := s.state.net.G.N()
+	if ar.Source < 0 || ar.Source >= n || ar.Destination < 0 || ar.Destination >= n {
+		return fmt.Errorf("source/destination outside the %d-node graph", n)
+	}
+	if len(ar.Primaries) > 0 {
+		if len(ar.Primaries) != len(ar.SFC) {
+			return fmt.Errorf("%d primaries for %d functions", len(ar.Primaries), len(ar.SFC))
+		}
+		for i, v := range ar.Primaries {
+			if v < 0 || v >= n || s.state.net.Capacity[v] <= 0 {
+				return fmt.Errorf("primary %d of position %d is not a cloudlet", v, i)
+			}
+		}
+	}
+	if ar.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms %d must be >= 0", ar.DeadlineMS)
+	}
+	return nil
+}
+
+// Ticket is an in-flight admission returned by Enqueue. Exactly one Wait
+// call receives the outcome.
+type Ticket struct {
+	p *pending
+}
+
+// Outcome is the final answer for one enqueued augmentation.
+type Outcome struct {
+	// Status is the HTTP status code the request resolves to.
+	Status int
+	// Err is the failure detail when Status is not 200.
+	Err string
+	// Response is set when Status is 200.
+	Response *AugmentResponse
+	// Cached reports that the answer reused earlier solver work — an LRU hit
+	// (including a negative, infeasible entry) or a within-batch share.
+	Cached bool
+}
+
+// Wait blocks until the batcher has answered this ticket's request.
+func (t *Ticket) Wait() Outcome {
+	out := <-t.p.done
+	if out.status != http.StatusOK {
+		return Outcome{Status: out.status, Err: out.errText, Cached: out.cached}
+	}
+	rec := out.placed
+	counts := make([]int, len(rec.Secondaries))
+	for i, sec := range rec.Secondaries {
+		counts[i] = len(sec)
+	}
+	return Outcome{Status: http.StatusOK, Cached: out.cached, Response: &AugmentResponse{
+		ID:                 rec.ID,
+		Primaries:          rec.Primaries,
+		Secondaries:        rec.Secondaries,
+		BackupCounts:       counts,
+		InitialReliability: out.initial,
+		Reliability:        rec.Reliability,
+		MetExpectation:     rec.Met,
+		Algorithm:          rec.Algorithm,
+		ServedBy:           rec.ServedBy,
+		Cached:             out.cached,
+		QueueWaitMS:        out.queueWait.Seconds() * 1000,
+		SolveMS:            out.solveTime.Seconds() * 1000,
+	}}
+}
+
+// Enqueue validates ar, assigns it the next admission sequence number, and
+// submits it to the bounded queue without waiting for the solve. It returns
+// ErrQueueFull or ErrDraining on backpressure, a validation error otherwise.
+// Callers that need deterministic placements must call Enqueue from a single
+// goroutine (sequence numbers seed the per-request RNGs): the HTTP handler
+// does not guarantee cross-connection admission order, the in-process load
+// generator does.
+func (s *Service) Enqueue(ar AugmentRequest) (*Ticket, error) {
+	if err := s.validate(&ar); err != nil {
+		return nil, err
+	}
+	p := &pending{
+		seq:         int(s.nextSeq.Add(1)),
+		sfc:         append([]int(nil), ar.SFC...),
+		expectation: ar.Expectation,
+		source:      ar.Source,
+		destination: ar.Destination,
+		primaries:   append([]int(nil), ar.Primaries...),
+		deadline:    time.Duration(ar.DeadlineMS) * time.Millisecond,
+		enqueued:    time.Now(),
+		done:        make(chan outcome, 1),
+	}
+	if err := s.queue.Submit(p); err != nil {
+		return nil, err
+	}
+	return &Ticket{p: p}, nil
+}
+
+func (s *Service) handleAugment(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.augmentIns.total.Inc()
+	defer func() { s.augmentIns.duration.ObserveSince(start) }()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var ar AugmentRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ar); err != nil {
+		writeError(w, http.StatusBadRequest, "bad augment request: %v", err)
+		return
+	}
+	t, err := s.Enqueue(ar)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		s.augmentIns.rejected[reasonFull].Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		s.augmentIns.rejected[reasonDraining].Inc()
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "bad augment request: %v", err)
+		return
+	}
+	out := t.Wait()
+	if out.Status != http.StatusOK {
+		writeJSON(w, out.Status, errorResponse{Error: out.Err, Cached: out.Cached})
+		return
+	}
+	writeJSON(w, http.StatusOK, out.Response)
+}
+
+func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.releaseIns.total.Inc()
+	defer func() { s.releaseIns.duration.ObserveSince(start) }()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var rr ReleaseRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad release request: %v", err)
+		return
+	}
+	freed, err := s.state.Release(rr.ID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	// A release mutates capacity outside the admission path: flush the
+	// result cache (entries keyed on now-dead ledger hashes are unreachable
+	// anyway; this bounds their memory eagerly).
+	s.cache.Invalidate()
+	metrics.released.Inc()
+	writeJSON(w, http.StatusOK, ReleaseResponse{ID: rr.ID, FreedMHz: freed})
+}
+
+func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.stateIns.total.Inc()
+	defer func() { s.stateIns.duration.ObserveSince(start) }()
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	cloudlets, epoch, hash := s.state.Snapshot()
+	writeJSON(w, http.StatusOK, StateResponse{
+		Cloudlets:  cloudlets,
+		Placed:     s.state.PlacedCount(),
+		Epoch:      epoch,
+		StateHash:  fmt.Sprintf("%016x", hash),
+		QueueDepth: len(s.queue.ch),
+		CacheLen:   s.cache.Len(),
+		Draining:   s.Draining(),
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

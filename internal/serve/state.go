@@ -1,0 +1,230 @@
+// Package serve is the online augmentation service: a long-running HTTP/JSON
+// front door over the solver stack. It owns a mutable network state (cloudlet
+// residual capacities plus every placed request) behind a sharded lock,
+// funnels admissions through a bounded queue with micro-batching on the
+// deterministic trial engine, reuses solver results through an LRU cache
+// keyed by a canonical hash of the residual ledger, and exposes
+//
+//	POST /v1/augment   admit a request and place its secondaries
+//	POST /v1/release   tear a placed request down, restoring capacity
+//	GET  /v1/state     residual ledger, placement count, queue/cache stats
+//	GET  /v1/healthz   liveness + drain status
+//
+// Request/response schemas, error codes, and backpressure semantics are
+// documented in API.md. Determinism: identical request streams produce
+// identical placements at any worker count (see the determinism notes on
+// Options and the selftest in cmd/augmentd).
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/mec"
+)
+
+// numShards is the placement-record shard count. Records are spread by
+// request ID so concurrent /v1/release and /v1/state lookups contend on a
+// shard, not on one map lock; the residual ledger itself sits behind a
+// single RWMutex because every admission mutates overlapping cloudlets.
+const numShards = 16
+
+// placed is the per-request record kept for the lifetime of a placement.
+type placed struct {
+	ID          int
+	SFC         []int
+	Expectation float64
+	Primaries   []int
+	Secondaries [][]int
+	Reliability float64
+	Met         bool
+	Algorithm   string
+	ServedBy    string
+	// perNode is the MHz consumed per cloudlet (primaries + secondaries);
+	// releasing the request returns exactly these amounts to the ledger.
+	perNode map[int]float64
+}
+
+// placementShard is one bucket of the sharded placement map.
+type placementShard struct {
+	mu sync.RWMutex
+	m  map[int]*placed
+}
+
+// State is the service's mutable view of the network: the residual-capacity
+// ledger plus every live placement. The ledger (and its mutation epoch) is
+// guarded by mu; placement records live in numShards independently locked
+// shards.
+type State struct {
+	mu    sync.RWMutex
+	net   *mec.Network
+	epoch uint64 // incremented on every ledger mutation
+
+	shards [numShards]placementShard
+}
+
+// NewState wraps a network as serving state. The service takes ownership of
+// the network's residual ledger; callers must not mutate it concurrently.
+func NewState(net *mec.Network) *State {
+	s := &State{net: net}
+	for i := range s.shards {
+		s.shards[i].m = make(map[int]*placed)
+	}
+	return s
+}
+
+func (s *State) shard(id int) *placementShard {
+	if id < 0 {
+		id = -id
+	}
+	return &s.shards[id%numShards]
+}
+
+// hashLocked returns the canonical FNV-1a hash of the residual ledger.
+// Callers must hold mu in either mode. Two states with bit-identical
+// residual vectors hash equally, which is what makes cached solver results
+// transferable between them.
+func (s *State) hashLocked() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for v := 0; v < s.net.G.N(); v++ {
+		bits := math.Float64bits(s.net.Residual(v))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Epoch returns the ledger mutation epoch (bumped on every admission,
+// commit, and release). Exposed on /v1/state so operators can correlate
+// cache invalidations with mutations.
+func (s *State) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// consumePrimariesLocked charges the ledger for a request's pre-set
+// primaries. On failure the ledger is unchanged. Callers must hold mu.
+func (s *State) consumePrimariesLocked(req *mec.Request) error {
+	snap := s.net.ResidualSnapshot()
+	for i, v := range req.Primaries {
+		demand := s.net.Catalog().Type(req.SFC[i]).Demand
+		if s.net.Residual(v) < demand {
+			s.net.RestoreResiduals(snap)
+			return fmt.Errorf("serve: cloudlet %d lacks %v MHz for primary of position %d", v, demand, i)
+		}
+		s.net.Consume(v, demand)
+	}
+	s.epoch++
+	return nil
+}
+
+// commitSecondariesLocked charges the ledger for a solved placement's
+// secondaries. It fails without partial effects when the ledger no longer
+// covers the placement (a commit conflict: some earlier commit in the batch
+// or a concurrent admission consumed the headroom the solver budgeted
+// against). Callers must hold mu.
+func (s *State) commitSecondariesLocked(sfc []int, perBin []map[int]int) error {
+	snap := s.net.ResidualSnapshot()
+	for i, m := range perBin {
+		demand := s.net.Catalog().Type(sfc[i]).Demand
+		for u, c := range m {
+			need := demand * float64(c)
+			if s.net.Residual(u) < need-1e-9 {
+				s.net.RestoreResiduals(snap)
+				return fmt.Errorf("serve: commit conflict: cloudlet %d has %v MHz, placement needs %v", u, s.net.Residual(u), need)
+			}
+			s.net.Consume(u, math.Min(need, s.net.Residual(u)))
+		}
+	}
+	s.epoch++
+	return nil
+}
+
+// rollbackLocked returns previously consumed per-node MHz to the ledger.
+// Callers must hold mu.
+func (s *State) rollbackLocked(perNode map[int]float64) {
+	for v, mhz := range perNode {
+		s.net.Release(v, mhz)
+	}
+	s.epoch++
+}
+
+// record stores the placement record for a committed request.
+func (s *State) record(p *placed) {
+	sh := s.shard(p.ID)
+	sh.mu.Lock()
+	sh.m[p.ID] = p
+	sh.mu.Unlock()
+}
+
+// Release tears down a placed request: its record is removed and every MHz
+// it consumed (primaries and secondaries) returns to the ledger. The freed
+// total is returned; releasing an unknown ID is an error and leaves the
+// ledger untouched.
+func (s *State) Release(id int) (float64, error) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	p, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("serve: unknown request id %d", id)
+	}
+	freed := 0.0
+	s.mu.Lock()
+	for v, mhz := range p.perNode {
+		s.net.Release(v, mhz)
+		freed += mhz
+	}
+	s.epoch++
+	s.mu.Unlock()
+	return freed, nil
+}
+
+// Placed returns the live placement record for id, if any.
+func (s *State) Placed(id int) (*placed, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	p, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return p, ok
+}
+
+// PlacedCount returns the number of live placements.
+func (s *State) PlacedCount() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// CloudletState is one row of the /v1/state residual table.
+type CloudletState struct {
+	ID       int     `json:"id"`
+	Capacity float64 `json:"capacity_mhz"`
+	Residual float64 `json:"residual_mhz"`
+}
+
+// Snapshot captures the ledger for /v1/state: every cloudlet's capacity and
+// residual, the mutation epoch, and the canonical state hash.
+func (s *State) Snapshot() (cloudlets []CloudletState, epoch, hash uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, v := range s.net.Cloudlets() {
+		cloudlets = append(cloudlets, CloudletState{
+			ID: v, Capacity: s.net.Capacity[v], Residual: s.net.Residual(v),
+		})
+	}
+	return cloudlets, s.epoch, s.hashLocked()
+}
