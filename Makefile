@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check doc-check smoke-serve check test test-race test-failsoft fuzz bench bench-short bench-serve experiments figures clean
+.PHONY: all build vet fmt-check doc-check smoke-serve smoke-recover check test test-race test-failsoft fuzz bench bench-short bench-serve experiments figures clean
 
 all: build check test test-race
 
@@ -28,16 +28,35 @@ smoke-serve:
 	$(GO) build ./cmd/augmentd
 	$(GO) run ./cmd/augmentd -selftest -requests 128 -selftest-workers 1,8 -residual 1.0 -log-level warn
 
-# Static checks + the serving smoke test.
-check: vet fmt-check doc-check smoke-serve
+# Kill/restore durability check: one selftest pass prints its durable state
+# line and SIGKILLs itself mid-process; a fresh process then boots from the
+# surviving WAL and must print the identical state hash and placement count.
+smoke-recover:
+	@$(GO) build -o augmentd.smoke ./cmd/augmentd
+	@rm -rf smoke_wal
+	@./augmentd.smoke -selftest -kill -requests 128 -selftest-workers 1 -selftest-batchers 4 \
+		-wal-dir smoke_wal -residual 1.0 -log-level warn | tee smoke_kill.txt
+	@./augmentd.smoke -restore-only -wal-dir smoke_wal -residual 1.0 -log-level warn | tee smoke_restore.txt
+	@k="$$(grep -o 'hash=[0-9a-f]* placed=[0-9]*' smoke_kill.txt | head -n 1)"; \
+	r="$$(grep -o 'hash=[0-9a-f]* placed=[0-9]*' smoke_restore.txt | head -n 1)"; \
+	if [ -z "$$k" ] || [ "$$k" != "$$r" ]; then \
+		echo "smoke-recover FAILED: killed [$$k] restored [$$r]"; exit 1; \
+	fi; echo "smoke-recover OK: $$k"
+	@rm -rf smoke_wal smoke_kill.txt smoke_restore.txt augmentd.smoke
+
+# Static checks + the serving smoke test + the kill/restore check.
+check: vet fmt-check doc-check smoke-serve smoke-recover
 
 test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent paths (the trial engine, every
-# harness built on it, and the root-package benchmarks' shared pools).
+# harness built on it, the root-package benchmarks' shared pools, and the
+# MVCC serving layer). The extra serve pass repeats the commit/release races
+# with -count=2 so the scheduler reshuffles interleavings.
 test-race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/serve/...
 
 # Resilience-layer tests under the race detector: the fail-soft engine
 # (panic recovery, deadlines, deterministic retries), the solver fallback
@@ -72,10 +91,20 @@ bench-short:
 	$(GO) run ./cmd/benchdiff -parse bench_output.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
 
 # Serving-throughput snapshot: the augmentd selftest prints a benchmark-style
-# line that benchdiff parses into BENCH_<label>.json (e.g. BENCH_pr5.json).
+# line per (workers, batchers) combination that benchdiff parses into
+# BENCH_<label>.json (e.g. BENCH_pr6.json). The regime is the batcher-scaling
+# load test — short chains, all-admit capacity, one-request batches, durable
+# WAL with fsync-per-commit — so the printed "batcher scaling" ratio tracks
+# the MVCC group-commit speedup of 4 batchers over 1.
 bench-serve:
-	$(GO) run ./cmd/augmentd -selftest -requests 256 -selftest-workers 1,8 -residual 1.0 -log-level warn | tee serve_bench.txt
+	@rm -rf serve_bench_wal
+	$(GO) run ./cmd/augmentd -selftest -requests 3000 -batch 1 \
+		-selftest-workers 1 -selftest-batchers 1,4 -wal-dir serve_bench_wal \
+		-aps 20 -cloudlets 0.5 -residual 1.0 -capacity-scale 25000 \
+		-dup-every 0 -release-every 0 -rho 0.9 -chain-min 2 -chain-max 3 \
+		-log-level warn | tee serve_bench.txt
 	$(GO) run ./cmd/benchdiff -parse serve_bench.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
+	@rm -rf serve_bench_wal
 
 # Reproduce every figure and ablation at the paper's trial count (slow).
 experiments:
@@ -86,4 +115,5 @@ figures:
 	$(GO) run ./cmd/experiments -fig all -trials 100 -csvdir results -svgdir results/svg
 
 clean:
-	rm -rf results test_output.txt bench_output.txt serve_bench.txt
+	rm -rf results test_output.txt bench_output.txt serve_bench.txt \
+		serve_bench_wal smoke_wal smoke_kill.txt smoke_restore.txt augmentd.smoke

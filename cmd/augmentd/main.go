@@ -4,17 +4,25 @@
 // registry, and releases them on demand. See API.md for the wire protocol.
 //
 //	go run ./cmd/augmentd -addr :8080 -obs-addr :9090
-//	go run ./cmd/augmentd -selftest -requests 128 -selftest-workers 1,8
+//	go run ./cmd/augmentd -selftest -requests 128 -selftest-workers 1,8 -selftest-batchers 1,4
+//	go run ./cmd/augmentd -wal-dir /var/lib/augmentd -restore
 //	curl -s localhost:8080/v1/healthz
 //
 // In server mode SIGINT/SIGTERM drain gracefully: the admission queue stops
 // accepting (503), every queued request is still solved and answered, then
-// the listener shuts down. In -selftest mode no socket is opened: the
-// deterministic in-process load generator runs the same request stream at
-// each worker count in -selftest-workers and the process exits non-zero
-// unless the placement logs are bit-identical and nothing was dropped below
-// the queue bound. The selftest prints a `go test -bench`-style result line,
-// so `cmd/benchdiff -parse` can record throughput snapshots (BENCH_pr5.json).
+// the listener shuts down. With -wal-dir every committed epoch is durable and
+// -restore boots from the log's exact pre-crash state. In -selftest mode no
+// socket is opened: the deterministic in-process load generator runs the same
+// request stream at every (workers, batchers) combination from
+// -selftest-workers × -selftest-batchers and the process exits non-zero
+// unless the placement logs are bit-identical, nothing was dropped below the
+// queue bound, and (when -wal-dir is set) replaying each run's WAL reproduces
+// its exact final state hash and placement count. The selftest prints
+// `go test -bench`-style result lines per combination, so `cmd/benchdiff
+// -parse` can record throughput snapshots (BENCH_pr6.json), plus the batcher
+// scaling ratio. -kill runs one selftest pass, prints the durable state
+// line, and SIGKILLs the process mid-flight tooling can then verify with
+// -restore-only (see `make smoke-recover`).
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -45,25 +54,38 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for the sampled network and per-request RNG derivations")
 	residual := flag.Float64("residual", 0.25, "residual capacity fraction of the sampled network")
 	hopBound := flag.Int("l", 1, "hop bound for secondary placement")
+	aps := flag.Int("aps", 0, "sampled network size in APs (0: workload default)")
+	cloudlets := flag.Float64("cloudlets", 0, "cloudlet fraction of sampled APs (0: workload default)")
+	capacityScale := flag.Float64("capacity-scale", 1, "multiplier on sampled cloudlet capacities (sustained-admission load-test regimes)")
 	scenario := flag.String("scenario", "", "serve a netio JSON scenario instead of sampling a network")
 	queueDepth := flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
 	batchSize := flag.Int("batch", 8, "micro-batch size B")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "micro-batch wait bound T")
 	workers := flag.Int("workers", 0, "solver workers per batch (0 = GOMAXPROCS)")
+	batchers := flag.Int("batchers", 1, "concurrent micro-batchers (batches execute speculatively and commit in admission order)")
 	solver := flag.String("solver", "Failsafe", "registered solver serving augmentations ("+strings.Join(core.Names(), ", ")+")")
 	fallbackSpec := flag.String("fallback", "", "serve through an ad-hoc fallback chain instead of -solver, e.g. \"ILP@50ms,Heuristic,Greedy\"")
 	admit := flag.String("admit", serve.AdmitRandom, "primary placement policy: random or maxrel")
 	deadline := flag.Duration("deadline", 0, "default per-request solve deadline (0 = unbounded)")
 	cacheSize := flag.Int("cache", 256, "solver-result LRU entries (0 disables caching)")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory for durable epochs (empty: durability off)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always or none")
+	snapshotEvery := flag.Int("snapshot-every", 256, "WAL checkpoint cadence in entries")
+	restore := flag.Bool("restore", false, "replay -wal-dir before serving (boot with the pre-crash state)")
+	restoreOnly := flag.Bool("restore-only", false, "replay -wal-dir, print the restored state line, and exit")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090; empty: off)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	selftest := flag.Bool("selftest", false, "run the in-process load-generator selftest instead of serving")
 	requests := flag.Int("requests", 128, "selftest: requests per run")
 	selftestWorkers := flag.String("selftest-workers", "1,8", "selftest: comma-separated worker counts that must agree")
+	selftestBatchers := flag.String("selftest-batchers", "1,4", "selftest: comma-separated batcher counts that must agree")
 	wave := flag.Int("wave", 0, "selftest: submissions per wave (0 = queue depth)")
 	dupEvery := flag.Int("dup-every", 4, "selftest: duplicate every k-th request (cache exercise, 0 off)")
 	releaseEvery := flag.Int("release-every", 16, "selftest: release every k-th placement (0 off)")
 	rho := flag.Float64("rho", 0.95, "selftest: reliability expectation of generated requests")
+	chainMin := flag.Int("chain-min", 0, "selftest: minimum generated SFC length (0: loadgen default)")
+	chainMax := flag.Int("chain-max", 0, "selftest: maximum generated SFC length (0: loadgen default)")
+	kill := flag.Bool("kill", false, "selftest: run the first combination only, print the durable state line, then SIGKILL the process (requires -wal-dir)")
 	flag.Parse()
 
 	obsSrv, err := obs.Boot(*logLevel, *obsAddr)
@@ -92,6 +114,16 @@ func main() {
 		cfg := workload.NewDefaultConfig()
 		cfg.ResidualFraction = *residual
 		cfg.HopBound = *hopBound
+		if *aps > 0 {
+			cfg.NumAPs = *aps
+		}
+		if *cloudlets > 0 {
+			cfg.CloudletFraction = *cloudlets
+		}
+		if *capacityScale != 1 {
+			cfg.CapacityMin *= *capacityScale
+			cfg.CapacityMax *= *capacityScale
+		}
 		return cfg.Network(rand.New(rand.NewSource(*seed)))
 	}
 
@@ -112,18 +144,37 @@ func main() {
 		return sv
 	}
 
-	newService := func(w int) *serve.Service {
+	if *restoreOnly {
+		if *walDir == "" {
+			fmt.Fprintln(os.Stderr, "augmentd: -restore-only requires -wal-dir")
+			os.Exit(2)
+		}
+		st, err := serve.NewStateFromWAL(buildNetwork(), *walDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "augmentd: restore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("restored state: hash=%016x placed=%d epoch=%d\n", st.Hash(), st.PlacedCount(), st.Epoch())
+		return
+	}
+
+	newService := func(w, b int, dir string, restoreState bool) *serve.Service {
 		svc, err := serve.New(buildNetwork(), serve.Options{
 			QueueDepth:      *queueDepth,
 			BatchSize:       *batchSize,
 			BatchWait:       *batchWait,
 			Workers:         w,
+			Batchers:        b,
 			Solver:          resolveSolver(),
 			HopBound:        *hopBound,
 			AdmitPolicy:     *admit,
 			DefaultDeadline: *deadline,
 			CacheSize:       *cacheSize,
 			Seed:            *seed,
+			WALDir:          dir,
+			WALSync:         *walSync,
+			SnapshotEvery:   *snapshotEvery,
+			Restore:         restoreState,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
@@ -133,17 +184,38 @@ func main() {
 	}
 
 	if *selftest {
-		os.Exit(runSelftest(newService, *requests, *selftestWorkers, *wave, *queueDepth, *dupEvery, *releaseEvery, *rho, *seed))
+		os.Exit(runSelftest(selftestConfig{
+			newService:   newService,
+			buildNetwork: buildNetwork,
+			requests:     *requests,
+			workerSpec:   *selftestWorkers,
+			batcherSpec:  *selftestBatchers,
+			wave:         *wave,
+			queueDepth:   *queueDepth,
+			dupEvery:     *dupEvery,
+			releaseEvery: *releaseEvery,
+			rho:          *rho,
+			chainMin:     *chainMin,
+			chainMax:     *chainMax,
+			seed:         *seed,
+			walDir:       *walDir,
+			kill:         *kill,
+		}))
 	}
 
-	svc := newService(*workers)
+	svc := newService(*workers, *batchers, *walDir, *restore)
+	if *restore {
+		st := svc.State()
+		fmt.Printf("restored state: hash=%016x placed=%d epoch=%d\n", st.Hash(), st.PlacedCount(), st.Epoch())
+	}
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	slog.Info("augmentd serving", "addr", *addr, "solver", svc.SolverName(),
-		"queue", *queueDepth, "batch", *batchSize, "batch_wait", *batchWait)
+		"queue", *queueDepth, "batch", *batchSize, "batch_wait", *batchWait,
+		"batchers", *batchers, "wal_dir", *walDir)
 	select {
 	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
@@ -151,7 +223,9 @@ func main() {
 	case <-ctx.Done():
 	}
 	slog.Info("augmentd draining: refusing new admissions, flushing queue")
-	svc.Drain()
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: close: %v\n", err)
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -161,79 +235,195 @@ func main() {
 	slog.Info("augmentd drained cleanly")
 }
 
-// runSelftest runs the deterministic load generator at every worker count in
-// spec against identically seeded fresh services and pins that the placement
-// logs agree and nothing was rejected below the queue bound. Returns the
-// process exit code.
-func runSelftest(newService func(workers int) *serve.Service, requests int, spec string, wave, queueDepth, dupEvery, releaseEvery int, rho float64, seed int64) int {
-	var workerCounts []int
-	for _, tok := range strings.Split(spec, ",") {
-		w, err := strconv.Atoi(strings.TrimSpace(tok))
-		if err != nil || w < 1 {
-			fmt.Fprintf(os.Stderr, "augmentd: bad -selftest-workers %q\n", spec)
-			return 2
-		}
-		workerCounts = append(workerCounts, w)
-	}
-	if len(workerCounts) == 0 {
-		fmt.Fprintf(os.Stderr, "augmentd: empty -selftest-workers\n")
+// selftestConfig gathers everything runSelftest needs from the flag set.
+type selftestConfig struct {
+	newService   func(workers, batchers int, walDir string, restore bool) *serve.Service
+	buildNetwork func() *mec.Network
+	requests     int
+	workerSpec   string
+	batcherSpec  string
+	wave         int
+	queueDepth   int
+	dupEvery     int
+	releaseEvery int
+	rho          float64
+	chainMin     int
+	chainMax     int
+	seed         int64
+	walDir       string
+	kill         bool
+}
+
+// comboRun is one (workers, batchers) selftest execution.
+type comboRun struct {
+	workers  int
+	batchers int
+	result   *loadgen.Result
+}
+
+// runSelftest runs the deterministic load generator at every (workers,
+// batchers) combination against identically seeded fresh services and pins
+// that the placement logs agree, nothing was rejected below the queue bound,
+// and — when a WAL directory is set — that replaying each run's log rebuilds
+// its exact final state. Returns the process exit code.
+func runSelftest(cfg selftestConfig) int {
+	workerCounts, err := parseCounts(cfg.workerSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: bad -selftest-workers %q\n", cfg.workerSpec)
 		return 2
 	}
+	batcherCounts, err := parseCounts(cfg.batcherSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: bad -selftest-batchers %q\n", cfg.batcherSpec)
+		return 2
+	}
+	if cfg.kill && cfg.walDir == "" {
+		fmt.Fprintln(os.Stderr, "augmentd: -kill requires -wal-dir")
+		return 2
+	}
+	wave := cfg.wave
 	if wave <= 0 {
-		wave = queueDepth
+		wave = cfg.queueDepth
 	}
-	if wave > queueDepth {
-		fmt.Fprintf(os.Stderr, "augmentd: -wave %d exceeds -queue %d; the zero-drop guarantee needs wave <= queue\n", wave, queueDepth)
+	if wave > cfg.queueDepth {
+		fmt.Fprintf(os.Stderr, "augmentd: -wave %d exceeds -queue %d; the zero-drop guarantee needs wave <= queue\n", wave, cfg.queueDepth)
 		return 2
 	}
-	cfg := loadgen.Config{
-		Seed:           seed,
-		Requests:       requests,
+	lcfg := loadgen.Config{
+		Seed:           cfg.seed,
+		Requests:       cfg.requests,
 		WaveSize:       wave,
-		Expectation:    rho,
-		DuplicateEvery: dupEvery,
-		ReleaseEvery:   releaseEvery,
+		ChainLenMin:    cfg.chainMin,
+		ChainLenMax:    cfg.chainMax,
+		Expectation:    cfg.rho,
+		DuplicateEvery: cfg.dupEvery,
+		ReleaseEvery:   cfg.releaseEvery,
 	}
 
 	var refLog string
-	var refResult *loadgen.Result
+	var runs []comboRun
 	ok := true
-	for i, w := range workerCounts {
-		svc := newService(w)
-		res, err := loadgen.Run(svc, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d: %v\n", w, err)
-			return 1
-		}
-		svc.Drain()
-		fmt.Printf("selftest workers=%d: %d requests in %v (%.0f req/s), admitted=%d infeasible=%d rejected=%d deadline=%d released=%d cache_hits=%d\n",
-			w, len(res.Records), res.Elapsed.Round(time.Millisecond), res.Throughput,
-			res.Admitted, res.Infeasible, res.Rejected, res.Deadline, res.Released, res.CacheHits)
-		if res.Rejected != 0 {
-			fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d: %d requests rejected below the queue bound\n", w, res.Rejected)
-			ok = false
-		}
-		log := res.PlacementLog()
-		if i == 0 {
-			refLog, refResult = log, res
-			continue
-		}
-		if log != refLog {
-			fmt.Fprintf(os.Stderr, "augmentd: selftest DETERMINISM FAILURE: workers=%d placement log differs from workers=%d\n%s",
-				w, workerCounts[0], firstDiff(refLog, log))
-			ok = false
+	for _, w := range workerCounts {
+		for _, b := range batcherCounts {
+			dir := ""
+			if cfg.walDir != "" {
+				if cfg.kill {
+					dir = cfg.walDir // single run writes the root log the restore check reads
+				} else {
+					dir = filepath.Join(cfg.walDir, fmt.Sprintf("run-w%d-b%d", w, b))
+				}
+			}
+			svc := cfg.newService(w, b, dir, false)
+			res, err := loadgen.Run(svc, lcfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: %v\n", w, b, err)
+				return 1
+			}
+			svc.Drain()
+			fmt.Printf("selftest workers=%d batchers=%d: %d requests in %v (%.0f req/s), admitted=%d infeasible=%d rejected=%d deadline=%d released=%d cache_hits=%d\n",
+				w, b, len(res.Records), res.Elapsed.Round(time.Millisecond), res.Throughput,
+				res.Admitted, res.Infeasible, res.Rejected, res.Deadline, res.Released, res.CacheHits)
+			if res.Rejected != 0 {
+				fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: %d requests rejected below the queue bound\n", w, b, res.Rejected)
+				ok = false
+			}
+			hash, placed := svc.State().Hash(), svc.State().PlacedCount()
+			if dir != "" {
+				// Kill/restore contract, in-process: replaying the run's WAL
+				// against a same-seed network reproduces the exact state.
+				st, err := serve.NewStateFromWAL(cfg.buildNetwork(), dir)
+				switch {
+				case err != nil:
+					fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: WAL replay: %v\n", w, b, err)
+					ok = false
+				case st.Hash() != hash || st.PlacedCount() != placed:
+					fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: WAL replay state hash=%016x placed=%d, live hash=%016x placed=%d\n",
+						w, b, st.Hash(), st.PlacedCount(), hash, placed)
+					ok = false
+				}
+			}
+			log := res.PlacementLog()
+			if len(runs) == 0 {
+				refLog = log
+			} else if log != refLog {
+				fmt.Fprintf(os.Stderr, "augmentd: selftest DETERMINISM FAILURE: workers=%d batchers=%d placement log differs from workers=%d batchers=%d\n%s",
+					w, b, runs[0].workers, runs[0].batchers, firstDiff(refLog, log))
+				ok = false
+			}
+			runs = append(runs, comboRun{workers: w, batchers: b, result: res})
+			if err := svc.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "augmentd: selftest close: %v\n", err)
+				ok = false
+			}
+			if cfg.kill {
+				if !ok {
+					fmt.Println("selftest FAILED")
+					return 1
+				}
+				fmt.Printf("selftest state: hash=%016x placed=%d\n", hash, placed)
+				os.Stdout.Sync()
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
 		}
 	}
 	if !ok {
 		fmt.Println("selftest FAILED")
 		return 1
 	}
-	// A `go test -bench`-style line so cmd/benchdiff -parse can record the
-	// selftest throughput (make bench-serve → BENCH_pr5.json).
-	nsPerOp := float64(refResult.Elapsed.Nanoseconds()) / float64(requests)
-	fmt.Printf("BenchmarkAugmentdSelftest\t%d\t%.0f ns/op\n", requests, nsPerOp)
-	fmt.Printf("selftest OK: %d worker counts agree on %d placements\n", len(workerCounts), refResult.Admitted)
+	// `go test -bench`-style lines so cmd/benchdiff -parse can record the
+	// selftest throughput per combination (make bench-serve → BENCH_pr6.json).
+	for _, r := range runs {
+		nsPerOp := float64(r.result.Elapsed.Nanoseconds()) / float64(cfg.requests)
+		fmt.Printf("BenchmarkAugmentdSelftest/workers=%d/batchers=%d\t%d\t%.0f ns/op\n",
+			r.workers, r.batchers, cfg.requests, nsPerOp)
+	}
+	printScaling(runs)
+	fmt.Printf("selftest OK: %d combinations agree on %d placements\n", len(runs), runs[0].result.Admitted)
 	return 0
+}
+
+// printScaling reports batch-throughput scaling per worker count: the
+// highest batcher count's throughput relative to one batcher's.
+func printScaling(runs []comboRun) {
+	base := make(map[int]*comboRun)
+	best := make(map[int]*comboRun)
+	for i := range runs {
+		r := &runs[i]
+		if r.batchers == 1 {
+			base[r.workers] = r
+		}
+		if b, ok := best[r.workers]; !ok || r.batchers > b.batchers {
+			best[r.workers] = r
+		}
+	}
+	for _, r := range runs {
+		if r.batchers != 1 {
+			continue
+		}
+		b, ok := best[r.workers]
+		if !ok || b.batchers == 1 || r.result.Throughput == 0 {
+			continue
+		}
+		fmt.Printf("batcher scaling workers=%d: %d batchers = %.2fx vs 1 (%.0f vs %.0f req/s)\n",
+			r.workers, b.batchers, b.result.Throughput/r.result.Throughput,
+			b.result.Throughput, r.result.Throughput)
+	}
+}
+
+// parseCounts parses a comma-separated list of positive ints.
+func parseCounts(spec string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad count %q", tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty count list")
+	}
+	return out, nil
 }
 
 // firstDiff renders the first differing line of two placement logs.

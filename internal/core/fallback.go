@@ -94,7 +94,7 @@ func Fallback(name string, stages ...FallbackStage) Solver {
 			ins[i].activations.Inc()
 			var stageRng *rand.Rand
 			if rng != nil {
-				stageRng = rand.New(rand.NewSource(seeds[i]))
+				stageRng = rand.New(CheapSource(seeds[i]))
 			}
 			res, err, timedOut := runStage(st, inst, stageRng)
 			switch {

@@ -67,6 +67,13 @@ type FailSoftOptions struct {
 	// if all attempts fail); deadline hits are never offered. nil means
 	// returned errors are retryable and panics are not.
 	Retryable func(err error, panicked bool) bool
+	// Source, when non-nil, constructs each attempt's rand.Source from its
+	// seed in place of rand.NewSource. The stdlib source burns ~10µs warming
+	// its 607-word table per construction, which dominates sub-100µs trials;
+	// latency-sensitive callers inject a cheap-seed source instead. Changing
+	// the source changes what seeded trials compute, so results are only
+	// comparable across runs using the same source.
+	Source func(seed int64) rand.Source
 }
 
 // failSoftMetrics are RunPartial's extra instruments. All recording happens
@@ -164,6 +171,28 @@ func RunPartial[T any](ctx context.Context, n, workers int, seed Seeder, fn Tria
 	metrics.runs.Inc()
 	failSoftMetrics.runs.Inc()
 
+	// Single-trial single-worker fast path: run inline instead of paying a
+	// worker goroutine, feed channel, and WaitGroup per call. Micro-batch
+	// serving hits this shape on every one-request batch; the result is
+	// bit-identical to the pooled path (same seed, same attempt derivation).
+	if n == 1 && workers == 1 {
+		results := make([]T, 1)
+		var failures []TrialError
+		start := time.Now()
+		te := runFailSoftTrial(0, seed(0), maxAttempts, opts, fn, results)
+		metrics.trialDur.Observe(time.Since(start).Seconds())
+		metrics.trials.Inc()
+		if te != nil {
+			metrics.errors.Inc()
+			slog.Error("engine: trial dropped",
+				"tag", opts.Tag, "trial", 0, "kind", te.Kind,
+				"attempts", te.Attempts, "seed", te.Seed, "err", te.Err)
+			failures = append(failures, *te)
+			failSoftMetrics.dropped.Inc()
+		}
+		return results, failures, ctx.Err()
+	}
+
 	// results[t] and failSlots[t] are each written by exactly one worker and
 	// read only after wg.Wait — no locks needed (same discipline as Run).
 	results := make([]T, n)
@@ -233,7 +262,11 @@ func runFailSoftTrial[T any](t int, baseSeed int64, maxAttempts int, opts FailSo
 		attemptSeed := RetrySeed(baseSeed, attempts)
 		attempts++
 		finalSeed = attemptSeed
-		rng := rand.New(rand.NewSource(attemptSeed))
+		src := opts.Source
+		if src == nil {
+			src = rand.NewSource
+		}
+		rng := rand.New(src(attemptSeed))
 
 		var out attemptOutcome[T]
 		timedOut := false

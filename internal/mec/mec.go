@@ -58,6 +58,25 @@ func (c *Catalog) Type(id int) FunctionType {
 	return c.types[id]
 }
 
+// ResidualView is a read-only view over per-node residual capacity. Both the
+// mutable Network ledger and immutable copy-on-write forks of it (see Fork)
+// satisfy it, which lets serving layers hand solvers a frozen snapshot while
+// the live ledger keeps evolving.
+type ResidualView interface {
+	// Residual returns the residual capacity C'_v of node v in MHz.
+	Residual(v int) float64
+	// NumNodes returns the number of APs covered by the view.
+	NumNodes() int
+}
+
+// nbrMemo is the NeighborsWithinPlus memo, held behind a pointer so that
+// every Fork of a network shares one canonical cache (the AP graph is
+// immutable after construction, so entries are valid across all forks).
+type nbrMemo struct {
+	mu sync.RWMutex
+	m  map[uint64][]int
+}
+
 // Network is an MEC network: the AP graph plus cloudlet capacities.
 // Capacity[v] == 0 means AP v has no co-located cloudlet.
 type Network struct {
@@ -66,12 +85,13 @@ type Network struct {
 	residual []float64 // current residual capacity C'_v
 	catalog  *Catalog
 
-	// nbrCache memoizes NeighborsWithinPlus per (v, l): the hop-bounded
+	// memo memoizes NeighborsWithinPlus per (v, l): the hop-bounded
 	// neighborhoods are re-queried for every request built on this network,
 	// and the graph never changes after construction.
-	nbrMu    sync.RWMutex
-	nbrCache map[uint64][]int
+	memo *nbrMemo
 }
+
+var _ ResidualView = (*Network)(nil)
 
 // NewNetwork wraps a graph with cloudlet capacities and a function catalog.
 // len(capacity) must equal g.N(). Residual capacity starts at full capacity.
@@ -89,9 +109,32 @@ func NewNetwork(g *graph.Graph, capacity []float64, catalog *Catalog) *Network {
 		Capacity: append([]float64(nil), capacity...),
 		residual: append([]float64(nil), capacity...),
 		catalog:  catalog,
+		memo:     &nbrMemo{},
 	}
 	return n
 }
+
+// Fork returns a copy-on-write view of the network: it shares the immutable
+// topology, total capacities, function catalog, and neighborhood memo with n,
+// but owns a private residual ledger initialized from res (copied). Mutating
+// the fork's residuals never touches n or any sibling fork, which is what
+// lets a micro-batcher place and commit speculatively with no lock held.
+// Callers must not mutate the shared Capacity slice.
+func (n *Network) Fork(res []float64) *Network {
+	if len(res) != len(n.residual) {
+		panic(fmt.Sprintf("mec: fork residual length %d != %d nodes", len(res), len(n.residual)))
+	}
+	return &Network{
+		G:        n.G,
+		Capacity: n.Capacity,
+		residual: append([]float64(nil), res...),
+		catalog:  n.catalog,
+		memo:     n.memo,
+	}
+}
+
+// NumNodes returns the number of APs in the network (ResidualView).
+func (n *Network) NumNodes() int { return len(n.residual) }
 
 // Catalog returns the function catalog.
 func (n *Network) Catalog() *Catalog { return n.catalog }
@@ -102,23 +145,23 @@ func (n *Network) Catalog() *Catalog { return n.catalog }
 // not modify it. Safe for concurrent use.
 func (n *Network) NeighborsWithinPlus(v, l int) []int {
 	key := uint64(uint32(v))<<32 | uint64(uint32(l))
-	n.nbrMu.RLock()
-	nbrs, ok := n.nbrCache[key]
-	n.nbrMu.RUnlock()
+	n.memo.mu.RLock()
+	nbrs, ok := n.memo.m[key]
+	n.memo.mu.RUnlock()
 	if ok {
 		return nbrs
 	}
 	nbrs = n.G.NeighborsWithinPlus(v, l)
-	n.nbrMu.Lock()
-	if cached, ok := n.nbrCache[key]; ok {
+	n.memo.mu.Lock()
+	if cached, ok := n.memo.m[key]; ok {
 		nbrs = cached // another goroutine won the race; keep one canonical slice
 	} else {
-		if n.nbrCache == nil {
-			n.nbrCache = make(map[uint64][]int)
+		if n.memo.m == nil {
+			n.memo.m = make(map[uint64][]int)
 		}
-		n.nbrCache[key] = nbrs
+		n.memo.m[key] = nbrs
 	}
-	n.nbrMu.Unlock()
+	n.memo.mu.Unlock()
 	return nbrs
 }
 

@@ -240,3 +240,49 @@ func TestBackupCounts(t *testing.T) {
 		t.Fatalf("counts %v", ks)
 	}
 }
+
+func TestForkIsolatesResiduals(t *testing.T) {
+	n := lineNetwork([]float64{1000, 1000, 0, 1000})
+	n.Consume(0, 100)
+
+	fork := n.Fork(n.ResidualSnapshot())
+	if fork.Residual(0) != 900 {
+		t.Fatalf("fork residual %v, want 900", fork.Residual(0))
+	}
+	// Mutating the fork never touches the base, and vice versa.
+	fork.Consume(1, 250)
+	if n.Residual(1) != 1000 {
+		t.Fatalf("base residual changed by fork mutation: %v", n.Residual(1))
+	}
+	n.Consume(3, 500)
+	if fork.Residual(3) != 1000 {
+		t.Fatalf("fork residual changed by base mutation: %v", fork.Residual(3))
+	}
+	// Topology, catalog, and the neighborhood memo are shared: both views
+	// return the one canonical neighborhood slice.
+	a := n.NeighborsWithinPlus(1, 1)
+	b := fork.NeighborsWithinPlus(1, 1)
+	if len(a) != len(b) || &a[0] != &b[0] {
+		t.Fatalf("fork does not share the neighborhood memo: %p vs %p", a, b)
+	}
+	if fork.NumNodes() != n.NumNodes() {
+		t.Fatalf("fork node count %d != %d", fork.NumNodes(), n.NumNodes())
+	}
+}
+
+func TestForkLengthMismatchPanics(t *testing.T) {
+	n := lineNetwork([]float64{1000, 1000})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fork with wrong residual length did not panic")
+		}
+	}()
+	n.Fork([]float64{1})
+}
+
+func TestResidualViewInterface(t *testing.T) {
+	var v ResidualView = lineNetwork([]float64{10, 0})
+	if v.NumNodes() != 2 || v.Residual(0) != 10 {
+		t.Fatalf("ResidualView over Network: nodes=%d res0=%v", v.NumNodes(), v.Residual(0))
+	}
+}

@@ -2,11 +2,15 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -47,21 +51,57 @@ type outcome struct {
 	solveTime time.Duration
 }
 
-// queue is the bounded admission queue plus its micro-batching consumer.
+// queue is the bounded admission queue plus its micro-batching machinery: a
+// single dispatcher that forms batches (preserving PR 5's size/latency
+// bounds) and stamps them with a dense batch sequence number, and N batcher
+// goroutines that execute batches concurrently against pinned epochs. The
+// commit gate reimposes the batch sequence at install time, so batch k+1's
+// effects land after batch k's no matter which batcher was faster.
 type queue struct {
-	svc      *Service
-	ch       chan *pending
-	draining atomic.Bool
-	stopCh   chan struct{}
-	doneCh   chan struct{}
+	svc  *Service
+	ch   chan *pending
+	jobs chan *batchJob
+	// slots holds one token per idle batcher: the dispatcher takes a token
+	// before forming a batch and the batcher returns it after committing.
+	// This keeps the queue's backpressure bound exactly at QueueDepth —
+	// requests never sit hidden in a dispatch pipeline — and makes a
+	// single-batcher service behave precisely like the pre-MVCC design.
+	slots chan struct{}
+	gate  commitGate
+	// speculate steers adaptive speculation: true after an identity commit
+	// (the next batch's lock-free execution would be valid), false after an
+	// install (it would be stale, so batchers execute inside the gate and
+	// save the wasted solve). Purely a performance hint — committed results
+	// are identical either way.
+	speculate atomic.Bool
+	draining  atomic.Bool
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+	wg        sync.WaitGroup
+	batchSeq  uint64 // dispatcher-private; dense from 1
 }
 
-func newQueue(svc *Service, depth int) *queue {
+func newQueue(svc *Service, depth, batchers int) *queue {
 	q := &queue{
 		svc:    svc,
 		ch:     make(chan *pending, depth),
+		jobs:   make(chan *batchJob),
+		slots:  make(chan struct{}, batchers),
 		stopCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
+	}
+	q.gate.init()
+	q.speculate.Store(true)
+	q.wg.Add(batchers)
+	for i := 0; i < batchers; i++ {
+		q.slots <- struct{}{}
+		go func() {
+			defer q.wg.Done()
+			for job := range q.jobs {
+				svc.processJob(job)
+				q.slots <- struct{}{}
+			}
+		}()
 	}
 	go q.run()
 	return q
@@ -85,7 +125,7 @@ func (q *queue) Submit(p *pending) error {
 }
 
 // Drain stops accepting new requests, flushes every request already queued
-// through the normal batch path, and returns when the batcher has exited.
+// through the normal batch path, and returns when every batcher has exited.
 // Safe to call more than once.
 func (q *queue) Drain() {
 	if q.draining.CompareAndSwap(false, true) {
@@ -94,35 +134,48 @@ func (q *queue) Drain() {
 	<-q.doneCh
 }
 
-// run is the micro-batching consumer: collect up to BatchSize requests or
-// wait at most BatchWait after the first, then solve the batch. On drain it
-// flushes the queue in full batches without waiting on the timer.
+// run is the dispatcher: collect up to BatchSize requests or wait at most
+// BatchWait after the first, then hand the batch to the batcher pool. On
+// drain it flushes the queue in full batches without waiting on the timer,
+// then closes the pool and waits for in-flight batches to commit.
 func (q *queue) run() {
 	defer close(q.doneCh)
 	for {
+		<-q.slots // wait for an idle batcher before forming a batch
 		var first *pending
 		select {
 		case first = <-q.ch:
 		case <-q.stopCh:
-			// Drain: every request that made it into the channel before the
-			// drain flag flipped still gets served.
-			for {
-				select {
-				case p := <-q.ch:
-					q.processFrom(p, true)
-				default:
-					return
-				}
-			}
+			q.slots <- struct{}{}
+			q.flush()
+			return
 		}
-		q.processFrom(first, false)
+		q.dispatchFrom(first, false)
 	}
 }
 
-// processFrom collects a batch starting at first and hands it to the
-// service. When draining, only immediately available requests join (no
-// timer wait).
-func (q *queue) processFrom(first *pending, draining bool) {
+// flush serves every request that made it into the channel before the drain
+// flag flipped, then shuts the batcher pool down and waits for the last
+// batch to commit.
+func (q *queue) flush() {
+	for {
+		select {
+		case p := <-q.ch:
+			<-q.slots
+			q.dispatchFrom(p, true)
+		default:
+			close(q.jobs)
+			q.wg.Wait()
+			return
+		}
+	}
+}
+
+// dispatchFrom collects a batch starting at first and sends it to the
+// batcher pool (blocking when all batchers are busy — the dispatcher is the
+// pool's backpressure). When draining, only immediately available requests
+// join (no timer wait).
+func (q *queue) dispatchFrom(first *pending, draining bool) {
 	batch := []*pending{first}
 	maxB := q.svc.opt.BatchSize
 	if !draining && maxB > 1 {
@@ -150,7 +203,96 @@ func (q *queue) processFrom(first *pending, draining bool) {
 	}
 full:
 	metrics.queueDepth.Set(float64(len(q.ch)))
-	q.svc.processBatch(batch)
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	q.batchSeq++
+	q.jobs <- &batchJob{
+		seq:    q.batchSeq,
+		batch:  batch,
+		pickup: time.Now(),
+	}
+}
+
+// commitGate serializes batch installs in batch-sequence order: a batcher
+// that finished executing batch k+1 parks in enter until batch k has left.
+// This is what makes the installed epoch sequence — and therefore every
+// placement — independent of which batcher ran faster. Waiters park on a
+// per-sequence channel, so leave wakes exactly the successor instead of
+// broadcasting to the whole pool — on one core the spurious wakeups of a
+// broadcast are whole context switches.
+type commitGate struct {
+	mu      sync.Mutex
+	next    uint64
+	waiters map[uint64]chan struct{}
+}
+
+func (g *commitGate) init() {
+	g.next = 1
+	g.waiters = make(map[uint64]chan struct{})
+}
+
+// enter blocks until it is seq's turn to commit.
+func (g *commitGate) enter(seq uint64) {
+	g.mu.Lock()
+	if g.next == seq {
+		g.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	g.waiters[seq] = ch
+	g.mu.Unlock()
+	<-ch
+}
+
+// leave passes the turn to the next batch sequence number, waking its
+// batcher if it is already parked.
+func (g *commitGate) leave() {
+	g.mu.Lock()
+	g.next++
+	if ch, ok := g.waiters[g.next]; ok {
+		delete(g.waiters, g.next)
+		close(ch)
+	}
+	g.mu.Unlock()
+}
+
+// batchJob is one dispatched micro-batch: its commit-order slot, its
+// requests in admission-sequence order, and the solve memo that carries
+// results across a speculative execution and a post-conflict re-execution.
+// The memo map is allocated on first write — most jobs commit on their
+// first execution and never populate it past the initial solves.
+type batchJob struct {
+	seq    uint64
+	batch  []*pending
+	pickup time.Time
+	memo   map[memoKey]memoVal
+}
+
+// memoPut records a solver outcome, allocating the memo lazily.
+func (j *batchJob) memoPut(k memoKey, v memoVal) {
+	if j.memo == nil {
+		j.memo = make(map[memoKey]memoVal)
+	}
+	j.memo[k] = v
+}
+
+// memoKey identifies one solver invocation within a job: the request's
+// admission sequence, the attempt number (0 = first solve, 1 = the
+// conflict re-solve), and the instance signature it ran against. Keying on
+// the signature makes reuse sound: an identical key proves the solver would
+// see a bit-identical instance with an identical seed, and solver outcomes
+// are pure functions of (instance, seed).
+type memoKey struct {
+	seq     int
+	attempt int
+	inst    uint64
+}
+
+// memoVal is a memoized solver outcome (exactly one field is set, matching
+// the fail-soft engine's result/error split; both nil records a conflict
+// re-solve that errored).
+type memoVal struct {
+	res      *core.Result
+	trialErr *engine.TrialError
 }
 
 // admitSeedStep and solveSeedStep decorrelate the per-request admission and
@@ -164,7 +306,17 @@ const (
 func (s *Service) admitSeed(seq int) int64 { return s.opt.Seed + int64(seq)*admitSeedStep }
 func (s *Service) solveSeed(seq int) int64 { return s.opt.Seed + int64(seq)*solveSeedStep + 1 }
 
-// batchItem carries one request through the three batch phases.
+// seededRand returns a *rand.Rand over core.CheapSource: bit-identical for
+// a given seed everywhere, and cheap enough to build per request per batch
+// execution (profiling showed the stdlib source's ~10µs table warmup
+// dominated admission, re-paid serially under commitMu on every stale
+// re-execution).
+func seededRand(seed int64) *rand.Rand { return rand.New(core.CheapSource(seed)) }
+
+// batchItem carries one request through the three phases of one batch
+// execution. Items are rebuilt from scratch on re-execution (only the memo
+// survives): every field below is a function of the epoch the execution ran
+// against.
 type batchItem struct {
 	p         *pending
 	req       *mec.Request
@@ -179,55 +331,169 @@ type batchItem struct {
 	trialErr  *engine.TrialError
 }
 
-// processBatch runs one micro-batch through three phases:
-//
-//  1. Under the ledger write lock: place (or charge) primaries in sequence
-//     order, hash the post-primaries ledger once, build read-only instances,
-//     and look each up in the result cache.
-//  2. Without the lock: solve every cache miss in parallel on the
-//     deterministic trial engine, fail-soft, with the batch's minimum
-//     per-request deadline as the trial timeout.
-//  3. Under the lock again: commit in sequence order. A commit conflict
-//     (an earlier commit consumed the headroom this solution budgeted
-//     against) triggers one serial re-solve against the live ledger.
-//
-// Determinism: phases 1 and 3 iterate in admission-sequence order, and every
-// RNG seed is a pure function of the sequence number, so identical request
-// streams yield identical placements at any Workers count.
-func (s *Service) processBatch(batch []*pending) {
-	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
-	metrics.batches.Inc()
-	metrics.batchSize.Observe(float64(len(batch)))
-	pickup := time.Now()
-	items := make([]*batchItem, len(batch))
+func (it *batchItem) seq() int { return it.p.seq }
 
-	// Phase 1: primaries + instances + cache lookups, under the ledger lock.
-	s.state.mu.Lock()
-	for i, p := range batch {
-		metrics.queueWait.Observe(pickup.Sub(p.enqueued).Seconds())
+// batchExec is the outcome of executing one batch against one epoch: the
+// would-be successor residual vector and hash, the placements to record, and
+// one outcome per request (parallel to job.batch). Pure data — nothing is
+// published until installBatchLocked.
+type batchExec struct {
+	outcomes  []outcome
+	admits    []*placed
+	res       []float64
+	hash      uint64
+	conflicts int64
+	solveTime time.Duration
+}
+
+// processJob runs one batch speculatively and commits it in batch-sequence
+// order — the MVCC core:
+//
+//  1. Pin the current epoch and execute the batch against it with no lock
+//     held (admissions, solves, within-batch commits all happen on a private
+//     copy-on-write fork). When the previous batch installed a new epoch the
+//     speculation would be doomed, so the batcher skips it and executes
+//     inside the gate instead (adaptive speculation — a pure performance
+//     heuristic, invisible in the committed results).
+//  2. Enter the commit gate (total order by batch sequence) and take the
+//     install lock. If the live epoch still hashes like the pinned one, the
+//     speculative execution is valid verbatim — batch execution is a pure
+//     function of the residual vector. Otherwise some earlier batch or a
+//     release moved the ledger: re-execute against the live epoch (the
+//     cross-batch generalization of the one-serial-re-solve rule), reusing
+//     memoized solver results for every item whose instance is unchanged.
+//  3. Install the successor epoch (visible immediately), leave the gate so
+//     the next batch can execute and commit, then perform this batch's WAL
+//     fsync and answer its requests. Group commit: the next batch's solve
+//     overlaps this batch's durability I/O, but no client sees a response
+//     before its epoch is on disk.
+//
+// Determinism: the installed transition for batch k is always
+// f(epoch_{k-1}, batch_k) with f deterministic, so the epoch sequence — and
+// every placement — is bit-identical at any worker and batcher count.
+func (s *Service) processJob(job *batchJob) {
+	metrics.batches.Inc()
+	metrics.batchSize.Observe(float64(len(job.batch)))
+	var exec *batchExec
+	var baseHash uint64
+	if s.queue.speculate.Load() {
+		base := s.state.pin()
+		exec = s.executeBatch(base, job)
+		baseHash = base.hash
+	} else {
+		metrics.specSkipped.Inc()
+	}
+
+	s.queue.gate.enter(job.seq)
+	s.state.commitMu.Lock()
+	live := s.state.pin()
+	if exec == nil || live.hash != baseHash {
+		if exec != nil {
+			metrics.specStale.Inc()
+		}
+		exec = s.executeBatch(live, job)
+	} else {
+		metrics.specValid.Inc()
+	}
+	ticket := s.installBatchLocked(live, job, exec)
+	s.state.commitMu.Unlock()
+	s.queue.gate.leave()
+	s.state.flushWAL(ticket)
+	s.deliverOutcomes(job, exec)
+}
+
+// installBatchLocked publishes a batch execution: advances the epoch (unless
+// the batch admitted nothing and left the ledger bit-identical — the common
+// all-infeasible case, which deliberately skips the epoch bump so trailing
+// speculations stay valid) and returns the install's durability ticket (nil
+// for identity transitions or without a WAL). It also steers adaptive
+// speculation: after an identity commit the next batch's speculation would
+// be valid, after an install it would be stale. Callers hold commitMu and
+// the commit gate, and must flushWAL the ticket before delivering outcomes.
+func (s *Service) installBatchLocked(live *epochLedger, job *batchJob, exec *batchExec) *walTicket {
+	var ticket *walTicket
+	identity := len(exec.admits) == 0 && exec.hash == live.hash
+	if !identity {
+		ticket = s.state.installLocked(exec.res, exec.hash, exec.admits, nil)
+	}
+	s.queue.speculate.Store(identity)
+	metrics.conflicts.Add(exec.conflicts)
+	return ticket
+}
+
+// deliverOutcomes answers every request of a committed batch. Runs after the
+// batch's WAL flush (clients never observe a non-durable admission) and
+// outside the gate, so the next batch commits while these channel sends wake
+// their waiters.
+func (s *Service) deliverOutcomes(job *batchJob, exec *batchExec) {
+	for i := range exec.outcomes {
+		p := job.batch[i]
+		out := exec.outcomes[i]
+		out.queueWait = time.Since(p.enqueued)
+		metrics.queueWait.Observe(job.pickup.Sub(p.enqueued).Seconds())
+		switch out.status {
+		case http.StatusOK:
+			metrics.admitted.Inc()
+		case http.StatusGatewayTimeout:
+			metrics.deadlineHits.Inc()
+		default:
+			metrics.infeasible.Inc()
+		}
+		metrics.inflight.Add(-1)
+		p.done <- out
+	}
+}
+
+// executeBatch runs one micro-batch against the epoch e, entirely on a
+// private fork of the ledger, through three phases:
+//
+//  1. Place (or charge) primaries in sequence order on the fork, hash the
+//     post-primaries ledger once, build read-only instances, and look each
+//     up in the result cache.
+//  2. Solve every cache miss in parallel on the deterministic trial engine,
+//     fail-soft, with the batch's minimum per-request deadline as the trial
+//     timeout. Solves hit the job memo first, so a re-execution after a
+//     cross-batch conflict only re-solves items whose instances changed.
+//  3. Commit in sequence order onto the fork. A within-batch commit conflict
+//     (an earlier commit consumed the headroom this solution budgeted
+//     against) triggers one serial re-solve, exactly as in the
+//     single-batcher design.
+//
+// The returned execution is pure data against e; callers decide whether it
+// installs.
+func (s *Service) executeBatch(e *epochLedger, job *batchJob) *batchExec {
+	fork := s.state.forkNet(e)
+	items := make([]*batchItem, len(job.batch))
+	exec := &batchExec{outcomes: make([]outcome, len(job.batch))}
+
+	// Phase 1: primaries + instances + cache lookups.
+	for i, p := range job.batch {
 		it := &batchItem{p: p}
 		items[i] = it
 		req := mec.NewRequest(p.seq, p.sfc, p.expectation, p.source, p.destination)
 		it.req = req
+		before := fork.ResidualSnapshot()
 		if len(p.primaries) > 0 {
 			req.Primaries = append([]int(nil), p.primaries...)
-			it.failErr = s.state.consumePrimariesLocked(req)
+			it.failErr = consumePrimaries(fork, req)
 		} else {
-			it.failErr = s.placePrimariesLocked(req)
+			it.failErr = s.placePrimaries(fork, req)
 		}
 		if it.failErr == nil {
+			// Record the measured consumption, not the nominal demand: what a
+			// release returns must be exactly what the ledger lost.
 			it.primNode = make(map[int]float64, len(req.Primaries))
-			for pos, v := range req.Primaries {
-				it.primNode[v] += s.state.net.Catalog().Type(req.SFC[pos]).Demand
+			for _, v := range req.Primaries {
+				it.primNode[v] = before[v] - fork.Residual(v)
 			}
 		}
 	}
-	ledgerHash := s.state.hashLocked()
+	ledgerHash := hashResiduals(fork.ResidualSnapshot())
 	for _, it := range items {
 		if it.failErr != nil {
 			continue
 		}
-		it.inst = core.NewInstance(s.state.net, it.req, core.Params{L: s.opt.HopBound})
+		it.inst = core.NewInstance(fork, it.req, core.Params{L: s.opt.HopBound})
 		it.initial = it.inst.InitialReliability
 		it.key = cacheKey{state: ledgerHash, sig: signatureHash(
 			it.req.SFC, it.req.Expectation, it.req.Primaries, s.opt.HopBound, s.opt.Solver.Name())}
@@ -237,7 +503,6 @@ func (s *Service) processBatch(batch []*pending) {
 			}
 		}
 	}
-	s.state.mu.Unlock()
 
 	// Phase 2: parallel fail-soft solve of the cache misses. For cacheable
 	// (deterministic) solvers, identical instances in the same batch — same
@@ -262,54 +527,101 @@ func (s *Service) processBatch(batch []*pending) {
 		toSolve = append(toSolve, it)
 	}
 	solveStart := time.Now()
-	if len(toSolve) > 0 {
-		seeder := func(t int) int64 { return s.solveSeed(toSolve[t].seq()) }
+	var misses []*batchItem
+	missKeys := make(map[*batchItem]memoKey)
+	for _, it := range toSolve {
+		k := memoKey{seq: it.seq(), attempt: 0, inst: instanceSig(it.inst)}
+		if v, ok := job.memo[k]; ok {
+			it.res, it.trialErr = v.res, v.trialErr
+			metrics.memoHits.Inc()
+			continue
+		}
+		missKeys[it] = k
+		misses = append(misses, it)
+	}
+	if len(misses) > 0 {
+		seeder := func(t int) int64 { return s.solveSeed(misses[t].seq()) }
 		results, fails, _ := engine.RunPartial(context.Background(),
-			len(toSolve), s.opt.Workers, seeder,
+			len(misses), s.opt.Workers, seeder,
 			func(t int, rng *rand.Rand) (*core.Result, error) {
-				return s.opt.Solver.Solve(toSolve[t].inst, rng)
+				return s.opt.Solver.Solve(misses[t].inst, rng)
 			},
 			engine.FailSoftOptions{
 				Tag:          "serve",
-				TrialTimeout: batchDeadline(batch, s.opt.DefaultDeadline),
+				TrialTimeout: batchDeadline(job.batch, s.opt.DefaultDeadline),
+				// The cheap-seed source keeps sub-100µs solves from being
+				// dominated by rng construction; still a pure function of the
+				// seed, so placements stay bit-identical across worker and
+				// batcher counts.
+				Source: core.CheapSource,
 			})
 		for t, res := range results {
-			toSolve[t].res = res
+			misses[t].res = res
 		}
 		for i := range fails {
-			toSolve[fails[i].Trial].trialErr = &fails[i]
+			misses[fails[i].Trial].trialErr = &fails[i]
+		}
+		for _, it := range misses {
+			job.memoPut(missKeys[it], memoVal{res: it.res, trialErr: it.trialErr})
 		}
 	}
 	for it, rep := range followers {
 		it.res, it.trialErr, it.sharedHit = rep.res, rep.trialErr, true
 		metrics.cacheHits.Inc()
 	}
-	solveTime := time.Since(solveStart)
+	exec.solveTime = time.Since(solveStart)
 
-	// Phase 3: commit in sequence order, respond.
-	s.state.mu.Lock()
-	for _, it := range items {
-		s.finishItem(it, solveTime)
+	// Phase 3: commit in sequence order onto the fork.
+	for i, it := range items {
+		exec.outcomes[i] = s.finishItem(fork, job, it, exec)
 	}
-	s.state.mu.Unlock()
+	exec.res = fork.ResidualSnapshot()
+	exec.hash = hashResiduals(exec.res)
+	return exec
 }
 
-func (it *batchItem) seq() int { return it.p.seq }
+// instanceSig hashes everything a solver (and its seed derivation) can
+// observe about an instance: the hop bound, the request signature, the
+// materialized bins and slots per position, and the raw residual bits at
+// every bin the instance exposes. Equal signatures mean the solver sees a
+// bit-identical problem, making memoized results transferable across batch
+// re-executions.
+func instanceSig(inst *core.Instance) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(int64(inst.Params.L)))
+	put(math.Float64bits(inst.Req.Expectation))
+	put(uint64(len(inst.Req.SFC)))
+	for i, f := range inst.Req.SFC {
+		put(uint64(int64(f)))
+		put(uint64(int64(inst.Req.Primaries[i])))
+	}
+	for _, pos := range inst.Positions {
+		put(uint64(len(pos.Bins)))
+		for bi, b := range pos.Bins {
+			put(uint64(int64(b)))
+			put(uint64(int64(pos.Slots[bi])))
+		}
+	}
+	put(uint64(len(inst.BinSet)))
+	for _, u := range inst.BinSet {
+		put(uint64(int64(u)))
+		put(math.Float64bits(inst.Residual[u]))
+	}
+	return h.Sum64()
+}
 
-// placePrimariesLocked places a request's primaries with the configured
-// admission policy, consuming capacity. Callers hold the ledger lock.
-func (s *Service) placePrimariesLocked(req *mec.Request) error {
-	var err error
+// placePrimaries places a request's primaries on the fork with the
+// configured admission policy, consuming capacity there.
+func (s *Service) placePrimaries(work *mec.Network, req *mec.Request) error {
 	if s.opt.AdmitPolicy == AdmitMaxReliability {
-		err = admission.PlaceMaxReliability(s.state.net, req)
-	} else {
-		rng := rand.New(rand.NewSource(s.admitSeed(req.ID)))
-		err = admission.PlaceRandom(s.state.net, req, rng)
+		return admission.PlaceMaxReliability(work, req)
 	}
-	if err == nil {
-		s.state.epoch++
-	}
-	return err
+	return admission.PlaceRandom(work, req, seededRand(s.admitSeed(req.ID)))
 }
 
 // batchDeadline returns the batch's trial timeout: the smallest positive
@@ -329,37 +641,27 @@ func batchDeadline(batch []*pending, def time.Duration) time.Duration {
 	return min
 }
 
-// finishItem commits one item and answers its pending request. Callers hold
-// the ledger write lock.
-func (s *Service) finishItem(it *batchItem, solveTime time.Duration) {
-	defer metrics.inflight.Add(-1)
-	wait := time.Since(it.p.enqueued)
-
-	fail := func(status int, cached bool, err error) {
+// finishItem commits one item onto the fork and produces its outcome (not
+// yet delivered — installBatchLocked answers the request once the batch's
+// turn to commit arrives).
+func (s *Service) finishItem(work *mec.Network, job *batchJob, it *batchItem, exec *batchExec) outcome {
+	fail := func(status int, cached bool, err error) outcome {
 		if it.primNode != nil {
-			s.state.rollbackLocked(it.primNode)
+			rollback(work, it.primNode)
 		}
-		if status == http.StatusGatewayTimeout {
-			metrics.deadlineHits.Inc()
-		} else {
-			metrics.infeasible.Inc()
-		}
-		it.p.done <- outcome{status: status, errText: err.Error(), cached: cached, queueWait: wait, solveTime: solveTime}
+		return outcome{status: status, errText: err.Error(), cached: cached, solveTime: exec.solveTime}
 	}
 
 	if it.failErr != nil {
-		fail(http.StatusUnprocessableEntity, false, fmt.Errorf("admission: %w", it.failErr))
-		return
+		return fail(http.StatusUnprocessableEntity, false, fmt.Errorf("admission: %w", it.failErr))
 	}
 	if it.hit != nil && it.hit.infeasible {
 		// Negative hit: the solver already failed on this exact instance.
-		fail(http.StatusUnprocessableEntity, true, errors.New(it.hit.errText))
-		return
+		return fail(http.StatusUnprocessableEntity, true, errors.New(it.hit.errText))
 	}
 	if it.trialErr != nil {
 		if it.trialErr.Kind == engine.KindDeadline {
-			fail(http.StatusGatewayTimeout, false, it.trialErr.Err)
-			return
+			return fail(http.StatusGatewayTimeout, false, it.trialErr.Err)
 		}
 		// A solver error (not a panic, not a timeout) is a pure function of
 		// the instance for cacheable solvers, so remember it: the failed
@@ -368,40 +670,34 @@ func (s *Service) finishItem(it *batchItem, solveTime time.Duration) {
 		if s.cacheable && !it.sharedHit && it.trialErr.Kind == engine.KindError {
 			s.cache.Put(it.key, cacheEntry{infeasible: true, errText: it.trialErr.Err.Error()})
 		}
-		fail(http.StatusUnprocessableEntity, it.sharedHit, it.trialErr.Err)
-		return
+		return fail(http.StatusUnprocessableEntity, it.sharedHit, it.trialErr.Err)
 	}
 
 	entry, cached := s.entryFor(it)
 	if entry == nil {
-		fail(http.StatusUnprocessableEntity, false, fmt.Errorf("serve: solver %s produced no usable result", s.opt.Solver.Name()))
-		return
+		return fail(http.StatusUnprocessableEntity, false, fmt.Errorf("serve: solver %s produced no usable result", s.opt.Solver.Name()))
 	}
-	if err := s.state.commitSecondariesLocked(it.req.SFC, entry.perBin); err != nil {
-		// Commit conflict: an earlier commit in this batch (or a concurrent
-		// release) consumed the headroom. Re-solve once against the live
-		// ledger, serially, with a deterministically re-derived seed.
-		metrics.conflicts.Inc()
-		entry = s.resolveConflictLocked(it)
+	consumed, err := commitSecondaries(work, it.req.SFC, entry.perBin)
+	if err != nil {
+		// Within-batch commit conflict: an earlier commit in this batch
+		// consumed the headroom. Re-solve once against the fork's live view,
+		// serially, with a deterministically re-derived seed.
+		exec.conflicts++
+		entry = s.resolveConflict(work, job, it)
 		if entry == nil {
-			fail(http.StatusUnprocessableEntity, false, fmt.Errorf("serve: re-solve after commit conflict failed"))
-			return
+			return fail(http.StatusUnprocessableEntity, false, fmt.Errorf("serve: re-solve after commit conflict failed"))
 		}
 		cached = false
-		if err := s.state.commitSecondariesLocked(it.req.SFC, entry.perBin); err != nil {
-			fail(http.StatusUnprocessableEntity, false, err)
-			return
+		if consumed, err = commitSecondaries(work, it.req.SFC, entry.perBin); err != nil {
+			return fail(http.StatusUnprocessableEntity, false, err)
 		}
 	} else if !cached && s.cacheable {
 		s.cache.Put(it.key, *entry)
 	}
 
 	perNode := it.primNode
-	for pos, m := range entry.perBin {
-		demand := s.state.net.Catalog().Type(it.req.SFC[pos]).Demand
-		for u, c := range m {
-			perNode[u] += demand * float64(c)
-		}
+	for u, mhz := range consumed {
+		perNode[u] += mhz
 	}
 	rec := &placed{
 		ID:          it.req.ID,
@@ -415,11 +711,10 @@ func (s *Service) finishItem(it *batchItem, solveTime time.Duration) {
 		ServedBy:    entry.servedBy,
 		perNode:     perNode,
 	}
-	s.state.record(rec)
-	metrics.admitted.Inc()
-	it.p.done <- outcome{
+	exec.admits = append(exec.admits, rec)
+	return outcome{
 		status: http.StatusOK, placed: rec, cached: cached,
-		initial: it.initial, queueWait: wait, solveTime: solveTime,
+		initial: it.initial, solveTime: exec.solveTime,
 	}
 }
 
@@ -439,20 +734,36 @@ func (s *Service) entryFor(it *batchItem) (*cacheEntry, bool) {
 	return &e, it.sharedHit
 }
 
-// resolveConflictLocked rebuilds the instance against the live ledger and
+// resolveConflict rebuilds the instance against the fork's current view and
 // solves it serially (attempt seed RetrySeed(solveSeed, 1), mirroring the
-// fail-soft engine's retry derivation). Callers hold the ledger write lock;
-// the solvers never touch the ledger, so solving under it is safe.
-func (s *Service) resolveConflictLocked(it *batchItem) *cacheEntry {
-	inst := core.NewInstance(s.state.net, it.req, core.Params{L: s.opt.HopBound})
-	rng := rand.New(rand.NewSource(engine.RetrySeed(s.solveSeed(it.seq()), 1)))
-	res, err := s.opt.Solver.Solve(inst, rng)
-	if err != nil || res == nil || res.Violated {
+// fail-soft engine's retry derivation), memoized under attempt 1 so a batch
+// re-execution reuses the result when the conflicted instance is unchanged.
+func (s *Service) resolveConflict(work *mec.Network, job *batchJob, it *batchItem) *cacheEntry {
+	inst := core.NewInstance(work, it.req, core.Params{L: s.opt.HopBound})
+	key := memoKey{seq: it.seq(), attempt: 1, inst: instanceSig(inst)}
+	var res *core.Result
+	if v, ok := job.memo[key]; ok {
+		metrics.memoHits.Inc()
+		if v.trialErr != nil || v.res == nil {
+			return nil
+		}
+		res = v.res
+	} else {
+		rng := seededRand(engine.RetrySeed(s.solveSeed(it.seq()), 1))
+		r, err := s.opt.Solver.Solve(inst, rng)
+		if err != nil {
+			job.memoPut(key, memoVal{})
+			return nil
+		}
+		job.memoPut(key, memoVal{res: r})
+		res = r
+	}
+	if res == nil || res.Violated {
 		return nil
 	}
 	e := entryFromResult(res)
 	if s.cacheable {
-		s.cache.Put(cacheKey{state: s.state.hashLocked(), sig: it.key.sig}, e)
+		s.cache.Put(cacheKey{state: hashResiduals(work.ResidualSnapshot()), sig: it.key.sig}, e)
 	}
 	return &e
 }

@@ -7,35 +7,55 @@ import "repro/internal/obs"
 // handlers — never inside the seeded solver calls — so instrumented servers
 // keep the engine's worker-count bit-identity guarantee.
 var metrics = struct {
-	queueDepth   *obs.Gauge     // requests currently waiting in the admission queue
-	queueWait    *obs.Histogram // enqueue → batch-pickup latency per request
-	batchSize    *obs.Histogram // requests per solved micro-batch
-	batches      *obs.Counter   // micro-batches solved
-	inflight     *obs.Gauge     // requests admitted to the queue but not yet answered
-	admitted     *obs.Counter   // requests placed and committed
-	infeasible   *obs.Counter   // requests that no solver stage could serve
-	deadlineHits *obs.Counter   // requests dropped on the per-request deadline
-	conflicts    *obs.Counter   // commit conflicts that forced a serial re-solve
-	released     *obs.Counter   // placements torn down via /v1/release
-	cacheHits    *obs.Counter
-	cacheMisses  *obs.Counter
-	cacheSize    *obs.Gauge
-	cacheEvicted *obs.Counter
+	queueDepth    *obs.Gauge     // requests currently waiting in the admission queue
+	queueWait     *obs.Histogram // enqueue → batch-pickup latency per request
+	batchSize     *obs.Histogram // requests per solved micro-batch
+	batches       *obs.Counter   // micro-batches solved
+	inflight      *obs.Gauge     // requests admitted to the queue but not yet answered
+	admitted      *obs.Counter   // requests placed and committed
+	infeasible    *obs.Counter   // requests that no solver stage could serve
+	deadlineHits  *obs.Counter   // requests dropped on the per-request deadline
+	conflicts     *obs.Counter   // commit conflicts that forced a serial re-solve
+	released      *obs.Counter   // placements torn down via /v1/release
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	cacheSize     *obs.Gauge
+	cacheEvicted  *obs.Counter
+	epochSeq      *obs.Gauge     // current MVCC epoch sequence number
+	epochAdvances *obs.Counter   // epochs installed (batch commits, releases, restores)
+	specValid     *obs.Counter   // batch speculations that committed verbatim
+	specStale     *obs.Counter   // batch speculations invalidated by a cross-batch conflict
+	specSkipped   *obs.Counter   // batches executed in-gate because speculation was predicted stale
+	memoHits      *obs.Counter   // solver invocations skipped via the per-batch memo
+	walAppends    *obs.Counter   // WAL entries appended
+	walSnapshots  *obs.Counter   // WAL snapshots (checkpoints) written
+	walErrors     *obs.Counter   // WAL append/snapshot failures (service degrades to non-durable)
+	walFsync      *obs.Histogram // latency of each performed WAL fsync (coalesced group commits count once)
 }{
-	queueDepth:   obs.Default().Gauge("serve_queue_depth"),
-	queueWait:    obs.Default().Histogram("serve_queue_wait_seconds", obs.DurationBuckets),
-	batchSize:    obs.Default().Histogram("serve_batch_size", obs.CountBuckets),
-	batches:      obs.Default().Counter("serve_batches_total"),
-	inflight:     obs.Default().Gauge("serve_inflight"),
-	admitted:     obs.Default().Counter("serve_admitted_total"),
-	infeasible:   obs.Default().Counter("serve_infeasible_total"),
-	deadlineHits: obs.Default().Counter("serve_deadline_hits_total"),
-	conflicts:    obs.Default().Counter("serve_commit_conflicts_total"),
-	released:     obs.Default().Counter("serve_released_total"),
-	cacheHits:    obs.Default().Counter("serve_cache_hits_total"),
-	cacheMisses:  obs.Default().Counter("serve_cache_misses_total"),
-	cacheSize:    obs.Default().Gauge("serve_cache_size"),
-	cacheEvicted: obs.Default().Counter("serve_cache_evictions_total"),
+	queueDepth:    obs.Default().Gauge("serve_queue_depth"),
+	queueWait:     obs.Default().Histogram("serve_queue_wait_seconds", obs.DurationBuckets),
+	batchSize:     obs.Default().Histogram("serve_batch_size", obs.CountBuckets),
+	batches:       obs.Default().Counter("serve_batches_total"),
+	inflight:      obs.Default().Gauge("serve_inflight"),
+	admitted:      obs.Default().Counter("serve_admitted_total"),
+	infeasible:    obs.Default().Counter("serve_infeasible_total"),
+	deadlineHits:  obs.Default().Counter("serve_deadline_hits_total"),
+	conflicts:     obs.Default().Counter("serve_commit_conflicts_total"),
+	released:      obs.Default().Counter("serve_released_total"),
+	cacheHits:     obs.Default().Counter("serve_cache_hits_total"),
+	cacheMisses:   obs.Default().Counter("serve_cache_misses_total"),
+	cacheSize:     obs.Default().Gauge("serve_cache_size"),
+	cacheEvicted:  obs.Default().Counter("serve_cache_evictions_total"),
+	epochSeq:      obs.Default().Gauge("serve_epoch"),
+	epochAdvances: obs.Default().Counter("serve_epoch_advances_total"),
+	specValid:     obs.Default().Counter("serve_speculation_valid_total"),
+	specStale:     obs.Default().Counter("serve_speculation_stale_total"),
+	specSkipped:   obs.Default().Counter("serve_speculation_skipped_total"),
+	memoHits:      obs.Default().Counter("serve_solve_memo_hits_total"),
+	walAppends:    obs.Default().Counter("serve_wal_appends_total"),
+	walSnapshots:  obs.Default().Counter("serve_wal_snapshots_total"),
+	walErrors:     obs.Default().Counter("serve_wal_errors_total"),
+	walFsync:      obs.Default().Histogram("serve_wal_fsync_seconds", obs.DurationBuckets),
 }
 
 // endpointInstruments caches the per-endpoint request counter and latency

@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runStream drives svc with a deterministic request stream from a single
+// goroutine (the Enqueue determinism contract), in waves, optionally
+// releasing every releaseEvery-th admitted placement between waves. It
+// returns a timing-independent placement log plus the final state hash.
+func runStream(t *testing.T, svc *Service, n int, seed int64, releaseEvery int) (string, uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var log strings.Builder
+	var admitted []int
+	const wave = 16
+	for submitted := 0; submitted < n; {
+		k := wave
+		if left := n - submitted; k > left {
+			k = left
+		}
+		tickets := make([]*Ticket, 0, k)
+		for i := 0; i < k; i++ {
+			sfc := make([]int, 2+rng.Intn(2))
+			for j := range sfc {
+				sfc[j] = rng.Intn(2)
+			}
+			tk, err := svc.Enqueue(AugmentRequest{
+				SFC: sfc, Expectation: 0.9,
+				Source: rng.Intn(5), Destination: rng.Intn(5),
+			})
+			if err != nil {
+				t.Fatalf("enqueue %d: %v", submitted, err)
+			}
+			tickets = append(tickets, tk)
+			submitted++
+		}
+		for _, tk := range tickets {
+			out := tk.Wait()
+			if out.Status != http.StatusOK {
+				fmt.Fprintf(&log, "status=%d\n", out.Status)
+				continue
+			}
+			r := out.Response
+			fmt.Fprintf(&log, "id=%d rel=%.12f met=%v counts=%v sec=%v\n",
+				r.ID, r.Reliability, r.MetExpectation, r.BackupCounts, r.Secondaries)
+			admitted = append(admitted, r.ID)
+		}
+		if releaseEvery > 0 {
+			for len(admitted) >= releaseEvery {
+				id := admitted[releaseEvery-1]
+				admitted = admitted[releaseEvery:]
+				if _, err := svc.State().Release(id); err != nil {
+					t.Fatalf("release %d: %v", id, err)
+				}
+			}
+		}
+	}
+	return log.String(), svc.State().Hash()
+}
+
+// TestBatcherCountDeterminism pins the tentpole guarantee: placements and the
+// final ledger are bit-identical whether batches execute on one batcher or
+// speculatively on four.
+func TestBatcherCountDeterminism(t *testing.T) {
+	run := func(batchers int) (string, uint64) {
+		svc, err := New(testNetwork(1000), Options{
+			Workers: 2, Batchers: batchers, Seed: 7,
+			BatchSize: 4, BatchWait: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Drain()
+		return runStream(t, svc, 64, 11, 5)
+	}
+	log1, hash1 := run(1)
+	log4, hash4 := run(4)
+	if log1 != log4 {
+		t.Fatalf("placement logs differ between 1 and 4 batchers:\n--- 1 ---\n%s--- 4 ---\n%s", log1, log4)
+	}
+	if hash1 != hash4 {
+		t.Fatalf("final state hash differs: %016x vs %016x", hash1, hash4)
+	}
+}
+
+// TestLedgerConservationOverAdmitReleaseCycles pins the residual-clamping
+// fix: what a release returns is exactly what the commit consumed, so
+// repeated admit/release cycles leave the ledger bit-identical (the old
+// math.Min clamp could consume less than it later released, slowly inflating
+// residual capacity).
+func TestLedgerConservationOverAdmitReleaseCycles(t *testing.T) {
+	svc, err := New(testNetwork(1000), Options{Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	h0 := svc.State().Hash()
+	cloudlets0, _, _ := svc.State().Snapshot()
+
+	for cycle := 0; cycle < 20; cycle++ {
+		tk, err := svc.Enqueue(testRequest(cycle))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tk.Wait()
+		if out.Status != http.StatusOK {
+			t.Fatalf("cycle %d: status %d (%s)", cycle, out.Status, out.Err)
+		}
+		p, ok := svc.State().Placement(out.Response.ID)
+		if !ok {
+			t.Fatalf("cycle %d: placement %d not recorded", cycle, out.Response.ID)
+		}
+		freed, err := svc.State().Release(out.Response.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if freed != p.ConsumedMHz {
+			t.Fatalf("cycle %d: released %v MHz, placement recorded %v", cycle, freed, p.ConsumedMHz)
+		}
+		if h := svc.State().Hash(); h != h0 {
+			cloudlets, _, _ := svc.State().Snapshot()
+			for i := range cloudlets {
+				if cloudlets[i].Residual != cloudlets0[i].Residual {
+					t.Fatalf("cycle %d: node %d residual drifted %v -> %v",
+						cycle, cloudlets[i].ID, cloudlets0[i].Residual, cloudlets[i].Residual)
+				}
+			}
+			t.Fatalf("cycle %d: ledger hash drifted %016x -> %016x", cycle, h0, h)
+		}
+	}
+}
+
+// TestConcurrentReleaseRacingBatchCommit races /v1/release against batch
+// commits on four batchers (run it under -race): the ledger must conserve
+// capacity exactly, and replaying the WAL — the serial record of the same
+// event order — must rebuild the identical state hash and placement map.
+func TestConcurrentReleaseRacingBatchCommit(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(testNetwork(1000), Options{
+		Workers: 2, Batchers: 4, Seed: 9,
+		BatchSize: 4, BatchWait: 50 * time.Millisecond,
+		WALDir: dir, WALSync: "none", SnapshotEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	releaseCh := make(chan int, 256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	released := 0
+	go func() {
+		defer wg.Done()
+		for id := range releaseCh {
+			if _, err := svc.State().Release(id); err == nil {
+				released++
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(5))
+	admitted := 0
+	for wave := 0; wave < 8; wave++ {
+		tickets := make([]*Ticket, 0, 16)
+		for i := 0; i < 16; i++ {
+			sfc := make([]int, 2+rng.Intn(2))
+			for j := range sfc {
+				sfc[j] = rng.Intn(2)
+			}
+			tk, err := svc.Enqueue(AugmentRequest{
+				SFC: sfc, Expectation: 0.9,
+				Source: rng.Intn(5), Destination: rng.Intn(5),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tickets = append(tickets, tk)
+		}
+		for i, tk := range tickets {
+			out := tk.Wait()
+			if out.Status == http.StatusOK {
+				admitted++
+				if i%3 == 0 {
+					// Hand the ID to the releaser while later waves commit.
+					releaseCh <- out.Response.ID
+				}
+			}
+		}
+	}
+	close(releaseCh)
+	wg.Wait()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if admitted == 0 {
+		t.Fatal("workload admitted nothing; the race exercised no commits")
+	}
+
+	// Conservation: every consumed MHz is attributed to a live placement.
+	cloudlets, _, liveHash := svc.State().Snapshot()
+	totalResidual, totalCapacity := 0.0, 0.0
+	for _, c := range cloudlets {
+		totalResidual += c.Residual
+		totalCapacity += c.Capacity
+	}
+	totalHeld := 0.0
+	for id := 1; id <= 1024; id++ {
+		if p, ok := svc.State().Placement(id); ok {
+			totalHeld += p.ConsumedMHz
+		}
+	}
+	if totalResidual+totalHeld != totalCapacity {
+		t.Fatalf("ledger does not conserve: residual %v + held %v != capacity %v",
+			totalResidual, totalHeld, totalCapacity)
+	}
+
+	// Serial replay of the same event order (the WAL) rebuilds the state.
+	restored, err := NewStateFromWAL(testNetwork(1000), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Hash() != liveHash {
+		t.Fatalf("replayed hash %016x != live %016x", restored.Hash(), liveHash)
+	}
+	if restored.PlacedCount() != svc.State().PlacedCount() {
+		t.Fatalf("replayed %d placements, live has %d", restored.PlacedCount(), svc.State().PlacedCount())
+	}
+	if restored.Epoch() != svc.State().Epoch() {
+		t.Fatalf("replayed epoch %d != live %d", restored.Epoch(), svc.State().Epoch())
+	}
+}
+
+// TestRestoreBootsIdenticalService runs a WAL-backed workload, then boots a
+// second service with Options.Restore and checks it serves the exact
+// pre-shutdown state — and keeps appending to the same log.
+func TestRestoreBootsIdenticalService(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Workers: 1, Seed: 5,
+		WALDir: dir, WALSync: "none", SnapshotEvery: 4,
+	}
+	svc, err := New(testNetwork(1000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hash := runStream(t, svc, 24, 13, 4)
+	placed := svc.State().PlacedCount()
+	epoch := svc.State().Epoch()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if placed == 0 {
+		t.Fatal("workload left nothing placed; restore would be vacuous")
+	}
+
+	opts.Restore = true
+	svc2, err := New(testNetwork(1000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.State().Hash(); got != hash {
+		t.Fatalf("restored hash %016x != pre-shutdown %016x", got, hash)
+	}
+	if got := svc2.State().PlacedCount(); got != placed {
+		t.Fatalf("restored %d placements, want %d", got, placed)
+	}
+	if got := svc2.State().Epoch(); got != epoch {
+		t.Fatalf("restored epoch %d, want %d", got, epoch)
+	}
+	// The restored service keeps serving: a release of a replayed placement
+	// and a fresh admission both work against the restored ledger.
+	var anyID int
+	for id := 1; id <= 1024; id++ {
+		if _, ok := svc2.State().Placement(id); ok {
+			anyID = id
+			break
+		}
+	}
+	if _, err := svc2.State().Release(anyID); err != nil {
+		t.Fatalf("release of replayed placement %d: %v", anyID, err)
+	}
+	tk, err := svc2.Enqueue(testRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := tk.Wait(); out.Status != http.StatusOK {
+		t.Fatalf("fresh admission after restore answered %d (%s)", out.Status, out.Err)
+	}
+}
+
+// refHashResiduals is the pre-refactor hand-rolled byte loop, kept as the
+// reference the binary.LittleEndian implementation must match bit for bit.
+func refHashResiduals(res []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range res {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestStateHashMatchesReference pins that the PutUint64 rewrite of the state
+// hash is equivalent to the hand-rolled loop it replaced (cache keys and WAL
+// hashes recorded by older builds stay comparable).
+func TestStateHashMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		res := make([]float64, 1+rng.Intn(256))
+		for i := range res {
+			res[i] = rng.Float64() * 8000
+		}
+		res[rng.Intn(len(res))] = 0
+		if got, want := hashResiduals(res), refHashResiduals(res); got != want {
+			t.Fatalf("trial %d: hashResiduals %016x != reference %016x", trial, got, want)
+		}
+	}
+}
+
+// BenchmarkStateHash guards the state-hash hot path: it runs once per batch
+// execution and once per install, over the full residual vector.
+func BenchmarkStateHash(b *testing.B) {
+	res := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range res {
+		res[i] = rng.Float64() * 8000
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = hashResiduals(res)
+	}
+	_ = sink
+}

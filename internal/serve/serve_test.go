@@ -214,7 +214,8 @@ func TestAugmentAndReleaseRestoreCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Drain()
-	before := net.ResidualSnapshot()
+	// MVCC: the network itself is never mutated; capacity lives in epochs.
+	beforeCloudlets, _, beforeHash := svc.State().Snapshot()
 
 	body, _ := json.Marshal(testRequest(1))
 	rec := httptest.NewRecorder()
@@ -239,11 +240,18 @@ func TestAugmentAndReleaseRestoreCapacity(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("release answered %d: %s", rec.Code, rec.Body)
 	}
-	after := net.ResidualSnapshot()
-	for v := range before {
-		if before[v] != after[v] {
-			t.Fatalf("residual at node %d not restored: %v -> %v", v, before[v], after[v])
+	afterCloudlets, _, afterHash := svc.State().Snapshot()
+	for i := range beforeCloudlets {
+		if beforeCloudlets[i].Residual != afterCloudlets[i].Residual {
+			t.Fatalf("residual at node %d not restored: %v -> %v",
+				beforeCloudlets[i].ID, beforeCloudlets[i].Residual, afterCloudlets[i].Residual)
 		}
+	}
+	if beforeHash != afterHash {
+		t.Fatalf("state hash not restored: %016x -> %016x", beforeHash, afterHash)
+	}
+	if net.ResidualSnapshot()[0] != 1000 {
+		t.Fatal("service mutated the base network's residual ledger")
 	}
 	if svc.CacheLen() != 0 {
 		t.Fatalf("release left %d cache entries, want 0", svc.CacheLen())
@@ -383,18 +391,28 @@ func TestStateEndpointReportsLedger(t *testing.T) {
 
 func TestStateHashChangesWithLedger(t *testing.T) {
 	st := NewState(testNetwork(100))
-	st.mu.Lock()
-	h1 := st.hashLocked()
-	st.net.Consume(0, 10)
-	h2 := st.hashLocked()
-	st.net.Release(0, 10)
-	h3 := st.hashLocked()
-	st.mu.Unlock()
+	h1 := st.Hash()
+
+	install := func(mutate func(res []float64)) {
+		res := append([]float64(nil), st.pin().res...)
+		mutate(res)
+		st.commitMu.Lock()
+		st.installLocked(res, hashResiduals(res), nil, nil)
+		st.commitMu.Unlock()
+	}
+	install(func(res []float64) { res[0] -= 10 })
+	h2 := st.Hash()
+	install(func(res []float64) { res[0] += 10 })
+	h3 := st.Hash()
+
 	if h1 == h2 {
 		t.Fatal("hash unchanged after capacity mutation")
 	}
 	if h1 != h3 {
 		t.Fatal("hash not restored after exact rollback")
+	}
+	if got := st.Epoch(); got != 2 {
+		t.Fatalf("epoch %d after two installs, want 2", got)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mec"
+	"repro/internal/serve/wal"
 )
 
 // Admission policies for requests that arrive without primaries.
@@ -25,6 +26,13 @@ const (
 	// identical requests get identical primaries — the cache-friendly choice.
 	AdmitMaxReliability = "maxrel"
 )
+
+// groupCommitDelay is how long a flushing batcher waits for sibling
+// batchers' WAL appends before paying the fsync (only when Batchers > 1).
+// It bounds the extra commit latency a request can see from group commit;
+// the gather usually completes much sooner, as soon as every sibling's
+// append has staged.
+const groupCommitDelay = 500 * time.Microsecond
 
 // Options configures a Service. The zero value is usable: every field has a
 // serving-ready default (see New).
@@ -62,6 +70,27 @@ type Options struct {
 	CacheSize int
 	// Seed is the base of every per-request RNG seed derivation. Default 1.
 	Seed int64
+	// Batchers is the number of concurrent micro-batchers: batches execute
+	// speculatively in parallel against pinned epochs and commit in batch-
+	// sequence order, so placements stay bit-identical for any value.
+	// Default 1.
+	Batchers int
+	// WALDir, when set, arms the write-ahead log: every installed epoch is
+	// appended (and periodically checkpointed) under this directory, so a
+	// restarted service rebuilds ledger and placements exactly (see Restore).
+	// Empty disables durability.
+	WALDir string
+	// WALSync selects the WAL fsync policy: "always" (default; survives
+	// machine crashes) or "none" (page-cache durability only — survives
+	// process kills).
+	WALSync string
+	// SnapshotEvery is the WAL checkpoint cadence in entries: a full-state
+	// snapshot subsumes and truncates the log. Default 256.
+	SnapshotEvery int
+	// Restore replays WALDir before serving: the service boots with the
+	// pre-crash epoch, residual ledger, and placement map instead of a fresh
+	// network. Requires WALDir.
+	Restore bool
 }
 
 // withDefaults fills unset options.
@@ -113,6 +142,24 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Batchers == 0 {
+		o.Batchers = 1
+	}
+	if o.Batchers < 0 {
+		return o, fmt.Errorf("serve: batcher count %d must be positive", o.Batchers)
+	}
+	if _, err := wal.ParseSyncPolicy(o.WALSync); err != nil {
+		return o, err
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 256
+	}
+	if o.SnapshotEvery < 0 {
+		return o, fmt.Errorf("serve: snapshot cadence %d must be positive", o.SnapshotEvery)
+	}
+	if o.Restore && o.WALDir == "" {
+		return o, fmt.Errorf("serve: Restore requires WALDir")
+	}
 	return o, nil
 }
 
@@ -133,33 +180,68 @@ type Service struct {
 }
 
 // New builds a Service over net. The service owns net's residual ledger from
-// this point on.
+// this point on: the ledger as of this call becomes epoch 0 (or, with
+// Options.Restore, the WAL's last durable epoch), and every later version
+// lives in immutable copy-on-write epochs — net itself is never mutated.
 func New(net *mec.Network, opt Options) (*Service, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	state := NewState(net)
+	if opt.Restore {
+		if state, err = NewStateFromWAL(net, opt.WALDir); err != nil {
+			return nil, err
+		}
+	}
+	if opt.WALDir != "" {
+		policy, _ := wal.ParseSyncPolicy(opt.WALSync) // validated in withDefaults
+		l, err := wal.Open(opt.WALDir, policy)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Batchers > 1 {
+			// With concurrent committers, let a flushing batcher gather the
+			// siblings' appends before paying the fsync — one disk flush then
+			// commits the whole group. A lone batcher gets no window: there
+			// is nobody to gather from, so a delay would only add latency.
+			l.SetGroupCommit(groupCommitDelay, opt.Batchers-1)
+		}
+		state.attachWAL(l, uint64(opt.SnapshotEvery))
+	}
 	s := &Service{
 		opt:        opt,
-		state:      NewState(net),
+		state:      state,
 		cache:      newResultCache(opt.CacheSize),
 		cacheable:  opt.CacheSize > 0 && !strings.Contains(strings.ToLower(opt.Solver.Name()), "random"),
 		augmentIns: endpointInstrumentsFor("augment"),
 		releaseIns: endpointInstrumentsFor("release"),
 		stateIns:   endpointInstrumentsFor("state"),
 	}
-	s.queue = newQueue(s, opt.QueueDepth)
+	// Replayed placements keep their IDs; new admissions continue above them.
+	s.nextSeq.Store(int64(state.MaxPlacedID()))
+	s.queue = newQueue(s, opt.QueueDepth, opt.Batchers)
 	return s, nil
+}
+
+// Close drains the admission path and releases the WAL file handle. Call it
+// instead of Drain when the service was built with a WALDir.
+func (s *Service) Close() error {
+	s.Drain()
+	if s.state.wal != nil {
+		return s.state.wal.Close()
+	}
+	return nil
 }
 
 // State exposes the service's live network state (read-mostly accessors).
 func (s *Service) State() *State { return s.state }
 
 // NumAPs returns the AP count of the served network (for request generators).
-func (s *Service) NumAPs() int { return s.state.net.G.N() }
+func (s *Service) NumAPs() int { return s.state.base.G.N() }
 
 // CatalogSize returns |ℱ| of the served network's function catalog.
-func (s *Service) CatalogSize() int { return s.state.net.Catalog().Size() }
+func (s *Service) CatalogSize() int { return s.state.base.Catalog().Size() }
 
 // SolverName returns the name of the solver serving augmentations.
 func (s *Service) SolverName() string { return s.opt.Solver.Name() }
@@ -231,6 +313,14 @@ type StateResponse struct {
 	QueueDepth int             `json:"queue_depth"`
 	CacheLen   int             `json:"cache_entries"`
 	Draining   bool            `json:"draining"`
+	// Batchers is the configured concurrent micro-batcher count.
+	Batchers int `json:"batchers"`
+	// WALDir is the write-ahead-log directory; empty when durability is off.
+	WALDir string `json:"wal_dir,omitempty"`
+	// WALEntries and WALSnapshots count WAL appends and checkpoints written
+	// by this process (absent when durability is off).
+	WALEntries   uint64 `json:"wal_entries,omitempty"`
+	WALSnapshots uint64 `json:"wal_snapshots,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer. Cached marks a 422
@@ -273,7 +363,7 @@ func (s *Service) validate(ar *AugmentRequest) error {
 	if len(ar.SFC) == 0 {
 		return fmt.Errorf("sfc must be non-empty")
 	}
-	catSize := s.state.net.Catalog().Size()
+	catSize := s.state.base.Catalog().Size()
 	for _, f := range ar.SFC {
 		if f < 0 || f >= catSize {
 			return fmt.Errorf("sfc function %d outside catalog [0,%d)", f, catSize)
@@ -282,7 +372,7 @@ func (s *Service) validate(ar *AugmentRequest) error {
 	if ar.Expectation <= 0 || ar.Expectation > 1 {
 		return fmt.Errorf("expectation %v out of (0,1]", ar.Expectation)
 	}
-	n := s.state.net.G.N()
+	n := s.state.base.G.N()
 	if ar.Source < 0 || ar.Source >= n || ar.Destination < 0 || ar.Destination >= n {
 		return fmt.Errorf("source/destination outside the %d-node graph", n)
 	}
@@ -291,7 +381,7 @@ func (s *Service) validate(ar *AugmentRequest) error {
 			return fmt.Errorf("%d primaries for %d functions", len(ar.Primaries), len(ar.SFC))
 		}
 		for i, v := range ar.Primaries {
-			if v < 0 || v >= n || s.state.net.Capacity[v] <= 0 {
+			if v < 0 || v >= n || s.state.base.Capacity[v] <= 0 {
 				return fmt.Errorf("primary %d of position %d is not a cloudlet", v, i)
 			}
 		}
@@ -452,7 +542,7 @@ func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cloudlets, epoch, hash := s.state.Snapshot()
-	writeJSON(w, http.StatusOK, StateResponse{
+	resp := StateResponse{
 		Cloudlets:  cloudlets,
 		Placed:     s.state.PlacedCount(),
 		Epoch:      epoch,
@@ -460,7 +550,14 @@ func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 		QueueDepth: len(s.queue.ch),
 		CacheLen:   s.cache.Len(),
 		Draining:   s.Draining(),
-	})
+		Batchers:   s.opt.Batchers,
+	}
+	if l := s.state.wal; l != nil {
+		resp.WALDir = l.Dir()
+		resp.WALEntries = l.Entries()
+		resp.WALSnapshots = l.Snapshots()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

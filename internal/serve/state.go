@@ -1,34 +1,41 @@
 // Package serve is the online augmentation service: a long-running HTTP/JSON
-// front door over the solver stack. It owns a mutable network state (cloudlet
-// residual capacities plus every placed request) behind a sharded lock,
-// funnels admissions through a bounded queue with micro-batching on the
-// deterministic trial engine, reuses solver results through an LRU cache
-// keyed by a canonical hash of the residual ledger, and exposes
+// front door over the solver stack. Its network state is multi-versioned
+// (MVCC): the residual-capacity ledger lives in immutable copy-on-write
+// epochs behind one atomic pointer, so micro-batchers pin an epoch and solve
+// with no lock held, and commits install a successor epoch under a total
+// order with optimistic conflict detection. Placement records live in
+// sharded maps beside the ledger, an LRU cache keyed by epoch hash reuses
+// solver results, and an optional write-ahead log (internal/serve/wal) makes
+// every installed epoch durable. The HTTP surface is
 //
 //	POST /v1/augment   admit a request and place its secondaries
 //	POST /v1/release   tear a placed request down, restoring capacity
-//	GET  /v1/state     residual ledger, placement count, queue/cache stats
+//	GET  /v1/state     residual ledger, epoch, placement count, WAL status
 //	GET  /v1/healthz   liveness + drain status
 //
 // Request/response schemas, error codes, and backpressure semantics are
 // documented in API.md. Determinism: identical request streams produce
-// identical placements at any worker count (see the determinism notes on
-// Options and the selftest in cmd/augmentd).
+// identical placements at any worker count and any batcher count (see the
+// determinism notes on Options and the selftest in cmd/augmentd).
 package serve
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mec"
+	"repro/internal/serve/wal"
 )
 
 // numShards is the placement-record shard count. Records are spread by
 // request ID so concurrent /v1/release and /v1/state lookups contend on a
-// shard, not on one map lock; the residual ledger itself sits behind a
-// single RWMutex because every admission mutates overlapping cloudlets.
+// shard, not on one map lock; the residual ledger itself is lock-free to
+// read (immutable epochs behind an atomic pointer).
 const numShards = 16
 
 // placed is the per-request record kept for the lifetime of a placement.
@@ -42,8 +49,9 @@ type placed struct {
 	Met         bool
 	Algorithm   string
 	ServedBy    string
-	// perNode is the MHz consumed per cloudlet (primaries + secondaries);
-	// releasing the request returns exactly these amounts to the ledger.
+	// perNode is the exact MHz consumed per cloudlet (primaries +
+	// secondaries), measured off the ledger at commit time; releasing the
+	// request returns exactly these amounts.
 	perNode map[int]float64
 }
 
@@ -53,26 +61,73 @@ type placementShard struct {
 	m  map[int]*placed
 }
 
-// State is the service's mutable view of the network: the residual-capacity
-// ledger plus every live placement. The ledger (and its mutation epoch) is
-// guarded by mu; placement records live in numShards independently locked
-// shards.
-type State struct {
-	mu    sync.RWMutex
-	net   *mec.Network
-	epoch uint64 // incremented on every ledger mutation
-
-	shards [numShards]placementShard
+// epochLedger is one immutable MVCC version of the residual ledger. Once
+// installed it is never mutated: committers build a successor vector and
+// swap the State's pointer, so any number of readers and solvers can use a
+// pinned epoch without synchronization.
+type epochLedger struct {
+	seq  uint64    // install counter; 0 is the boot epoch
+	res  []float64 // residual MHz per AP, frozen
+	hash uint64    // canonical FNV-1a hash of res
 }
 
-// NewState wraps a network as serving state. The service takes ownership of
-// the network's residual ledger; callers must not mutate it concurrently.
+// State is the service's view of the network: the epoch-versioned residual
+// ledger plus every live placement. Epoch installs (batch commits, releases,
+// restores) are serialized by commitMu; everything else reads lock-free.
+type State struct {
+	base     *mec.Network // immutable topology, capacities, catalog
+	cur      atomic.Pointer[epochLedger]
+	commitMu sync.Mutex
+
+	// walMu orders WAL file writes (group commit): installLocked acquires it
+	// while still holding commitMu — so append order always matches epoch
+	// order — and flushWAL releases it after the fsync. Committers drop
+	// commitMu before fsyncing, which lets the next batch execute and install
+	// while this one's durability I/O is in flight. Lock order is strictly
+	// commitMu → walMu.
+	walMu sync.Mutex
+
+	shards [numShards]placementShard
+
+	// wal, when non-nil, makes installs durable. sinceSnapshot counts
+	// entries since the last checkpoint; at snapshotEvery the install path
+	// captures a snapshot and truncates the log.
+	wal           *wal.Log
+	snapshotEvery uint64
+	sinceSnapshot uint64
+}
+
+// walTicket is one install's pending durability work: the WAL entry to
+// append and, at checkpoint cadence, the snapshot to write. The issuing
+// installLocked call acquires walMu; flushWAL performs the file I/O and
+// releases it. Between the two, the epoch is visible but not yet durable —
+// callers must not answer clients until flushWAL returns.
+type walTicket struct {
+	entry wal.Entry
+	snap  *wal.Snapshot
+}
+
+// NewState wraps a network as serving state. The network's residual ledger
+// at this moment becomes epoch 0; the service never mutates the network
+// itself afterwards (epochs are copy-on-write forks).
 func NewState(net *mec.Network) *State {
-	s := &State{net: net}
+	s := &State{base: net}
 	for i := range s.shards {
 		s.shards[i].m = make(map[int]*placed)
 	}
+	res := net.ResidualSnapshot()
+	s.cur.Store(&epochLedger{seq: 0, res: res, hash: hashResiduals(res)})
 	return s
+}
+
+// attachWAL arms the durability path: every installed epoch is appended to l
+// and a snapshot checkpoint is written every snapshotEvery entries.
+func (s *State) attachWAL(l *wal.Log, snapshotEvery uint64) {
+	if snapshotEvery == 0 {
+		snapshotEvery = 256
+	}
+	s.wal = l
+	s.snapshotEvery = snapshotEvery
 }
 
 func (s *State) shard(id int) *placementShard {
@@ -82,91 +137,141 @@ func (s *State) shard(id int) *placementShard {
 	return &s.shards[id%numShards]
 }
 
-// hashLocked returns the canonical FNV-1a hash of the residual ledger.
-// Callers must hold mu in either mode. Two states with bit-identical
-// residual vectors hash equally, which is what makes cached solver results
-// transferable between them.
-func (s *State) hashLocked() uint64 {
+// pin returns the current epoch. The returned ledger is immutable; batchers
+// hold it across an entire lock-free solve phase.
+func (s *State) pin() *epochLedger { return s.cur.Load() }
+
+// forkNet returns a private mutable network view seeded with e's residuals,
+// sharing the immutable topology/catalog/neighborhood-memo with the base.
+func (s *State) forkNet(e *epochLedger) *mec.Network { return s.base.Fork(e.res) }
+
+// hashResiduals returns the canonical FNV-1a hash of a residual vector. Two
+// ledgers with bit-identical residuals hash equally, which is what makes
+// cached solver results transferable between epochs and lets committers
+// detect cross-batch conflicts by comparing one word.
+func hashResiduals(res []float64) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	for v := 0; v < s.net.G.N(); v++ {
-		bits := math.Float64bits(s.net.Residual(v))
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(bits >> (8 * i))
-		}
+	for _, v := range res {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 		h.Write(buf[:])
 	}
 	return h.Sum64()
 }
 
-// Epoch returns the ledger mutation epoch (bumped on every admission,
-// commit, and release). Exposed on /v1/state so operators can correlate
-// cache invalidations with mutations.
-func (s *State) Epoch() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.epoch
+// Epoch returns the current epoch sequence number (bumped once per installed
+// transition: a batch commit with admissions, a release, or a restore).
+// Exposed on /v1/state so operators can correlate cache invalidations and
+// WAL entries with ledger changes.
+func (s *State) Epoch() uint64 { return s.pin().seq }
+
+// Hash returns the canonical hash of the current epoch's residual ledger.
+func (s *State) Hash() uint64 { return s.pin().hash }
+
+// installLocked publishes a successor epoch — stores the new ledger pointer
+// and records admitted placements — and returns the install's durability
+// ticket (nil without a WAL). Callers must hold commitMu, may then release
+// it, and must pass the ticket to flushWAL before answering clients: the
+// epoch becomes visible to new pins immediately (so the next batch can
+// execute against it while this one's fsync is in flight — group commit),
+// but responses wait for durability.
+func (s *State) installLocked(res []float64, hash uint64, admits []*placed, releases []int) *walTicket {
+	prev := s.pin()
+	next := &epochLedger{seq: prev.seq + 1, res: res, hash: hash}
+	s.cur.Store(next)
+	for _, p := range admits {
+		sh := s.shard(p.ID)
+		sh.mu.Lock()
+		sh.m[p.ID] = p
+		sh.mu.Unlock()
+	}
+	metrics.epochSeq.Set(float64(next.seq))
+	metrics.epochAdvances.Inc()
+	if s.wal == nil {
+		return nil
+	}
+	t := &walTicket{entry: wal.Entry{
+		Epoch:    next.seq,
+		Hash:     fmt.Sprintf("%016x", hash),
+		Residual: res,
+		Releases: releases,
+	}}
+	for _, p := range admits {
+		t.entry.Admits = append(t.entry.Admits, toWALRecord(p))
+	}
+	s.sinceSnapshot++
+	if s.sinceSnapshot >= s.snapshotEvery {
+		t.snap = s.captureSnapshotLocked(next)
+		s.sinceSnapshot = 0
+	}
+	// Taken under commitMu so WAL write order matches epoch order; released
+	// by flushWAL after the file I/O.
+	s.walMu.Lock()
+	return t
 }
 
-// consumePrimariesLocked charges the ledger for a request's pre-set
-// primaries. On failure the ledger is unchanged. Callers must hold mu.
-func (s *State) consumePrimariesLocked(req *mec.Request) error {
-	snap := s.net.ResidualSnapshot()
-	for i, v := range req.Primaries {
-		demand := s.net.Catalog().Type(req.SFC[i]).Demand
-		if s.net.Residual(v) < demand {
-			s.net.RestoreResiduals(snap)
-			return fmt.Errorf("serve: cloudlet %d lacks %v MHz for primary of position %d", v, demand, i)
+// flushWAL performs a ticket's durability I/O: the ordered append (and, at
+// checkpoint cadence, the snapshot write) happen under walMu, then the lock
+// drops and the entry is fsynced via the WAL's group-commit Sync — so
+// concurrent committers coalesce onto a shared fsync while the next commit's
+// append (and solve) proceed. Append or snapshot failures are surfaced as
+// metrics and do not fail the commit: the service degrades to non-durable
+// rather than refusing traffic. Safe to call with a nil ticket (no WAL
+// attached, or an identity transition).
+func (s *State) flushWAL(t *walTicket) {
+	if t == nil {
+		return
+	}
+	token, err := s.wal.Append(t.entry)
+	if err != nil {
+		metrics.walErrors.Inc()
+		s.walMu.Unlock()
+		return
+	}
+	metrics.walAppends.Inc()
+	if t.snap != nil {
+		if err := s.wal.WriteSnapshot(*t.snap); err != nil {
+			metrics.walErrors.Inc()
+		} else {
+			metrics.walSnapshots.Inc()
 		}
-		s.net.Consume(v, demand)
 	}
-	s.epoch++
-	return nil
+	s.walMu.Unlock()
+	if d, err := s.wal.Sync(token); err != nil {
+		metrics.walErrors.Inc()
+	} else if d > 0 {
+		// d == 0 means another committer's fsync already covered this
+		// append (group commit) — only performed fsyncs are recorded, so
+		// the histogram count is the true disk-flush count.
+		metrics.walFsync.Observe(d.Seconds())
+	}
 }
 
-// commitSecondariesLocked charges the ledger for a solved placement's
-// secondaries. It fails without partial effects when the ledger no longer
-// covers the placement (a commit conflict: some earlier commit in the batch
-// or a concurrent admission consumed the headroom the solver budgeted
-// against). Callers must hold mu.
-func (s *State) commitSecondariesLocked(sfc []int, perBin []map[int]int) error {
-	snap := s.net.ResidualSnapshot()
-	for i, m := range perBin {
-		demand := s.net.Catalog().Type(sfc[i]).Demand
-		for u, c := range m {
-			need := demand * float64(c)
-			if s.net.Residual(u) < need-1e-9 {
-				s.net.RestoreResiduals(snap)
-				return fmt.Errorf("serve: commit conflict: cloudlet %d has %v MHz, placement needs %v", u, s.net.Residual(u), need)
-			}
-			s.net.Consume(u, math.Min(need, s.net.Residual(u)))
+// captureSnapshotLocked collects the full-state snapshot for epoch e.
+// Callers must hold commitMu, which keeps the placement map consistent with
+// the epoch being checkpointed (no install can interleave).
+func (s *State) captureSnapshotLocked(e *epochLedger) *wal.Snapshot {
+	snap := &wal.Snapshot{
+		Epoch:    e.seq,
+		Hash:     fmt.Sprintf("%016x", e.hash),
+		Residual: e.res,
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.m {
+			snap.Placed = append(snap.Placed, toWALRecord(p))
 		}
+		sh.mu.RUnlock()
 	}
-	s.epoch++
-	return nil
-}
-
-// rollbackLocked returns previously consumed per-node MHz to the ledger.
-// Callers must hold mu.
-func (s *State) rollbackLocked(perNode map[int]float64) {
-	for v, mhz := range perNode {
-		s.net.Release(v, mhz)
-	}
-	s.epoch++
-}
-
-// record stores the placement record for a committed request.
-func (s *State) record(p *placed) {
-	sh := s.shard(p.ID)
-	sh.mu.Lock()
-	sh.m[p.ID] = p
-	sh.mu.Unlock()
+	sort.Slice(snap.Placed, func(i, j int) bool { return snap.Placed[i].ID < snap.Placed[j].ID })
+	return snap
 }
 
 // Release tears down a placed request: its record is removed and every MHz
-// it consumed (primaries and secondaries) returns to the ledger. The freed
-// total is returned; releasing an unknown ID is an error and leaves the
-// ledger untouched.
+// it consumed (primaries and secondaries) returns to the ledger via a fresh
+// epoch. The freed total is returned; releasing an unknown ID is an error
+// and leaves the ledger untouched.
 func (s *State) Release(id int) (float64, error) {
 	sh := s.shard(id)
 	sh.mu.Lock()
@@ -178,24 +283,138 @@ func (s *State) Release(id int) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("serve: unknown request id %d", id)
 	}
+	s.commitMu.Lock()
+	cur := s.pin()
+	res := append([]float64(nil), cur.res...)
 	freed := 0.0
-	s.mu.Lock()
-	for v, mhz := range p.perNode {
-		s.net.Release(v, mhz)
+	for _, v := range sortedNodes(p.perNode) {
+		mhz := p.perNode[v]
+		res[v] += mhz
+		if cap := s.base.Capacity[v]; res[v] > cap {
+			res[v] = cap
+		}
 		freed += mhz
 	}
-	s.epoch++
-	s.mu.Unlock()
+	t := s.installLocked(res, hashResiduals(res), nil, []int{id})
+	s.commitMu.Unlock()
+	s.flushWAL(t)
 	return freed, nil
 }
 
-// Placed returns the live placement record for id, if any.
-func (s *State) Placed(id int) (*placed, bool) {
+// sortedNodes returns a per-node map's keys ascending, so ledger arithmetic
+// is applied in a deterministic order regardless of map iteration.
+func sortedNodes(m map[int]float64) []int {
+	nodes := make([]int, 0, len(m))
+	for v := range m {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// consumePrimaries charges a fork's ledger for a request's pre-set
+// primaries. On failure the fork is unchanged.
+func consumePrimaries(work *mec.Network, req *mec.Request) error {
+	snap := work.ResidualSnapshot()
+	for i, v := range req.Primaries {
+		demand := work.Catalog().Type(req.SFC[i]).Demand
+		if work.Residual(v) < demand {
+			work.RestoreResiduals(snap)
+			return fmt.Errorf("serve: cloudlet %d lacks %v MHz for primary of position %d", v, demand, i)
+		}
+		work.Consume(v, demand)
+	}
+	return nil
+}
+
+// commitSecondaries charges a fork's ledger for a solved placement's
+// secondaries. It fails without partial effects when the ledger no longer
+// covers the placement (a commit conflict: some earlier commit consumed the
+// headroom the solver budgeted against). On success it returns the exact
+// MHz consumed per cloudlet, measured off the ledger — recording the
+// measured amount (not the nominal demand×count) is what keeps repeated
+// admit/release cycles from inflating the ledger when a commit lands within
+// the 1e-9 tolerance of a node's remaining headroom.
+func commitSecondaries(work *mec.Network, sfc []int, perBin []map[int]int) (map[int]float64, error) {
+	snap := work.ResidualSnapshot()
+	consumed := make(map[int]float64)
+	for i, m := range perBin {
+		demand := work.Catalog().Type(sfc[i]).Demand
+		for _, u := range sortedBins(m) {
+			need := demand * float64(m[u])
+			if work.Residual(u) < need-1e-9 {
+				work.RestoreResiduals(snap)
+				return nil, fmt.Errorf("serve: commit conflict: cloudlet %d has %v MHz, placement needs %v", u, work.Residual(u), need)
+			}
+			before := work.Residual(u)
+			work.Consume(u, need) // clamps at 0 within the tolerance
+			consumed[u] += before - work.Residual(u)
+		}
+	}
+	return consumed, nil
+}
+
+// sortedBins returns a per-bin count map's keys ascending.
+func sortedBins(m map[int]int) []int {
+	bins := make([]int, 0, len(m))
+	for u := range m {
+		bins = append(bins, u)
+	}
+	sort.Ints(bins)
+	return bins
+}
+
+// rollback returns previously consumed per-node MHz to a fork's ledger, in
+// deterministic node order.
+func rollback(work *mec.Network, perNode map[int]float64) {
+	for _, v := range sortedNodes(perNode) {
+		work.Release(v, perNode[v])
+	}
+}
+
+// Placement is the read-only public view of one live placement record.
+type Placement struct {
+	ID          int
+	SFC         []int
+	Expectation float64
+	Primaries   []int
+	Secondaries [][]int
+	Reliability float64
+	Met         bool
+	Algorithm   string
+	ServedBy    string
+	// ConsumedMHz is the total ledger consumption the placement holds; a
+	// release returns exactly this much across its cloudlets.
+	ConsumedMHz float64
+}
+
+// Placement returns a read-only copy of the live placement record for id.
+func (s *State) Placement(id int) (Placement, bool) {
 	sh := s.shard(id)
 	sh.mu.RLock()
 	p, ok := sh.m[id]
 	sh.mu.RUnlock()
-	return p, ok
+	if !ok {
+		return Placement{}, false
+	}
+	view := Placement{
+		ID:          p.ID,
+		SFC:         append([]int(nil), p.SFC...),
+		Expectation: p.Expectation,
+		Primaries:   append([]int(nil), p.Primaries...),
+		Secondaries: make([][]int, len(p.Secondaries)),
+		Reliability: p.Reliability,
+		Met:         p.Met,
+		Algorithm:   p.Algorithm,
+		ServedBy:    p.ServedBy,
+	}
+	for i, sec := range p.Secondaries {
+		view.Secondaries[i] = append([]int(nil), sec...)
+	}
+	for _, mhz := range p.perNode {
+		view.ConsumedMHz += mhz
+	}
+	return view, true
 }
 
 // PlacedCount returns the number of live placements.
@@ -216,15 +435,117 @@ type CloudletState struct {
 	Residual float64 `json:"residual_mhz"`
 }
 
-// Snapshot captures the ledger for /v1/state: every cloudlet's capacity and
-// residual, the mutation epoch, and the canonical state hash.
+// Snapshot captures the current epoch for /v1/state: every cloudlet's
+// capacity and residual, the epoch sequence number, and the canonical state
+// hash. Lock-free: it reads one immutable epoch.
 func (s *State) Snapshot() (cloudlets []CloudletState, epoch, hash uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, v := range s.net.Cloudlets() {
+	e := s.pin()
+	for _, v := range s.base.Cloudlets() {
 		cloudlets = append(cloudlets, CloudletState{
-			ID: v, Capacity: s.net.Capacity[v], Residual: s.net.Residual(v),
+			ID: v, Capacity: s.base.Capacity[v], Residual: e.res[v],
 		})
 	}
-	return cloudlets, s.epoch, s.hashLocked()
+	return cloudlets, e.seq, e.hash
+}
+
+// toWALRecord converts a live placement record to its durable form.
+func toWALRecord(p *placed) wal.PlacedRecord {
+	return wal.PlacedRecord{
+		ID:          p.ID,
+		SFC:         p.SFC,
+		Expectation: p.Expectation,
+		Primaries:   p.Primaries,
+		Secondaries: p.Secondaries,
+		Reliability: p.Reliability,
+		Met:         p.Met,
+		Algorithm:   p.Algorithm,
+		ServedBy:    p.ServedBy,
+		PerNode:     p.perNode,
+	}
+}
+
+// fromWALRecord converts a durable placement record back to the live form.
+func fromWALRecord(r wal.PlacedRecord) *placed {
+	return &placed{
+		ID:          r.ID,
+		SFC:         r.SFC,
+		Expectation: r.Expectation,
+		Primaries:   r.Primaries,
+		Secondaries: r.Secondaries,
+		Reliability: r.Reliability,
+		Met:         r.Met,
+		Algorithm:   r.Algorithm,
+		ServedBy:    r.ServedBy,
+		perNode:     r.PerNode,
+	}
+}
+
+// NewStateFromWAL rebuilds serving state from the durable log in dir: the
+// latest snapshot plus every intact entry after it. The network must be the
+// same topology the log was written against (same seed/scenario); the
+// restored epoch, residual ledger, and placement map are bit-identical to
+// the pre-crash state, verified against the last recorded canonical hash.
+func NewStateFromWAL(net *mec.Network, dir string) (*State, error) {
+	snap, entries, err := wal.Replay(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := NewState(net)
+	res := net.ResidualSnapshot()
+	seq := uint64(0)
+	wantHash := ""
+	records := make(map[int]*placed)
+	if snap != nil {
+		if len(snap.Residual) != len(res) {
+			return nil, fmt.Errorf("serve: WAL snapshot covers %d nodes, network has %d", len(snap.Residual), len(res))
+		}
+		res = snap.Residual
+		seq = snap.Epoch
+		wantHash = snap.Hash
+		for _, r := range snap.Placed {
+			records[r.ID] = fromWALRecord(r)
+		}
+	}
+	for _, e := range entries {
+		if len(e.Residual) != len(res) {
+			return nil, fmt.Errorf("serve: WAL entry %d covers %d nodes, network has %d", e.Epoch, len(e.Residual), len(res))
+		}
+		res = e.Residual
+		seq = e.Epoch
+		wantHash = e.Hash
+		for _, r := range e.Admits {
+			records[r.ID] = fromWALRecord(r)
+		}
+		for _, id := range e.Releases {
+			delete(records, id)
+		}
+	}
+	hash := hashResiduals(res)
+	if wantHash != "" && fmt.Sprintf("%016x", hash) != wantHash {
+		return nil, fmt.Errorf("serve: restored ledger hash %016x != recorded %s (wrong network or damaged log?)", hash, wantHash)
+	}
+	s.cur.Store(&epochLedger{seq: seq, res: res, hash: hash})
+	for id, p := range records {
+		s.shard(id).m[id] = p
+	}
+	metrics.epochSeq.Set(float64(seq))
+	return s, nil
+}
+
+// MaxPlacedID returns the highest live placement ID (0 when none): after a
+// restore the service resumes its admission sequence above it so new
+// requests never collide with replayed placements.
+func (s *State) MaxPlacedID() int {
+	max := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			if id > max {
+				max = id
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return max
 }

@@ -1,0 +1,481 @@
+// Package wal is the durability subsystem of the augmentation service: an
+// append-only write-ahead log of epoch transitions plus periodic full-state
+// snapshots, so a restarted augmentd rebuilds its residual ledger and
+// placement map exactly (same canonical state hash, same placement count).
+//
+// Layout inside the WAL directory:
+//
+//	snapshot.json   full state at one epoch, written atomically (tmp+rename)
+//	wal.log         one framed entry per epoch install since that snapshot
+//
+// Each wal.log line is "<crc32-hex> <json>\n"; the checksum covers the JSON
+// payload. Replay verifies every frame and stops at the first torn or
+// corrupt line — the expected tail state after a crash mid-append — so a
+// SIGKILL'd process restores to its last durable epoch. Every entry carries
+// the full post-install residual vector: Go's float64 JSON encoding
+// round-trips exactly, which makes the restored ledger bit-identical without
+// having to replay the in-batch arithmetic in its original operation order.
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when Append calls fsync.
+type SyncPolicy string
+
+// Append fsync policies: SyncAlways survives machine crashes at one fsync
+// per epoch install; SyncNone leaves flushing to the OS page cache, which
+// still survives process kills (SIGKILL) but not power loss.
+const (
+	SyncAlways SyncPolicy = "always"
+	SyncNone   SyncPolicy = "none"
+)
+
+// ParseSyncPolicy validates a policy string (e.g. a CLI flag value).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncNone:
+		return SyncPolicy(s), nil
+	case "":
+		return SyncAlways, nil
+	default:
+		return "", fmt.Errorf("wal: unknown sync policy %q (want %q or %q)", s, SyncAlways, SyncNone)
+	}
+}
+
+// PlacedRecord is the durable form of one live placement: everything the
+// serving layer needs to rebuild its record after a restart, including the
+// exact per-node MHz a future release must return to the ledger.
+type PlacedRecord struct {
+	ID          int             `json:"id"`
+	SFC         []int           `json:"sfc"`
+	Expectation float64         `json:"rho"`
+	Primaries   []int           `json:"primaries"`
+	Secondaries [][]int         `json:"secondaries"`
+	Reliability float64         `json:"reliability"`
+	Met         bool            `json:"met"`
+	Algorithm   string          `json:"algorithm"`
+	ServedBy    string          `json:"served_by,omitempty"`
+	PerNode     map[int]float64 `json:"per_node"`
+}
+
+// Entry is one logged epoch transition: the post-install residual vector and
+// canonical hash, plus the placements admitted and released by the install.
+type Entry struct {
+	Epoch    uint64         `json:"epoch"`
+	Hash     string         `json:"hash"` // %016x of the canonical ledger hash
+	Residual []float64      `json:"residual"`
+	Admits   []PlacedRecord `json:"admits,omitempty"`
+	Releases []int          `json:"releases,omitempty"`
+}
+
+// Snapshot is a full serving-state checkpoint: writing one truncates the log,
+// bounding replay work and WAL growth.
+type Snapshot struct {
+	Epoch    uint64         `json:"epoch"`
+	Hash     string         `json:"hash"`
+	Residual []float64      `json:"residual"`
+	Placed   []PlacedRecord `json:"placed"`
+}
+
+// File names inside the WAL directory.
+const (
+	logName      = "wal.log"
+	snapshotName = "snapshot.json"
+)
+
+// Log is an open write-ahead log. Append, Sync, and WriteSnapshot are safe
+// for concurrent use; the serving layer orders appends itself and calls Sync
+// concurrently from its committers, relying on the group-commit coalescing
+// below for throughput.
+type Log struct {
+	mu        sync.Mutex
+	dir       string
+	policy    SyncPolicy
+	f         *os.File
+	entries   uint64
+	snapshots uint64
+
+	// Group-commit state, all under mu. Under SyncAlways, Append stages
+	// frames in pending (pure memory — it never touches the file, so appends
+	// cannot block on the kernel's inode lock while an fsync is in flight)
+	// and writeSeq numbers them. One Sync caller at a time is the flush
+	// leader (flushing == true): it swaps the buffer out, writes it in one
+	// syscall, fsyncs, records the covered writeSeq in syncSeq, and
+	// broadcasts by closing flushDone. Every other committer waits on that
+	// channel — never on a mutex, so a finished group's members return the
+	// moment they are covered instead of queueing behind the next leader —
+	// re-checks coverage, and either returns or becomes the next leader.
+	// One flush thus makes every previously staged entry durable: N
+	// concurrent committers share ~1 fsync instead of paying N.
+	pending   []byte
+	writeSeq  uint64
+	syncSeq   uint64
+	flushing  bool
+	flushDone chan struct{}
+
+	// Gather window (SetGroupCommit): a flush leader with siblings waits up
+	// to gatherDelay for other committers' appends to stage before flushing,
+	// so one fsync commits the whole group instead of each commit paying its
+	// own. appendCh (capacity 1) is Append's wakeup to a gathering leader.
+	gatherDelay time.Duration
+	gather      int
+	appendCh    chan struct{}
+}
+
+// Open creates dir if needed and opens the log file for appending. Existing
+// entries are preserved (restart continues the same log); use Replay first
+// to rebuild state from them.
+func Open(dir string, policy SyncPolicy) (*Log, error) {
+	if policy == "" {
+		policy = SyncAlways
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	return &Log{dir: dir, policy: policy, f: f, flushDone: make(chan struct{})}, nil
+}
+
+// beginFlush blocks until no flush is in flight, then claims flush
+// leadership. Every file-mutating path (Sync's flush, WriteSnapshot, Close)
+// runs between beginFlush and endFlush, so at most one of them touches the
+// log file at a time without any of them holding a lock across disk I/O.
+func (l *Log) beginFlush() {
+	for {
+		l.mu.Lock()
+		if !l.flushing {
+			l.flushing = true
+			l.mu.Unlock()
+			return
+		}
+		ch := l.flushDone
+		l.mu.Unlock()
+		<-ch
+	}
+}
+
+// endFlush releases flush leadership and wakes every waiter (committers
+// blocked in Sync and claimants queued in beginFlush) by closing the current
+// generation's flushDone channel.
+func (l *Log) endFlush() {
+	l.mu.Lock()
+	l.flushing = false
+	close(l.flushDone)
+	l.flushDone = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// Dir returns the WAL directory.
+func (l *Log) Dir() string { return l.dir }
+
+// SetGroupCommit configures the Sync leader's gather window. With gather
+// sibling committers (> 0) and a positive delay, a leader about to flush
+// first waits — up to delay — until more than gather appends are staged
+// beyond the last durable one, then flushes the whole group with a single
+// fsync. This is the commit-delay half of classic group commit: without it,
+// a fast pipeline falls into lock-step where each fsync covers exactly one
+// append (the next commit's append lands just after the leader swapped the
+// buffer) and coalescing never materialises. Callers with a single
+// committer must leave gather at 0 — a delay with no siblings to gather is
+// pure added latency. Call before the first Sync; it is not synchronized
+// with concurrent flushes.
+func (l *Log) SetGroupCommit(delay time.Duration, gather int) {
+	l.gatherDelay = delay
+	l.gather = gather
+	if l.appendCh == nil {
+		l.appendCh = make(chan struct{}, 1)
+	}
+}
+
+// Entries returns the number of entries appended through this Log handle.
+func (l *Log) Entries() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.entries
+}
+
+// Snapshots returns the number of snapshots written through this Log handle.
+func (l *Log) Snapshots() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshots
+}
+
+// Append frames one entry and returns a token for Sync. Under SyncAlways
+// the frame is staged in memory — it reaches the file (and the disk) only
+// when a Sync or Close flushes it, so callers must not treat the write as
+// committed until Sync(token) returns. Staging keeps Append free of file
+// I/O entirely, which is what lets the commit pipeline keep executing while
+// another committer's fsync is in flight. Under SyncNone the frame is
+// written through to the OS immediately.
+func (l *Log) Append(e Entry) (uint64, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return 0, fmt.Errorf("wal: marshal entry: %w", err)
+	}
+	frame := make([]byte, 0, len(payload)+10)
+	frame = append(frame, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	frame = append(frame, payload...)
+	frame = append(frame, '\n')
+
+	l.mu.Lock()
+	if l.policy == SyncAlways {
+		l.pending = append(l.pending, frame...)
+	} else if _, err := l.f.Write(frame); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: append entry %d: %w", e.Epoch, err)
+	}
+	l.entries++
+	l.writeSeq++
+	tok := l.writeSeq
+	// Wake a gathering Sync leader only when this append completes its
+	// group — intermediate wakeups would each cost a context switch just to
+	// re-park the leader. Non-blocking, and a missed or stale signal is fine:
+	// the leader re-checks the staged count on every wakeup and has a timer.
+	signal := l.appendCh != nil && l.writeSeq-l.syncSeq > uint64(l.gather)
+	l.mu.Unlock()
+	if signal {
+		select {
+		case l.appendCh <- struct{}{}:
+		default:
+		}
+	}
+	return tok, nil
+}
+
+// Sync blocks until the append identified by token is durable and returns
+// how long the disk flush took (zero under SyncNone, or when another
+// committer's flush already covered the append). One committer at a time
+// leads: it swaps out every frame staged so far, writes them in one
+// syscall, and fsyncs once — so committers that arrive while a flush is
+// running wait on a broadcast channel, re-check coverage when it completes,
+// and usually return without ever touching the disk: the classic
+// group-commit optimization. A write failure drops the staged frames (the
+// log degrades to non-durable rather than wedging every later Sync).
+func (l *Log) Sync(token uint64) (time.Duration, error) {
+	if l.policy != SyncAlways {
+		return 0, nil
+	}
+	for {
+		l.mu.Lock()
+		if l.syncSeq >= token {
+			l.mu.Unlock()
+			return 0, nil
+		}
+		if !l.flushing {
+			l.flushing = true
+			l.mu.Unlock()
+			break
+		}
+		ch := l.flushDone
+		l.mu.Unlock()
+		<-ch
+	}
+	// Flush leader from here down.
+	if l.gatherDelay > 0 && l.gather > 0 {
+		// Commit delay: hold the flush until more than gather appends are
+		// staged (one per sibling committer plus our own) or the window
+		// expires. On a single core the wait donates the CPU to the commit
+		// pipeline, which is exactly what produces the appends being waited
+		// for.
+		timer := time.NewTimer(l.gatherDelay)
+	gatherLoop:
+		for {
+			l.mu.Lock()
+			staged := l.writeSeq - l.syncSeq
+			l.mu.Unlock()
+			if staged > uint64(l.gather) {
+				break
+			}
+			select {
+			case <-l.appendCh:
+			case <-timer.C:
+				break gatherLoop
+			}
+		}
+		timer.Stop()
+	}
+	start := time.Now()
+	l.mu.Lock()
+	buf := l.pending
+	l.pending = nil
+	cover := l.writeSeq
+	l.mu.Unlock()
+	if len(buf) > 0 {
+		if _, err := l.f.Write(buf); err != nil {
+			l.mu.Lock()
+			l.syncSeq = cover
+			l.mu.Unlock()
+			l.endFlush()
+			return 0, fmt.Errorf("wal: flush staged entries: %w", err)
+		}
+	}
+	if err := l.f.Sync(); err != nil {
+		// The frames are in the file but not durably; leave syncSeq so a
+		// later leader retries the fsync over them.
+		l.endFlush()
+		return 0, fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.mu.Lock()
+	l.syncSeq = cover
+	l.mu.Unlock()
+	l.endFlush()
+	return time.Since(start), nil
+}
+
+// WriteSnapshot checkpoints the full state atomically (tmp file, fsync,
+// rename) and truncates the log: every entry the snapshot subsumes is
+// dropped, so Replay work stays bounded. Callers must order appends against
+// snapshots themselves (the serving layer holds its WAL-order lock across
+// both): an entry for an epoch after the snapshot's must be appended after
+// the snapshot is written, or the truncation would drop it. Prior appends
+// are subsumed — their pending Sync calls return without an fsync, since the
+// snapshot file itself is already durable.
+func (l *Log) WriteSnapshot(s Snapshot) error {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("wal: marshal snapshot: %w", err)
+	}
+	l.beginFlush()
+	defer l.endFlush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp := filepath.Join(l.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: fsync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate log after snapshot: %w", err)
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("wal: rewind log after snapshot: %w", err)
+	}
+	l.snapshots++
+	// Frames still staged in memory describe epochs at or before the
+	// snapshot's, so the durable snapshot subsumes them — drop them and
+	// mark every outstanding token covered.
+	l.pending = nil
+	l.syncSeq = l.writeSeq
+	return nil
+}
+
+// Close flushes any staged or unsynced appends (under SyncAlways) and
+// releases the log file handle.
+func (l *Log) Close() error {
+	l.beginFlush()
+	defer l.endFlush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.policy == SyncAlways && (len(l.pending) > 0 || l.syncSeq < l.writeSeq) {
+		if len(l.pending) > 0 {
+			if _, err := l.f.Write(l.pending); err != nil {
+				l.f.Close()
+				return fmt.Errorf("wal: flush staged entries on close: %w", err)
+			}
+			l.pending = nil
+		}
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return fmt.Errorf("wal: fsync on close: %w", err)
+		}
+		l.syncSeq = l.writeSeq
+	}
+	return l.f.Close()
+}
+
+// Replay reads the durable state in dir: the latest snapshot (nil if none
+// was ever written) and every intact log entry after it, in append order.
+// A torn or corrupt tail frame ends the replay silently — that is the
+// expected crash artifact — but a corrupt frame *before* an intact one is an
+// error, since it means silent data loss mid-log.
+func Replay(dir string) (*Snapshot, []Entry, error) {
+	var snap *Snapshot
+	if payload, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		snap = &Snapshot{}
+		if err := json.Unmarshal(payload, snap); err != nil {
+			return nil, nil, fmt.Errorf("wal: corrupt snapshot in %s: %w", dir, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("wal: read snapshot: %w", err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return snap, nil, nil
+		}
+		return nil, nil, fmt.Errorf("wal: read log: %w", err)
+	}
+	var entries []Entry
+	lines := strings.Split(string(raw), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		e, ok := decodeFrame(line)
+		if !ok {
+			// Only the final frame may be torn; anything after it must be
+			// empty, or the log lost data in the middle.
+			for _, rest := range lines[i+1:] {
+				if rest != "" {
+					return nil, nil, fmt.Errorf("wal: corrupt frame at line %d of %s with intact entries after it", i+1, logName)
+				}
+			}
+			break
+		}
+		if snap != nil && e.Epoch <= snap.Epoch {
+			continue // subsumed by the snapshot
+		}
+		entries = append(entries, e)
+	}
+	return snap, entries, nil
+}
+
+// decodeFrame parses one "<crc32-hex> <json>" line, reporting whether the
+// frame is intact.
+func decodeFrame(line string) (Entry, bool) {
+	var e Entry
+	crcHex, payload, found := strings.Cut(line, " ")
+	if !found || len(crcHex) != 8 {
+		return e, false
+	}
+	want, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil {
+		return e, false
+	}
+	if crc32.ChecksumIEEE([]byte(payload)) != uint32(want) {
+		return e, false
+	}
+	if err := json.Unmarshal([]byte(payload), &e); err != nil {
+		return e, false
+	}
+	return e, true
+}
