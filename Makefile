@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check doc-check smoke-serve smoke-recover check test test-race test-failsoft fuzz bench bench-short bench-serve experiments figures clean
+.PHONY: all build vet fmt-check doc-check smoke-serve smoke-recover smoke-replay check test test-race test-failsoft fuzz bench bench-short bench-serve experiments figures clean
 
 all: build check test test-race
 
@@ -44,8 +44,22 @@ smoke-recover:
 	fi; echo "smoke-recover OK: $$k"
 	@rm -rf smoke_wal smoke_kill.txt smoke_restore.txt augmentd.smoke
 
-# Static checks + the serving smoke test + the kill/restore check.
-check: vet fmt-check doc-check smoke-serve smoke-recover
+# Record/replay determinism check: one selftest pass records its request
+# trace, then fresh services at every worker × batcher combination replay it
+# and must reproduce the recorded run's final state hash and per-request
+# placements bit-identically (verified against the trace's EOF trailer).
+smoke-replay:
+	@$(GO) build -o augmentd.replay ./cmd/augmentd
+	@rm -f smoke_replay.trace
+	@./augmentd.replay -selftest -requests 128 -selftest-workers 1 -selftest-batchers 1 \
+		-record smoke_replay.trace -residual 1.0 -log-level warn
+	@./augmentd.replay -replay smoke_replay.trace -selftest-workers 1,8 -selftest-batchers 1,4 \
+		-residual 1.0 -log-level warn
+	@rm -f smoke_replay.trace augmentd.replay
+
+# Static checks + the serving smoke test + the kill/restore check + the
+# record/replay determinism check.
+check: vet fmt-check doc-check smoke-serve smoke-recover smoke-replay
 
 test:
 	$(GO) test ./...
@@ -96,15 +110,23 @@ bench-short:
 # load test — short chains, all-admit capacity, one-request batches, durable
 # WAL with fsync-per-commit — so the printed "batcher scaling" ratio tracks
 # the MVCC group-commit speedup of 4 batchers over 1.
+# The selftest also records the first combination's request trace; a canned
+# replay of that trace at 1 and 4 batchers then re-verifies bit-identity and
+# contributes BenchmarkAugmentdReplay lines to the same parsed artifact, so
+# benchdiff -diff guards the replay trajectory alongside serving throughput.
 bench-serve:
-	@rm -rf serve_bench_wal
+	@rm -rf serve_bench_wal serve_bench.trace
 	$(GO) run ./cmd/augmentd -selftest -requests 3000 -batch 1 \
 		-selftest-workers 1 -selftest-batchers 1,4 -wal-dir serve_bench_wal \
 		-aps 20 -cloudlets 0.5 -residual 1.0 -capacity-scale 25000 \
 		-dup-every 0 -release-every 0 -rho 0.9 -chain-min 2 -chain-max 3 \
-		-log-level warn | tee serve_bench.txt
+		-record serve_bench.trace -log-level warn | tee serve_bench.txt
+	$(GO) run ./cmd/augmentd -replay serve_bench.trace -batch 1 \
+		-selftest-workers 1 -selftest-batchers 1,4 \
+		-aps 20 -cloudlets 0.5 -residual 1.0 -capacity-scale 25000 \
+		-log-level warn | tee -a serve_bench.txt
 	$(GO) run ./cmd/benchdiff -parse serve_bench.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
-	@rm -rf serve_bench_wal
+	@rm -rf serve_bench_wal serve_bench.trace
 
 # Reproduce every figure and ablation at the paper's trial count (slow).
 experiments:
@@ -116,4 +138,5 @@ figures:
 
 clean:
 	rm -rf results test_output.txt bench_output.txt serve_bench.txt \
-		serve_bench_wal smoke_wal smoke_kill.txt smoke_restore.txt augmentd.smoke
+		serve_bench_wal smoke_wal smoke_kill.txt smoke_restore.txt augmentd.smoke \
+		serve_bench.trace smoke_replay.trace augmentd.replay

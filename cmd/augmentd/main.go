@@ -86,6 +86,11 @@ func main() {
 	chainMin := flag.Int("chain-min", 0, "selftest: minimum generated SFC length (0: loadgen default)")
 	chainMax := flag.Int("chain-max", 0, "selftest: maximum generated SFC length (0: loadgen default)")
 	kill := flag.Bool("kill", false, "selftest: run the first combination only, print the durable state line, then SIGKILL the process (requires -wal-dir)")
+	record := flag.String("record", "", "append every admitted request and release to this replayable trace file (in -selftest mode, the first combination is recorded)")
+	replay := flag.String("replay", "", "replay a recorded trace file through fresh services at every -selftest-workers × -selftest-batchers combination and verify bit-identity against its EOF trailer")
+	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing: 0 replays on the virtual clock (as fast as possible), 1 on the recorded timeline, 2 twice as fast")
+	traceSlow := flag.Duration("trace-slow", 0, "dump the span timeline of any request slower than this to the log (0: off)")
+	flight := flag.Int("flight", 256, "flight-recorder depth: completed request traces kept for /debug/traces (negative disables tracing)")
 	flag.Parse()
 
 	obsSrv, err := obs.Boot(*logLevel, *obsAddr)
@@ -158,7 +163,11 @@ func main() {
 		return
 	}
 
-	newService := func(w, b int, dir string, restoreState bool) *serve.Service {
+	traceDepth := *flight
+	if traceDepth <= 0 {
+		traceDepth = -1 // CLI semantics: any non-positive depth disables tracing
+	}
+	newService := func(w, b int, dir string, restoreState bool, recordPath string) *serve.Service {
 		svc, err := serve.New(buildNetwork(), serve.Options{
 			QueueDepth:      *queueDepth,
 			BatchSize:       *batchSize,
@@ -175,12 +184,31 @@ func main() {
 			WALSync:         *walSync,
 			SnapshotEvery:   *snapshotEvery,
 			Restore:         restoreState,
+			TraceDepth:      traceDepth,
+			TraceSlow:       *traceSlow,
+			RecordPath:      recordPath,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
 			os.Exit(2)
 		}
 		return svc
+	}
+
+	if *replay != "" {
+		os.Exit(runReplay(replayConfig{
+			newService:  newService,
+			path:        *replay,
+			speed:       *replaySpeed,
+			workerSpec:  *selftestWorkers,
+			batcherSpec: *selftestBatchers,
+			wave:        *wave,
+			queueDepth:  *queueDepth,
+			seed:        *seed,
+			solverName:  resolveSolver().Name(),
+			hopBound:    *hopBound,
+			admitPolicy: *admit,
+		}))
 	}
 
 	if *selftest {
@@ -200,10 +228,11 @@ func main() {
 			seed:         *seed,
 			walDir:       *walDir,
 			kill:         *kill,
+			recordPath:   *record,
 		}))
 	}
 
-	svc := newService(*workers, *batchers, *walDir, *restore)
+	svc := newService(*workers, *batchers, *walDir, *restore, *record)
 	if *restore {
 		st := svc.State()
 		fmt.Printf("restored state: hash=%016x placed=%d epoch=%d\n", st.Hash(), st.PlacedCount(), st.Epoch())
@@ -237,7 +266,7 @@ func main() {
 
 // selftestConfig gathers everything runSelftest needs from the flag set.
 type selftestConfig struct {
-	newService   func(workers, batchers int, walDir string, restore bool) *serve.Service
+	newService   func(workers, batchers int, walDir string, restore bool, recordPath string) *serve.Service
 	buildNetwork func() *mec.Network
 	requests     int
 	workerSpec   string
@@ -252,6 +281,7 @@ type selftestConfig struct {
 	seed         int64
 	walDir       string
 	kill         bool
+	recordPath   string // record the first combination's run to this trace file
 }
 
 // comboRun is one (workers, batchers) selftest execution.
@@ -313,16 +343,22 @@ func runSelftest(cfg selftestConfig) int {
 					dir = filepath.Join(cfg.walDir, fmt.Sprintf("run-w%d-b%d", w, b))
 				}
 			}
-			svc := cfg.newService(w, b, dir, false)
+			recordPath := ""
+			if cfg.recordPath != "" && len(runs) == 0 {
+				recordPath = cfg.recordPath
+			}
+			svc := cfg.newService(w, b, dir, false, recordPath)
 			res, err := loadgen.Run(svc, lcfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: %v\n", w, b, err)
 				return 1
 			}
 			svc.Drain()
-			fmt.Printf("selftest workers=%d batchers=%d: %d requests in %v (%.0f req/s), admitted=%d infeasible=%d rejected=%d deadline=%d released=%d cache_hits=%d\n",
+			p50, p99, p999 := latencyQuantiles(res.Records)
+			fmt.Printf("selftest workers=%d batchers=%d: %d requests in %v (%.0f req/s), admitted=%d infeasible=%d rejected=%d deadline=%d released=%d cache_hits=%d p50=%v p99=%v p999=%v\n",
 				w, b, len(res.Records), res.Elapsed.Round(time.Millisecond), res.Throughput,
-				res.Admitted, res.Infeasible, res.Rejected, res.Deadline, res.Released, res.CacheHits)
+				res.Admitted, res.Infeasible, res.Rejected, res.Deadline, res.Released, res.CacheHits,
+				p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
 			if res.Rejected != 0 {
 				fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: %d requests rejected below the queue bound\n", w, b, res.Rejected)
 				ok = false
@@ -379,6 +415,155 @@ func runSelftest(cfg selftestConfig) int {
 	}
 	printScaling(runs)
 	fmt.Printf("selftest OK: %d combinations agree on %d placements\n", len(runs), runs[0].result.Admitted)
+	return 0
+}
+
+// latencyQuantiles computes the exact p50/p99/p999 of the answered requests'
+// end-to-end latencies through an armed obs histogram reservoir (capacity
+// 1<<15 retains every sample a selftest run produces, so the printed
+// quantiles are exact order statistics rather than bucket interpolations).
+func latencyQuantiles(records []loadgen.Record) (p50, p99, p999 time.Duration) {
+	h := obs.NewRegistry().Histogram("selftest_latency_seconds", obs.DurationBuckets)
+	h.Sample(1 << 15)
+	n := 0
+	for _, r := range records {
+		if r.Latency > 0 {
+			h.Observe(r.Latency.Seconds())
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	toDur := func(p float64) time.Duration { return time.Duration(h.Quantile(p) * float64(time.Second)) }
+	return toDur(0.5), toDur(0.99), toDur(0.999)
+}
+
+// replayConfig gathers everything runReplay needs from the flag set.
+type replayConfig struct {
+	newService  func(workers, batchers int, walDir string, restore bool, recordPath string) *serve.Service
+	path        string
+	speed       float64
+	workerSpec  string
+	batcherSpec string
+	wave        int
+	queueDepth  int
+	seed        int64
+	solverName  string
+	hopBound    int
+	admitPolicy string
+}
+
+// runReplay drives a recorded request trace through fresh services at every
+// (workers, batchers) combination and pins bit-identity: each combination
+// must reproduce the trace's EOF state hash and placement count, and all
+// combinations must agree on the full placement log. Returns the process
+// exit code.
+func runReplay(cfg replayConfig) int {
+	meta, ops, eof, err := serve.ReadTrace(cfg.path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: -replay: %v\n", err)
+		return 1
+	}
+	// The trace header pins the recording run's determinism inputs; replaying
+	// under different ones cannot reproduce it, so fail fast instead of
+	// reporting a confusing divergence.
+	switch {
+	case meta.Seed != cfg.seed:
+		fmt.Fprintf(os.Stderr, "augmentd: -replay: trace was recorded with -seed %d, not %d\n", meta.Seed, cfg.seed)
+		return 2
+	case meta.Solver != cfg.solverName:
+		fmt.Fprintf(os.Stderr, "augmentd: -replay: trace was recorded with solver %q, not %q\n", meta.Solver, cfg.solverName)
+		return 2
+	case meta.HopBound != cfg.hopBound:
+		fmt.Fprintf(os.Stderr, "augmentd: -replay: trace was recorded with -l %d, not %d\n", meta.HopBound, cfg.hopBound)
+		return 2
+	case meta.AdmitPolicy != cfg.admitPolicy:
+		fmt.Fprintf(os.Stderr, "augmentd: -replay: trace was recorded with -admit %s, not %s\n", meta.AdmitPolicy, cfg.admitPolicy)
+		return 2
+	}
+	workerCounts, err := parseCounts(cfg.workerSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: bad -selftest-workers %q\n", cfg.workerSpec)
+		return 2
+	}
+	batcherCounts, err := parseCounts(cfg.batcherSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: bad -selftest-batchers %q\n", cfg.batcherSpec)
+		return 2
+	}
+	wave := cfg.wave
+	if wave <= 0 {
+		wave = cfg.queueDepth
+	}
+	augments := 0
+	for _, op := range ops {
+		if op.Op == serve.OpAugment {
+			augments++
+		}
+	}
+	fmt.Printf("replaying %s: %d ops (%d augments), recorded", cfg.path, len(ops), augments)
+	if eof != nil {
+		fmt.Printf(" hash=%s placed=%d", eof.Hash, eof.Placed)
+	} else {
+		fmt.Print(" without EOF trailer (recording was cut short; state check skipped)")
+	}
+	fmt.Println()
+
+	var refLog string
+	var runs []comboRun
+	ok := true
+	for _, w := range workerCounts {
+		for _, b := range batcherCounts {
+			svc := cfg.newService(w, b, "", false, "")
+			var clock loadgen.Clock
+			if cfg.speed > 0 {
+				clock = loadgen.NewWallClock(cfg.speed)
+			}
+			res, err := loadgen.Replay(svc, ops, loadgen.ReplayConfig{WaveSize: wave, Clock: clock})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "augmentd: replay workers=%d batchers=%d: %v\n", w, b, err)
+				return 1
+			}
+			svc.Drain()
+			hash, placed := svc.State().Hash(), svc.State().PlacedCount()
+			p50, p99, p999 := latencyQuantiles(res.Records)
+			fmt.Printf("replay workers=%d batchers=%d: %d ops in %v (%.0f req/s), admitted=%d infeasible=%d rejected=%d released=%d hash=%016x placed=%d p50=%v p99=%v p999=%v\n",
+				w, b, len(ops), res.Elapsed.Round(time.Millisecond), res.Throughput,
+				res.Admitted, res.Infeasible, res.Rejected, res.Released, hash, placed,
+				p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
+			if eof != nil {
+				if got := fmt.Sprintf("%016x", hash); got != eof.Hash || placed != eof.Placed {
+					fmt.Fprintf(os.Stderr, "augmentd: replay DIVERGENCE workers=%d batchers=%d: hash=%s placed=%d, recorded hash=%s placed=%d\n",
+						w, b, got, placed, eof.Hash, eof.Placed)
+					ok = false
+				}
+			}
+			log := res.PlacementLog()
+			if len(runs) == 0 {
+				refLog = log
+			} else if log != refLog {
+				fmt.Fprintf(os.Stderr, "augmentd: replay DETERMINISM FAILURE: workers=%d batchers=%d placement log differs from workers=%d batchers=%d\n%s",
+					w, b, runs[0].workers, runs[0].batchers, firstDiff(refLog, log))
+				ok = false
+			}
+			runs = append(runs, comboRun{workers: w, batchers: b, result: res})
+			if err := svc.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "augmentd: replay close: %v\n", err)
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		fmt.Println("replay FAILED")
+		return 1
+	}
+	for _, r := range runs {
+		nsPerOp := float64(r.result.Elapsed.Nanoseconds()) / float64(max(augments, 1))
+		fmt.Printf("BenchmarkAugmentdReplay/workers=%d/batchers=%d\t%d\t%.0f ns/op\n",
+			r.workers, r.batchers, augments, nsPerOp)
+	}
+	fmt.Printf("replay OK: %d combinations reproduced %d placements bit-identically\n", len(runs), runs[0].result.Admitted)
 	return 0
 }
 

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"bytes"
 	"expvar"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -31,12 +33,33 @@ func Handler(r *Registry) http.Handler {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Render into a buffer first: an exposition error must surface as a
+		// 500, and the status code has to be decided before the first body
+		// byte reaches the client.
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			slog.Error("obs: rendering /metrics failed", "err", err)
+			http.Error(w, "metrics exposition failed", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w)
+		w.WriteHeader(http.StatusOK)
+		if _, err := buf.WriteTo(w); err != nil {
+			slog.Debug("obs: writing /metrics response", "err", err)
+		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			slog.Error("obs: rendering /metrics.json failed", "err", err)
+			http.Error(w, "metrics exposition failed", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		r.WriteJSON(w)
+		w.WriteHeader(http.StatusOK)
+		if _, err := buf.WriteTo(w); err != nil {
+			slog.Debug("obs: writing /metrics.json response", "err", err)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mec"
+	"repro/internal/obs/trace"
 )
 
 // Submission errors surfaced by the admission queue. The HTTP layer maps
@@ -38,6 +40,12 @@ type pending struct {
 	deadline    time.Duration
 	enqueued    time.Time
 	done        chan outcome // buffered; the batcher never blocks on it
+
+	// tr is the request's lifecycle trace (nil with tracing disabled). It
+	// travels with the pending through the queue channel — single-owner
+	// everywhere — and is completed before the done send publishes it.
+	tr        *trace.Trace
+	queueSpan int
 }
 
 // outcome is the batcher's answer to one pending request.
@@ -49,6 +57,12 @@ type outcome struct {
 	initial   float64
 	queueWait time.Duration
 	solveTime time.Duration
+	// solveNote/commitNote annotate the request's trace spans ("cache_hit",
+	// "conflict_resolve", ...); trace is the completed snapshot delivered to
+	// the waiter.
+	solveNote  string
+	commitNote string
+	trace      *trace.Snapshot
 }
 
 // queue is the bounded admission queue plus its micro-batching machinery: a
@@ -265,6 +279,12 @@ type batchJob struct {
 	batch  []*pending
 	pickup time.Time
 	memo   map[memoKey]memoVal
+
+	// Stage boundaries stamped by processJob for the batch's trace spans:
+	// the commit-gate wait and (when a WAL flush happened) the fsync wait.
+	gateStart, gateEnd   time.Time
+	fsyncStart, fsyncEnd time.Time
+	fsynced              bool
 }
 
 // memoPut records a solver outcome, allocating the memo lazily.
@@ -329,6 +349,9 @@ type batchItem struct {
 	failErr   error // phase-1 admission failure
 	res       *core.Result
 	trialErr  *engine.TrialError
+
+	memoHit         bool // solver call skipped via the per-job memo
+	conflictResolve bool // commit conflict forced a serial re-solve
 }
 
 func (it *batchItem) seq() int { return it.p.seq }
@@ -344,7 +367,23 @@ type batchExec struct {
 	hash      uint64
 	conflicts int64
 	solveTime time.Duration
+
+	// Phase boundaries of this execution (start → solveStart → solveEnd →
+	// end) plus the execution kind (execSpeculative/execGated/execReexec) —
+	// the trace spans' raw material, stamped once per batch.
+	start      time.Time
+	solveStart time.Time
+	solveEnd   time.Time
+	end        time.Time
+	kind       string
 }
+
+// Batch execution kinds, annotated on every request's exec span.
+const (
+	execSpeculative = "speculative" // lock-free run against a pinned epoch
+	execGated       = "gated"       // in-gate run (speculation predicted stale)
+	execReexec      = "re-exec"     // in-gate rerun after a stale speculation
+)
 
 // processJob runs one batch speculatively and commits it in batch-sequence
 // order — the MVCC core:
@@ -378,27 +417,37 @@ func (s *Service) processJob(job *batchJob) {
 	var baseHash uint64
 	if s.queue.speculate.Load() {
 		base := s.state.pin()
-		exec = s.executeBatch(base, job)
+		exec = s.executeBatch(base, job, execSpeculative)
 		baseHash = base.hash
 	} else {
 		metrics.specSkipped.Inc()
 	}
 
+	job.gateStart = time.Now()
 	s.queue.gate.enter(job.seq)
 	s.state.commitMu.Lock()
+	job.gateEnd = time.Now()
+	metrics.stageGate.Observe(job.gateEnd.Sub(job.gateStart))
 	live := s.state.pin()
 	if exec == nil || live.hash != baseHash {
+		kind := execGated
 		if exec != nil {
 			metrics.specStale.Inc()
+			kind = execReexec
 		}
-		exec = s.executeBatch(live, job)
+		exec = s.executeBatch(live, job, kind)
 	} else {
 		metrics.specValid.Inc()
 	}
 	ticket := s.installBatchLocked(live, job, exec)
 	s.state.commitMu.Unlock()
 	s.queue.gate.leave()
+	job.fsyncStart = time.Now()
 	s.state.flushWAL(ticket)
+	if job.fsynced = ticket != nil; job.fsynced {
+		job.fsyncEnd = time.Now()
+		metrics.stageFsync.Observe(job.fsyncEnd.Sub(job.fsyncStart))
+	}
 	s.deliverOutcomes(job, exec)
 }
 
@@ -424,12 +473,15 @@ func (s *Service) installBatchLocked(live *epochLedger, job *batchJob, exec *bat
 // deliverOutcomes answers every request of a committed batch. Runs after the
 // batch's WAL flush (clients never observe a non-durable admission) and
 // outside the gate, so the next batch commits while these channel sends wake
-// their waiters.
+// their waiters. Each request's trace is completed, snapshotted into the
+// flight recorder, and (above the slow threshold) dumped — all before the
+// done send, whose channel synchronization publishes the trace to the waiter.
 func (s *Service) deliverOutcomes(job *batchJob, exec *batchExec) {
+	end := time.Now()
 	for i := range exec.outcomes {
 		p := job.batch[i]
 		out := exec.outcomes[i]
-		out.queueWait = time.Since(p.enqueued)
+		out.queueWait = end.Sub(p.enqueued)
 		metrics.queueWait.Observe(job.pickup.Sub(p.enqueued).Seconds())
 		switch out.status {
 		case http.StatusOK:
@@ -440,8 +492,50 @@ func (s *Service) deliverOutcomes(job *batchJob, exec *batchExec) {
 			metrics.infeasible.Inc()
 		}
 		metrics.inflight.Add(-1)
+		if p.tr != nil {
+			snap := s.completeTrace(p, job, exec, &out, end)
+			out.trace = &snap
+			s.flight.Record(snap)
+			if s.opt.TraceSlow > 0 && end.Sub(p.enqueued) > s.opt.TraceSlow {
+				slog.Warn("serve: slow request",
+					"trace_id", snap.TraceID, "seq", p.seq, "status", out.status,
+					"timeline", snap.Timeline())
+			}
+		}
 		p.done <- out
 	}
+}
+
+// completeTrace stamps the request's stage spans from the batch's measured
+// phase boundaries (one clock read per batch, not per request), ends the root
+// at end, and returns the snapshot.
+func (s *Service) completeTrace(p *pending, job *batchJob, exec *batchExec, out *outcome, end time.Time) trace.Snapshot {
+	tr := p.tr
+	tr.EndSpanAt(p.queueSpan, job.pickup)
+	ex := tr.StartSpanAt("exec", trace.Root, exec.start)
+	tr.Annotate(ex, exec.kind)
+	admit := tr.StartSpanAt("admit", ex, exec.start)
+	tr.EndSpanAt(admit, exec.solveStart)
+	solve := tr.StartSpanAt("solve", ex, exec.solveStart)
+	if out.solveNote != "" {
+		tr.Annotate(solve, out.solveNote)
+	}
+	tr.EndSpanAt(solve, exec.solveEnd)
+	commit := tr.StartSpanAt("commit", ex, exec.solveEnd)
+	if out.commitNote != "" {
+		tr.Annotate(commit, out.commitNote)
+	}
+	tr.EndSpanAt(commit, exec.end)
+	tr.EndSpanAt(ex, exec.end)
+	gate := tr.StartSpanAt("gate_wait", trace.Root, job.gateStart)
+	tr.EndSpanAt(gate, job.gateEnd)
+	if job.fsynced {
+		fs := tr.StartSpanAt("wal_fsync", trace.Root, job.fsyncStart)
+		tr.EndSpanAt(fs, job.fsyncEnd)
+	}
+	tr.Annotate(trace.Root, fmt.Sprintf("status=%d", out.status))
+	tr.EndSpanAt(trace.Root, end)
+	return tr.Snapshot()
 }
 
 // executeBatch runs one micro-batch against the epoch e, entirely on a
@@ -461,10 +555,10 @@ func (s *Service) deliverOutcomes(job *batchJob, exec *batchExec) {
 //
 // The returned execution is pure data against e; callers decide whether it
 // installs.
-func (s *Service) executeBatch(e *epochLedger, job *batchJob) *batchExec {
+func (s *Service) executeBatch(e *epochLedger, job *batchJob, kind string) *batchExec {
 	fork := s.state.forkNet(e)
 	items := make([]*batchItem, len(job.batch))
-	exec := &batchExec{outcomes: make([]outcome, len(job.batch))}
+	exec := &batchExec{outcomes: make([]outcome, len(job.batch)), kind: kind, start: time.Now()}
 
 	// Phase 1: primaries + instances + cache lookups.
 	for i, p := range job.batch {
@@ -527,12 +621,15 @@ func (s *Service) executeBatch(e *epochLedger, job *batchJob) *batchExec {
 		toSolve = append(toSolve, it)
 	}
 	solveStart := time.Now()
+	exec.solveStart = solveStart
+	metrics.stageAdmit.Observe(solveStart.Sub(exec.start))
 	var misses []*batchItem
 	missKeys := make(map[*batchItem]memoKey)
 	for _, it := range toSolve {
 		k := memoKey{seq: it.seq(), attempt: 0, inst: instanceSig(it.inst)}
 		if v, ok := job.memo[k]; ok {
 			it.res, it.trialErr = v.res, v.trialErr
+			it.memoHit = true
 			metrics.memoHits.Inc()
 			continue
 		}
@@ -569,15 +666,44 @@ func (s *Service) executeBatch(e *epochLedger, job *batchJob) *batchExec {
 		it.res, it.trialErr, it.sharedHit = rep.res, rep.trialErr, true
 		metrics.cacheHits.Inc()
 	}
-	exec.solveTime = time.Since(solveStart)
+	exec.solveEnd = time.Now()
+	exec.solveTime = exec.solveEnd.Sub(solveStart)
+	metrics.stageSolve.Observe(exec.solveTime)
 
 	// Phase 3: commit in sequence order onto the fork.
 	for i, it := range items {
-		exec.outcomes[i] = s.finishItem(fork, job, it, exec)
+		out := s.finishItem(fork, job, it, exec)
+		out.solveNote = solveNoteOf(it)
+		if it.conflictResolve {
+			out.commitNote = "conflict_resolve"
+		}
+		exec.outcomes[i] = out
 	}
 	exec.res = fork.ResidualSnapshot()
 	exec.hash = hashResiduals(exec.res)
+	exec.end = time.Now()
+	metrics.stageCommit.Observe(exec.end.Sub(exec.solveEnd))
+	metrics.stageExec.Observe(exec.end.Sub(exec.start))
 	return exec
+}
+
+// solveNoteOf classifies how an item's solve phase was satisfied, for its
+// trace span annotation.
+func solveNoteOf(it *batchItem) string {
+	switch {
+	case it.failErr != nil:
+		return "admit_failed"
+	case it.hit != nil:
+		return "cache_hit"
+	case it.sharedHit:
+		return "shared"
+	case it.memoHit:
+		return "memoized"
+	case it.trialErr != nil:
+		return "failed"
+	default:
+		return "solved"
+	}
 }
 
 // instanceSig hashes everything a solver (and its seed derivation) can
@@ -683,6 +809,7 @@ func (s *Service) finishItem(work *mec.Network, job *batchJob, it *batchItem, ex
 		// consumed the headroom. Re-solve once against the fork's live view,
 		// serially, with a deterministically re-derived seed.
 		exec.conflicts++
+		it.conflictResolve = true
 		entry = s.resolveConflict(work, job, it)
 		if entry == nil {
 			return fail(http.StatusUnprocessableEntity, false, fmt.Errorf("serve: re-solve after commit conflict failed"))

@@ -68,6 +68,10 @@ type Record struct {
 	Secondaries [][]int
 	ServedBy    string
 	Cached      bool
+	// Latency is enqueue → answer for this request (zero for submissions
+	// rejected at the queue). Feeds the selftest's exact latency quantiles;
+	// excluded from PlacementLog, which must stay timing-independent.
+	Latency time.Duration
 }
 
 // Result aggregates one load-generator run.
@@ -121,16 +125,11 @@ func Run(svc *serve.Service, cfg Config) (*Result, error) {
 		if left := cfg.Requests - submitted; wave > left {
 			wave = left
 		}
-		type waveEntry struct {
-			seqIdx int
-			ticket *serve.Ticket
-			reject int // non-zero: rejected at submit with this status
-		}
 		entries := make([]waveEntry, 0, wave)
 		for i := 0; i < wave; i++ {
 			ar := nextRequest(rng, svc, cfg, submitted, prev)
 			prev = &ar
-			entry := waveEntry{seqIdx: submitted}
+			entry := waveEntry{seqIdx: submitted, submitted: time.Now()}
 			t, err := svc.Enqueue(ar)
 			if err != nil {
 				res.Rejected++
@@ -145,34 +144,9 @@ func Run(svc *serve.Service, cfg Config) (*Result, error) {
 			submitted++
 		}
 		for _, e := range entries {
-			rec := Record{Seq: e.seqIdx}
-			if e.ticket == nil {
-				rec.Status = e.reject
-				res.Records = append(res.Records, rec)
-				continue
+			if id := collectEntry(res, e); id > 0 {
+				admittedIDs = append(admittedIDs, id)
 			}
-			out := e.ticket.Wait()
-			rec.Status = out.Status
-			rec.Cached = out.Cached
-			if rec.Cached {
-				res.CacheHits++
-			}
-			switch {
-			case out.Status == http.StatusOK:
-				rec.ID = out.Response.ID
-				rec.Reliability = out.Response.Reliability
-				rec.Met = out.Response.MetExpectation
-				rec.Counts = out.Response.BackupCounts
-				rec.Secondaries = out.Response.Secondaries
-				rec.ServedBy = out.Response.ServedBy
-				res.Admitted++
-				admittedIDs = append(admittedIDs, out.Response.ID)
-			case out.Status == http.StatusGatewayTimeout:
-				res.Deadline++
-			default:
-				res.Infeasible++
-			}
-			res.Records = append(res.Records, rec)
 		}
 		// Between waves, optionally release every k-th admitted placement —
 		// a deterministic point in the stream, so capacity restoration does
@@ -181,7 +155,7 @@ func Run(svc *serve.Service, cfg Config) (*Result, error) {
 			for len(admittedIDs) >= cfg.ReleaseEvery {
 				id := admittedIDs[cfg.ReleaseEvery-1]
 				admittedIDs = admittedIDs[cfg.ReleaseEvery:]
-				if _, err := svc.State().Release(id); err == nil {
+				if _, err := svc.Release(id); err == nil {
 					res.Released++
 				}
 			}
@@ -192,6 +166,53 @@ func Run(svc *serve.Service, cfg Config) (*Result, error) {
 		res.Throughput = float64(len(res.Records)) / res.Elapsed.Seconds()
 	}
 	return res, nil
+}
+
+// waveEntry is one in-flight submission of a wave: where its record goes,
+// when it was submitted, and either its ticket or its rejection status.
+type waveEntry struct {
+	seqIdx    int
+	submitted time.Time
+	ticket    *serve.Ticket
+	reject    int // non-zero: rejected at submit with this status
+}
+
+// collectEntry waits for one wave entry's outcome, appends its record to res
+// (updating the aggregate counters), and returns the admitted placement ID
+// (0 when the request was rejected or not admitted). Shared by the generator
+// and the replay driver so both produce comparable placement logs.
+func collectEntry(res *Result, e waveEntry) int {
+	rec := Record{Seq: e.seqIdx}
+	if e.ticket == nil {
+		rec.Status = e.reject
+		res.Records = append(res.Records, rec)
+		return 0
+	}
+	out := e.ticket.Wait()
+	rec.Latency = time.Since(e.submitted)
+	rec.Status = out.Status
+	rec.Cached = out.Cached
+	if rec.Cached {
+		res.CacheHits++
+	}
+	id := 0
+	switch {
+	case out.Status == http.StatusOK:
+		rec.ID = out.Response.ID
+		rec.Reliability = out.Response.Reliability
+		rec.Met = out.Response.MetExpectation
+		rec.Counts = out.Response.BackupCounts
+		rec.Secondaries = out.Response.Secondaries
+		rec.ServedBy = out.Response.ServedBy
+		res.Admitted++
+		id = out.Response.ID
+	case out.Status == http.StatusGatewayTimeout:
+		res.Deadline++
+	default:
+		res.Infeasible++
+	}
+	res.Records = append(res.Records, rec)
+	return id
 }
 
 // nextRequest samples one augment request; every DuplicateEvery-th submission

@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// newServiceOpts builds a service over the canonical loadgen test network
+// (default workload, full residuals, seed 11) with caller-supplied options —
+// the record/replay tests need RecordPath and batcher counts the simpler
+// newService helper does not expose.
+func newServiceOpts(t *testing.T, opt serve.Options) *serve.Service {
+	t.Helper()
+	cfg := workload.NewDefaultConfig()
+	cfg.ResidualFraction = 1.0
+	net := cfg.Network(rand.New(rand.NewSource(11)))
+	svc, err := serve.New(net, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// placements renders the timing- and seq-independent placement view of a
+// run: one line per admitted request, keyed by placement ID. The generator
+// numbers records by submission index while the replay driver numbers them
+// by recorded admission sequence, so the record/replay comparison goes
+// through this view instead of PlacementLog.
+func placements(r *Result) string {
+	out := ""
+	for _, rec := range r.Records {
+		if rec.Status != http.StatusOK {
+			continue
+		}
+		out += fmt.Sprintf("id=%d rel=%.9f met=%v counts=%v sec=%v by=%s\n",
+			rec.ID, rec.Reliability, rec.Met, rec.Counts, rec.Secondaries, rec.ServedBy)
+	}
+	return out
+}
+
+// TestRecordReplayRoundTrip pins the trace record/replay contract: a run
+// recorded through Options.RecordPath replays bit-identically — same
+// placements, same final state hash — at worker and batcher counts different
+// from the recording run's.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	cfg := Config{Seed: 7, Requests: 96, WaveSize: 32, DuplicateEvery: 4, ReleaseEvery: 8}
+
+	build := func(workers, batchers int, record string) *serve.Service {
+		t.Helper()
+		svc := newServiceOpts(t, serve.Options{
+			Workers: workers, Batchers: batchers, Seed: 11, QueueDepth: 64, RecordPath: record,
+		})
+		return svc
+	}
+
+	rec := build(1, 1, path)
+	orig, err := Run(rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Drain()
+	origHash, origPlaced := rec.State().Hash(), rec.State().PlacedCount()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Admitted == 0 {
+		t.Fatal("recording run admitted nothing; test network too tight")
+	}
+
+	meta, ops, eof, err := serve.ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Seed != 11 {
+		t.Fatalf("meta seed = %d, want 11", meta.Seed)
+	}
+	if eof == nil {
+		t.Fatal("trace has no EOF trailer after Close")
+	}
+	if eof.Hash != fmt.Sprintf("%016x", origHash) || eof.Placed != origPlaced {
+		t.Fatalf("EOF trailer %+v does not match recorded run hash=%016x placed=%d", eof, origHash, origPlaced)
+	}
+
+	want := placements(orig)
+	for _, combo := range []struct{ w, b int }{{1, 1}, {8, 1}, {1, 4}, {8, 4}} {
+		svc := build(combo.w, combo.b, "")
+		res, err := Replay(svc, ops, ReplayConfig{WaveSize: cfg.WaveSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Drain()
+		if res.Rejected != 0 {
+			t.Fatalf("workers=%d batchers=%d: %d replay submissions rejected", combo.w, combo.b, res.Rejected)
+		}
+		if got := placements(res); got != want {
+			t.Errorf("workers=%d batchers=%d: replay placements diverge from recording:\nrecorded:\n%s\nreplayed:\n%s",
+				combo.w, combo.b, want, got)
+		}
+		if h, p := svc.State().Hash(), svc.State().PlacedCount(); h != origHash || p != origPlaced {
+			t.Errorf("workers=%d batchers=%d: replay state hash=%016x placed=%d, recorded hash=%016x placed=%d",
+				combo.w, combo.b, h, p, origHash, origPlaced)
+		}
+	}
+}
+
+// TestReplayVirtualVsWallClock pins that the pacing clock cannot perturb
+// placements: a virtual-clock replay and a fast wall-clock replay agree.
+func TestReplayVirtualVsWallClock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	cfg := Config{Seed: 3, Requests: 32, WaveSize: 16}
+	rec := newServiceOpts(t, serve.Options{Workers: 1, Seed: 11, QueueDepth: 64, RecordPath: path})
+	if _, err := Run(rec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, ops, _, err := serve.ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var logs []string
+	for _, clock := range []Clock{VirtualClock{}, NewWallClock(1000)} {
+		svc := newServiceOpts(t, serve.Options{Workers: 1, Seed: 11, QueueDepth: 64})
+		res, err := Replay(svc, ops, ReplayConfig{WaveSize: 16, Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Drain()
+		logs = append(logs, res.PlacementLog())
+	}
+	if logs[0] != logs[1] {
+		t.Fatalf("virtual and wall clock replays diverge:\n%s\nvs\n%s", logs[0], logs[1])
+	}
+}

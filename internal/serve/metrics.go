@@ -31,6 +31,17 @@ var metrics = struct {
 	walSnapshots  *obs.Counter   // WAL snapshots (checkpoints) written
 	walErrors     *obs.Counter   // WAL append/snapshot failures (service degrades to non-durable)
 	walFsync      *obs.Histogram // latency of each performed WAL fsync (coalesced group commits count once)
+
+	// Per-stage span handles for the batch pipeline, pre-resolved so the hot
+	// path pays zero lookups/allocations per observation (see obs.SpanHandle).
+	// Stage boundaries are stamped once per batch and observed here; the same
+	// timestamps feed the per-request trace spans.
+	stageAdmit  obs.SpanHandle // phase 1: primaries + instances + cache lookups
+	stageSolve  obs.SpanHandle // phase 2: parallel fail-soft solving
+	stageCommit obs.SpanHandle // phase 3: sequential fork commits
+	stageExec   obs.SpanHandle // one whole batch execution (phases 1–3)
+	stageGate   obs.SpanHandle // commit-gate wait (batch-order serialization)
+	stageFsync  obs.SpanHandle // post-install WAL flush wait
 }{
 	queueDepth:    obs.Default().Gauge("serve_queue_depth"),
 	queueWait:     obs.Default().Histogram("serve_queue_wait_seconds", obs.DurationBuckets),
@@ -56,6 +67,12 @@ var metrics = struct {
 	walSnapshots:  obs.Default().Counter("serve_wal_snapshots_total"),
 	walErrors:     obs.Default().Counter("serve_wal_errors_total"),
 	walFsync:      obs.Default().Histogram("serve_wal_fsync_seconds", obs.DurationBuckets),
+	stageAdmit:    obs.Default().SpanHandle("serve_admit"),
+	stageSolve:    obs.Default().SpanHandle("serve_solve"),
+	stageCommit:   obs.Default().SpanHandle("serve_commit"),
+	stageExec:     obs.Default().SpanHandle("serve_exec"),
+	stageGate:     obs.Default().SpanHandle("serve_gate_wait"),
+	stageFsync:    obs.Default().SpanHandle("serve_wal_fsync"),
 }
 
 // endpointInstruments caches the per-endpoint request counter and latency

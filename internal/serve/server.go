@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mec"
+	"repro/internal/obs/trace"
 	"repro/internal/serve/wal"
 )
 
@@ -91,6 +92,19 @@ type Options struct {
 	// pre-crash epoch, residual ledger, and placement map instead of a fresh
 	// network. Requires WALDir.
 	Restore bool
+	// TraceDepth sizes the flight recorder: the last TraceDepth completed
+	// request traces are kept in memory and served at /debug/traces. 0 means
+	// the default 256; negative disables request tracing entirely (no trace
+	// allocation, no X-Trace-Id).
+	TraceDepth int
+	// TraceSlow, when positive, dumps the full span timeline of any request
+	// whose end-to-end latency exceeds it to the structured log.
+	TraceSlow time.Duration
+	// RecordPath, when set, appends every admitted augmentation and release
+	// to a CRC-framed request-trace file replayable with `augmentd -replay`.
+	// The recorded order is faithful only under a single admission producer
+	// (the loadgen path); concurrent HTTP admissions may interleave.
+	RecordPath string
 }
 
 // withDefaults fills unset options.
@@ -160,6 +174,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Restore && o.WALDir == "" {
 		return o, fmt.Errorf("serve: Restore requires WALDir")
 	}
+	if o.TraceDepth == 0 {
+		o.TraceDepth = 256
+	}
+	if o.TraceDepth < 0 {
+		o.TraceDepth = 0 // explicit disable
+	}
 	return o, nil
 }
 
@@ -173,6 +193,12 @@ type Service struct {
 	queue     *queue
 	cacheable bool
 	nextSeq   atomic.Int64
+
+	// flight keeps the last TraceDepth completed request traces (nil when
+	// tracing is disabled); recorder appends the request stream for replay
+	// (nil when Options.RecordPath is empty).
+	flight   *trace.Recorder
+	recorder *TraceWriter
 
 	augmentIns *endpointInstruments
 	releaseIns *endpointInstruments
@@ -218,20 +244,79 @@ func New(net *mec.Network, opt Options) (*Service, error) {
 		releaseIns: endpointInstrumentsFor("release"),
 		stateIns:   endpointInstrumentsFor("state"),
 	}
+	if opt.TraceDepth > 0 {
+		s.flight = trace.NewRecorder(opt.TraceDepth)
+	}
+	if opt.RecordPath != "" {
+		s.recorder, err = OpenTraceWriter(opt.RecordPath, TraceOp{
+			Seed:        opt.Seed,
+			Solver:      opt.Solver.Name(),
+			HopBound:    opt.HopBound,
+			AdmitPolicy: opt.AdmitPolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	// Replayed placements keep their IDs; new admissions continue above them.
 	s.nextSeq.Store(int64(state.MaxPlacedID()))
 	s.queue = newQueue(s, opt.QueueDepth, opt.Batchers)
 	return s, nil
 }
 
-// Close drains the admission path and releases the WAL file handle. Call it
-// instead of Drain when the service was built with a WALDir.
+// traceID derives a request's trace ID from its admission sequence: a
+// splitmix64 finalizer over the service seed and the sequence, so the same
+// request gets the same X-Trace-Id on a recorded run and its replay.
+func (s *Service) traceID(seq int) uint64 {
+	z := uint64(s.opt.Seed)*0x9e3779b97f4a7c15 + uint64(seq)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// FlightRecorder exposes the service's flight recorder (nil when tracing is
+// disabled) — test and tooling access to the /debug/traces data.
+func (s *Service) FlightRecorder() *trace.Recorder { return s.flight }
+
+// AdvanceSeq raises the admission sequence counter so the next Enqueue
+// assigns at least n+1 — the replay driver's tool for reproducing sequence
+// gaps (rejected submissions consumed a sequence number on the recorded run
+// without leaving a trace op). A no-op when the counter is already past n.
+func (s *Service) AdvanceSeq(n int) {
+	for {
+		cur := s.nextSeq.Load()
+		if int64(n) <= cur || s.nextSeq.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// Close drains the admission path, finalizes the request-trace recording
+// (EOF trailer with the final state hash), and releases the WAL file handle.
+// Call it instead of Drain when the service was built with a WALDir or a
+// RecordPath.
 func (s *Service) Close() error {
 	s.Drain()
-	if s.state.wal != nil {
-		return s.state.wal.Close()
+	var firstErr error
+	if s.recorder != nil {
+		_, epoch, hash := s.state.Snapshot()
+		firstErr = s.recorder.CloseWith(TraceOp{
+			Hash:   fmt.Sprintf("%016x", hash),
+			Placed: s.state.PlacedCount(),
+			Epoch:  epoch,
+		})
+		s.recorder = nil
 	}
-	return nil
+	if s.state.wal != nil {
+		if err := s.state.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // State exposes the service's live network state (read-mostly accessors).
@@ -291,6 +376,9 @@ type AugmentResponse struct {
 	Cached             bool    `json:"cached"`
 	QueueWaitMS        float64 `json:"queue_wait_ms"`
 	SolveMS            float64 `json:"solve_ms"`
+	// Trace is the request's span timeline, echoed when the client asked
+	// with ?trace=1 (and tracing is enabled).
+	Trace *trace.Snapshot `json:"trace,omitempty"`
 }
 
 // ReleaseRequest is the JSON body of POST /v1/release.
@@ -337,12 +425,16 @@ type errorResponse struct {
 //	POST /v1/release
 //	GET  /v1/state
 //	GET  /v1/healthz
+//	GET  /debug/traces   (when tracing is enabled)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/augment", s.handleAugment)
 	mux.HandleFunc("/v1/release", s.handleRelease)
 	mux.HandleFunc("/v1/state", s.handleState)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	if s.flight != nil {
+		mux.Handle("/debug/traces", s.flight.Handler())
+	}
 	return mux
 }
 
@@ -409,20 +501,23 @@ type Outcome struct {
 	// Cached reports that the answer reused earlier solver work — an LRU hit
 	// (including a negative, infeasible entry) or a within-batch share.
 	Cached bool
+	// Trace is the request's completed span timeline (nil with tracing
+	// disabled). Present for every delivered outcome, success or failure.
+	Trace *trace.Snapshot
 }
 
 // Wait blocks until the batcher has answered this ticket's request.
 func (t *Ticket) Wait() Outcome {
 	out := <-t.p.done
 	if out.status != http.StatusOK {
-		return Outcome{Status: out.status, Err: out.errText, Cached: out.cached}
+		return Outcome{Status: out.status, Err: out.errText, Cached: out.cached, Trace: out.trace}
 	}
 	rec := out.placed
 	counts := make([]int, len(rec.Secondaries))
 	for i, sec := range rec.Secondaries {
 		counts[i] = len(sec)
 	}
-	return Outcome{Status: http.StatusOK, Cached: out.cached, Response: &AugmentResponse{
+	return Outcome{Status: http.StatusOK, Cached: out.cached, Trace: out.trace, Response: &AugmentResponse{
 		ID:                 rec.ID,
 		Primaries:          rec.Primaries,
 		Secondaries:        rec.Secondaries,
@@ -460,10 +555,44 @@ func (s *Service) Enqueue(ar AugmentRequest) (*Ticket, error) {
 		enqueued:    time.Now(),
 		done:        make(chan outcome, 1),
 	}
+	if s.flight != nil {
+		// The trace is built here and handed off with the pending through the
+		// queue channel — single-owner at every point, so no span takes a lock.
+		p.tr = trace.New(s.traceID(p.seq), p.seq, "request", p.enqueued)
+		p.queueSpan = p.tr.StartSpanAt("queue", trace.Root, p.enqueued)
+	}
 	if err := s.queue.Submit(p); err != nil {
 		return nil, err
 	}
+	if s.recorder != nil {
+		s.recorder.Record(TraceOp{
+			Op:          OpAugment,
+			Seq:         p.seq,
+			SFC:         p.sfc,
+			Expectation: p.expectation,
+			Source:      p.source,
+			Destination: p.destination,
+			Primaries:   p.primaries,
+			DeadlineMS:  ar.DeadlineMS,
+		})
+	}
 	return &Ticket{p: p}, nil
+}
+
+// Release tears down a live placement: capacity returns to the ledger, the
+// result cache is invalidated (entries are keyed on now-dead ledger hashes),
+// and the release is recorded for replay. Returns the freed MHz.
+func (s *Service) Release(id int) (float64, error) {
+	freed, err := s.state.Release(id)
+	if err != nil {
+		return 0, err
+	}
+	s.cache.Invalidate()
+	metrics.released.Inc()
+	if s.recorder != nil {
+		s.recorder.Record(TraceOp{Op: OpRelease, ID: id})
+	}
+	return freed, nil
 }
 
 func (s *Service) handleAugment(w http.ResponseWriter, r *http.Request) {
@@ -498,9 +627,15 @@ func (s *Service) handleAugment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := t.Wait()
+	if out.Trace != nil {
+		w.Header().Set("X-Trace-Id", out.Trace.TraceID)
+	}
 	if out.Status != http.StatusOK {
 		writeJSON(w, out.Status, errorResponse{Error: out.Err, Cached: out.Cached})
 		return
+	}
+	if out.Trace != nil && r.URL.Query().Get("trace") == "1" {
+		out.Response.Trace = out.Trace
 	}
 	writeJSON(w, http.StatusOK, out.Response)
 }
@@ -520,16 +655,11 @@ func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad release request: %v", err)
 		return
 	}
-	freed, err := s.state.Release(rr.ID)
+	freed, err := s.Release(rr.ID)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	// A release mutates capacity outside the admission path: flush the
-	// result cache (entries keyed on now-dead ledger hashes are unreachable
-	// anyway; this bounds their memory eagerly).
-	s.cache.Invalidate()
-	metrics.released.Inc()
 	writeJSON(w, http.StatusOK, ReleaseResponse{ID: rr.ID, FreedMHz: freed})
 }
 

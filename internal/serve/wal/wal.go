@@ -226,10 +226,7 @@ func (l *Log) Append(e Entry) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("wal: marshal entry: %w", err)
 	}
-	frame := make([]byte, 0, len(payload)+10)
-	frame = append(frame, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
-	frame = append(frame, payload...)
-	frame = append(frame, '\n')
+	frame := EncodeFrame(payload)
 
 	l.mu.Lock()
 	if l.policy == SyncAlways {
@@ -463,19 +460,41 @@ func Replay(dir string) (*Snapshot, []Entry, error) {
 // frame is intact.
 func decodeFrame(line string) (Entry, bool) {
 	var e Entry
-	crcHex, payload, found := strings.Cut(line, " ")
-	if !found || len(crcHex) != 8 {
+	payload, ok := DecodeFrame(line)
+	if !ok {
 		return e, false
 	}
-	want, err := strconv.ParseUint(crcHex, 16, 32)
-	if err != nil {
-		return e, false
-	}
-	if crc32.ChecksumIEEE([]byte(payload)) != uint32(want) {
-		return e, false
-	}
-	if err := json.Unmarshal([]byte(payload), &e); err != nil {
+	if err := json.Unmarshal(payload, &e); err != nil {
 		return e, false
 	}
 	return e, true
+}
+
+// EncodeFrame wraps a payload in the WAL's line framing —
+// "<crc32-hex> <payload>\n", checksum over the payload bytes. Exported so
+// other append-only logs (the serving layer's request-trace recorder) share
+// the WAL's torn-tail detection instead of inventing a second format.
+func EncodeFrame(payload []byte) []byte {
+	frame := make([]byte, 0, len(payload)+10)
+	frame = append(frame, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	frame = append(frame, payload...)
+	frame = append(frame, '\n')
+	return frame
+}
+
+// DecodeFrame unwraps one framed line (without its trailing newline),
+// returning the payload and whether the checksum verified.
+func DecodeFrame(line string) ([]byte, bool) {
+	crcHex, payload, found := strings.Cut(line, " ")
+	if !found || len(crcHex) != 8 {
+		return nil, false
+	}
+	want, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil {
+		return nil, false
+	}
+	if crc32.ChecksumIEEE([]byte(payload)) != uint32(want) {
+		return nil, false
+	}
+	return []byte(payload), true
 }
