@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check doc-check smoke-serve smoke-recover smoke-replay check test test-race test-failsoft fuzz bench bench-short bench-serve experiments figures clean
+.PHONY: all build vet fmt-check doc-check smoke-serve smoke-recover smoke-replay smoke-chaos check test test-race test-failsoft fuzz bench bench-short bench-serve experiments figures clean
 
 all: build check test test-race
 
@@ -57,9 +57,30 @@ smoke-replay:
 		-residual 1.0 -log-level warn
 	@rm -f smoke_replay.trace augmentd.replay
 
+# Chaos drill: the selftest injects deterministic node outages (seeded
+# MTBF/MTTR renewal schedule) between waves; the watchdog destroys hosted
+# instances, raises alerts, and proactively re-augments every failed session.
+# The run must agree bit-for-bit — placement log AND chaos log — across every
+# worker × batcher combination, end with zero silent SLO violations, and its
+# WAL replay must reproduce the final state including the down set. A second
+# pass records the drill's trace (node transitions, reaug releases and sync
+# re-admissions included) and replays it at other combinations.
+smoke-chaos:
+	@$(GO) build -o augmentd.chaos ./cmd/augmentd
+	@rm -rf chaos_wal chaos.trace
+	@./augmentd.chaos -selftest -chaos -chaos-mtbf 3 -chaos-mttr 2 -chaos-degraded 0.25 \
+		-requests 96 -release-every 8 -selftest-workers 1,8 -selftest-batchers 1,4 \
+		-wal-dir chaos_wal -residual 1.0 -log-level error 2>/dev/null
+	@./augmentd.chaos -selftest -chaos -chaos-mtbf 3 -chaos-mttr 2 -chaos-degraded 0.25 \
+		-requests 96 -release-every 8 -selftest-workers 1 -selftest-batchers 1 \
+		-record chaos.trace -residual 1.0 -log-level error 2>/dev/null
+	@./augmentd.chaos -replay chaos.trace -selftest-workers 1,8 -selftest-batchers 1,4 \
+		-residual 1.0 -log-level error 2>/dev/null
+	@rm -rf chaos_wal chaos.trace augmentd.chaos
+
 # Static checks + the serving smoke test + the kill/restore check + the
-# record/replay determinism check.
-check: vet fmt-check doc-check smoke-serve smoke-recover smoke-replay
+# record/replay determinism check + the chaos self-healing drill.
+check: vet fmt-check doc-check smoke-serve smoke-recover smoke-replay smoke-chaos
 
 test:
 	$(GO) test ./...
@@ -139,4 +160,5 @@ figures:
 clean:
 	rm -rf results test_output.txt bench_output.txt serve_bench.txt \
 		serve_bench_wal smoke_wal smoke_kill.txt smoke_restore.txt augmentd.smoke \
-		serve_bench.trace smoke_replay.trace augmentd.replay
+		serve_bench.trace smoke_replay.trace augmentd.replay \
+		chaos_wal chaos.trace augmentd.chaos

@@ -22,7 +22,12 @@
 // -parse` can record throughput snapshots (BENCH_pr6.json), plus the batcher
 // scaling ratio. -kill runs one selftest pass, prints the durable state
 // line, and SIGKILLs the process mid-flight tooling can then verify with
-// -restore-only (see `make smoke-recover`).
+// -restore-only (see `make smoke-recover`). -chaos turns the selftest into a
+// failure drill: deterministic node outages (seeded MTBF/MTTR renewal
+// schedule, -chaos-*) are injected between waves, each followed by a watchdog
+// audit + re-augmentation round, and the run additionally pins a bit-identical
+// chaos log across combinations plus zero silent SLO violations at the end
+// (see `make smoke-chaos`).
 package main
 
 import (
@@ -91,6 +96,16 @@ func main() {
 	replaySpeed := flag.Float64("replay-speed", 0, "replay pacing: 0 replays on the virtual clock (as fast as possible), 1 on the recorded timeline, 2 twice as fast")
 	traceSlow := flag.Duration("trace-slow", 0, "dump the span timeline of any request slower than this to the log (0: off)")
 	flight := flag.Int("flight", 256, "flight-recorder depth: completed request traces kept for /debug/traces (negative disables tracing)")
+	degradedFactor := flag.Float64("degraded-factor", 0.5, "fraction of free capacity a degraded cloudlet still offers")
+	reaugBudget := flag.Int("reaug-budget", 3, "re-augmentation attempts per failed session before it is declared lost")
+	alertWarn := flag.Float64("alert-warn", 0, "session WARN threshold factor: u < rho*factor warns (0: serve default 1.05)")
+	alertCrit := flag.Float64("alert-crit", 0, "session CRIT threshold factor: u < rho*factor is critical (0: serve default 1.0)")
+	probeEvery := flag.Duration("probe-every", 0, "server mode: watchdog audit + re-augmentation cadence (0: event-driven only)")
+	chaos := flag.Bool("chaos", false, "selftest: inject deterministic node failures between waves (the chaos drill)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "selftest: chaos schedule seed (independent of -seed)")
+	chaosMTBF := flag.Float64("chaos-mtbf", 8, "selftest: mean waves between cloudlet failures (exponential)")
+	chaosMTTR := flag.Float64("chaos-mttr", 2, "selftest: mean cloudlet outage length in waves (exponential)")
+	chaosDegraded := flag.Float64("chaos-degraded", 0, "selftest: probability a failure arrives as degraded instead of down")
 	flag.Parse()
 
 	obsSrv, err := obs.Boot(*logLevel, *obsAddr)
@@ -167,6 +182,12 @@ func main() {
 	if traceDepth <= 0 {
 		traceDepth = -1 // CLI semantics: any non-positive depth disables tracing
 	}
+	// The probe loop is wall-clock-driven and only belongs in server mode:
+	// selftest and replay runs drive audits deterministically between waves.
+	probe := *probeEvery
+	if *selftest || *replay != "" {
+		probe = 0
+	}
 	newService := func(w, b int, dir string, restoreState bool, recordPath string) *serve.Service {
 		svc, err := serve.New(buildNetwork(), serve.Options{
 			QueueDepth:      *queueDepth,
@@ -187,6 +208,11 @@ func main() {
 			TraceDepth:      traceDepth,
 			TraceSlow:       *traceSlow,
 			RecordPath:      recordPath,
+			DegradedFactor:  *degradedFactor,
+			ReaugBudget:     *reaugBudget,
+			AlertWarnFactor: *alertWarn,
+			AlertCritFactor: *alertCrit,
+			ProbeEvery:      probe,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
@@ -229,6 +255,13 @@ func main() {
 			walDir:       *walDir,
 			kill:         *kill,
 			recordPath:   *record,
+			chaos: loadgen.ChaosConfig{
+				Enabled:       *chaos,
+				Seed:          *chaosSeed,
+				MeanUpWaves:   *chaosMTBF,
+				MeanDownWaves: *chaosMTTR,
+				DegradedRatio: *chaosDegraded,
+			},
 		}))
 	}
 
@@ -282,6 +315,7 @@ type selftestConfig struct {
 	walDir       string
 	kill         bool
 	recordPath   string // record the first combination's run to this trace file
+	chaos        loadgen.ChaosConfig
 }
 
 // comboRun is one (workers, batchers) selftest execution.
@@ -295,7 +329,9 @@ type comboRun struct {
 // batchers) combination against identically seeded fresh services and pins
 // that the placement logs agree, nothing was rejected below the queue bound,
 // and — when a WAL directory is set — that replaying each run's log rebuilds
-// its exact final state. Returns the process exit code.
+// its exact final state. With chaos enabled it additionally pins bit-identical
+// chaos logs, replayed down sets, and zero silent SLO violations. Returns the
+// process exit code.
 func runSelftest(cfg selftestConfig) int {
 	workerCounts, err := parseCounts(cfg.workerSpec)
 	if err != nil {
@@ -328,9 +364,10 @@ func runSelftest(cfg selftestConfig) int {
 		Expectation:    cfg.rho,
 		DuplicateEvery: cfg.dupEvery,
 		ReleaseEvery:   cfg.releaseEvery,
+		Chaos:          cfg.chaos,
 	}
 
-	var refLog string
+	var refLog, refChaos string
 	var runs []comboRun
 	ok := true
 	for _, w := range workerCounts {
@@ -363,10 +400,23 @@ func runSelftest(cfg selftestConfig) int {
 				fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: %d requests rejected below the queue bound\n", w, b, res.Rejected)
 				ok = false
 			}
+			if cfg.chaos.Enabled {
+				fmt.Printf("chaos workers=%d batchers=%d: events=%d destroyed=%d reaug attempted=%d restored=%d degraded=%d lost=%d pending=%d\n",
+					w, b, res.NodeEvents, res.InstancesDestroyed, res.ReaugAttempted,
+					res.ReaugRestored, res.ReaugDegraded, res.ReaugLost, svc.ReaugPending())
+				// The self-healing contract: every placement still below its
+				// expectation must carry an active alert — no silent violations.
+				if silent := svc.SilentViolations(); len(silent) > 0 {
+					fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: %d SILENT SLO violations (sessions %v)\n", w, b, len(silent), silent)
+					ok = false
+				}
+			}
 			hash, placed := svc.State().Hash(), svc.State().PlacedCount()
+			downLive := fmt.Sprint(svc.State().DownNodes())
 			if dir != "" {
 				// Kill/restore contract, in-process: replaying the run's WAL
-				// against a same-seed network reproduces the exact state.
+				// against a same-seed network reproduces the exact state —
+				// including which cloudlets were down at the cut.
 				st, err := serve.NewStateFromWAL(cfg.buildNetwork(), dir)
 				switch {
 				case err != nil:
@@ -376,14 +426,23 @@ func runSelftest(cfg selftestConfig) int {
 					fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: WAL replay state hash=%016x placed=%d, live hash=%016x placed=%d\n",
 						w, b, st.Hash(), st.PlacedCount(), hash, placed)
 					ok = false
+				case fmt.Sprint(st.DownNodes()) != downLive:
+					fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: WAL replay down set %v, live %s\n",
+						w, b, st.DownNodes(), downLive)
+					ok = false
 				}
 			}
 			log := res.PlacementLog()
 			if len(runs) == 0 {
 				refLog = log
+				refChaos = res.ChaosLog()
 			} else if log != refLog {
 				fmt.Fprintf(os.Stderr, "augmentd: selftest DETERMINISM FAILURE: workers=%d batchers=%d placement log differs from workers=%d batchers=%d\n%s",
 					w, b, runs[0].workers, runs[0].batchers, firstDiff(refLog, log))
+				ok = false
+			} else if cl := res.ChaosLog(); cl != refChaos {
+				fmt.Fprintf(os.Stderr, "augmentd: selftest DETERMINISM FAILURE: workers=%d batchers=%d chaos log differs from workers=%d batchers=%d\n%s",
+					w, b, runs[0].workers, runs[0].batchers, firstDiff(refChaos, cl))
 				ok = false
 			}
 			runs = append(runs, comboRun{workers: w, batchers: b, result: res})
@@ -414,6 +473,11 @@ func runSelftest(cfg selftestConfig) int {
 			r.workers, r.batchers, cfg.requests, nsPerOp)
 	}
 	printScaling(runs)
+	if cfg.chaos.Enabled {
+		r := runs[0].result
+		fmt.Printf("chaos drill OK: %d node events, reaug attempted=%d restored=%d degraded=%d lost=%d, zero silent violations\n",
+			r.NodeEvents, r.ReaugAttempted, r.ReaugRestored, r.ReaugDegraded, r.ReaugLost)
+	}
 	fmt.Printf("selftest OK: %d combinations agree on %d placements\n", len(runs), runs[0].result.Admitted)
 	return 0
 }

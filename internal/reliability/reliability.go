@@ -98,6 +98,40 @@ func PrimaryChainReliability(rs []float64) float64 {
 	return u
 }
 
+// SurvivorReliability returns the attained reliability of one chain position
+// with s surviving instances (primary and secondaries counted together):
+// 1 - (1-r)^s. Unlike Accumulated, s counts total live instances — s = 0
+// (every replica destroyed) yields reliability 0, the partial-failure regime
+// a live node crash produces.
+func SurvivorReliability(r float64, s int) float64 {
+	checkReliability(r)
+	if s < 0 {
+		panic(fmt.Sprintf("reliability: negative survivor count %d", s))
+	}
+	if s == 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-r, float64(s))
+}
+
+// ChainSurvivorReliability returns u_j = Π_i (1 - (1-r_i)^s_i) for a chain
+// whose position i retains s_i live instances after failures. Any position
+// with zero survivors zeroes the chain (the function cannot run at all).
+func ChainSurvivorReliability(rs []float64, survivors []int) float64 {
+	if len(rs) != len(survivors) {
+		panic(fmt.Sprintf("reliability: %d reliabilities but %d survivor counts", len(rs), len(survivors)))
+	}
+	u := 1.0
+	for i, r := range rs {
+		s := SurvivorReliability(r, survivors[i])
+		if s == 0 {
+			return 0
+		}
+		u *= s
+	}
+	return u
+}
+
 // Budget converts a reliability expectation ρ into the paper's cost budget
 // C = -log ρ. ρ = 1 gives C = 0 (expectation only met by perfect
 // reliability); ρ must lie in (0, 1].

@@ -463,7 +463,7 @@ func (s *Service) installBatchLocked(live *epochLedger, job *batchJob, exec *bat
 	var ticket *walTicket
 	identity := len(exec.admits) == 0 && exec.hash == live.hash
 	if !identity {
-		ticket = s.state.installLocked(exec.res, exec.hash, exec.admits, nil)
+		ticket = s.state.installLocked(exec.res, exec.hash, installOp{admits: exec.admits})
 	}
 	s.queue.speculate.Store(identity)
 	metrics.conflicts.Add(exec.conflicts)
@@ -486,6 +486,13 @@ func (s *Service) deliverOutcomes(job *batchJob, exec *batchExec) {
 		switch out.status {
 		case http.StatusOK:
 			metrics.admitted.Inc()
+			if rec := out.placed; !rec.Met {
+				// Degraded answer: the request is served with its achieved
+				// reliability, never silently — the watchdog tracks every
+				// live placement running below its expectation.
+				metrics.degradedAnswers.Inc()
+				s.alerter.EvalSession(rec.ID, rec.Reliability, rec.Expectation, "admitted below expectation")
+			}
 		case http.StatusGatewayTimeout:
 			metrics.deadlineHits.Inc()
 		default:
@@ -830,6 +837,8 @@ func (s *Service) finishItem(work *mec.Network, job *batchJob, it *batchItem, ex
 		ID:          it.req.ID,
 		SFC:         it.req.SFC,
 		Expectation: it.req.Expectation,
+		Source:      it.req.Source,
+		Destination: it.req.Destination,
 		Primaries:   it.req.Primaries,
 		Secondaries: secondariesOf(entry.perBin),
 		Reliability: entry.reliability,

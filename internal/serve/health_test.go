@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve/watchdog"
+)
+
+// admitN drives n deterministic admissions from a single goroutine and
+// returns the admitted placement IDs.
+func admitN(t *testing.T, svc *Service, n int, seed int64) []int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var ids []int
+	for i := 0; i < n; i++ {
+		sfc := make([]int, 2+rng.Intn(2))
+		for j := range sfc {
+			sfc[j] = rng.Intn(2)
+		}
+		tk, err := svc.Enqueue(AugmentRequest{
+			SFC: sfc, Expectation: 0.9,
+			Source: rng.Intn(5), Destination: rng.Intn(5),
+		})
+		if err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		out := tk.Wait()
+		if out.Status == http.StatusOK {
+			ids = append(ids, out.Response.ID)
+		}
+	}
+	return ids
+}
+
+// hostingNode returns a cloudlet hosting at least one instance of some live
+// placement, preferring one that hosts a secondary (so a failure actually
+// degrades reliability without necessarily zeroing it).
+func hostingNode(t *testing.T, svc *Service, ids []int) int {
+	t.Helper()
+	for _, id := range ids {
+		p, ok := svc.State().Placement(id)
+		if !ok {
+			continue
+		}
+		for _, sec := range p.Secondaries {
+			for _, v := range sec {
+				return v
+			}
+		}
+	}
+	for _, id := range ids {
+		p, ok := svc.State().Placement(id)
+		if ok && len(p.Primaries) > 0 {
+			return p.Primaries[0]
+		}
+	}
+	t.Fatal("no live placement hosts any instance")
+	return -1
+}
+
+func residualOf(svc *Service, node int) float64 {
+	cloudlets, _, _ := svc.State().Snapshot()
+	for _, c := range cloudlets {
+		if c.ID == node {
+			return c.Residual
+		}
+	}
+	return -1
+}
+
+func TestApplyHealthDownDestroysInstancesAndUpRestoresCapacity(t *testing.T) {
+	svc, err := New(testNetwork(1000), Options{Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	ids := admitN(t, svc, 12, 21)
+	if len(ids) == 0 {
+		t.Fatal("no admissions")
+	}
+	node := hostingNode(t, svc, ids)
+
+	nr, err := svc.ApplyHealth(node, HealthDown, "test crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.InstancesDestroyed == 0 || nr.SessionsAffected == 0 {
+		t.Fatalf("down on hosting node destroyed %d instances across %d sessions", nr.InstancesDestroyed, nr.SessionsAffected)
+	}
+	if got := residualOf(svc, node); got != 0 {
+		t.Fatalf("down node residual %v, want 0", got)
+	}
+	if down := svc.State().DownNodes(); len(down) != 1 || down[0] != node {
+		t.Fatalf("down set %v, want [%d]", down, node)
+	}
+	if lvl := svc.Alerter().Level(watchdog.Key{Kind: watchdog.KindCloudlet, ID: node}); lvl != watchdog.Crit {
+		t.Fatalf("cloudlet alert %v after down, want CRIT", lvl)
+	}
+	for _, id := range ids {
+		p, ok := svc.State().Placement(id)
+		if !ok {
+			continue
+		}
+		for i, sec := range p.Secondaries {
+			for _, v := range sec {
+				if v == node {
+					t.Fatalf("placement %d position %d still lists destroyed secondary on node %d", id, i, node)
+				}
+			}
+		}
+		for i, v := range p.Primaries {
+			if v == node {
+				t.Fatalf("placement %d position %d still lists destroyed primary on node %d", id, i, v)
+			}
+		}
+		if !p.Met {
+			if lvl := svc.Alerter().Level(watchdog.Key{Kind: watchdog.KindSession, ID: id}); lvl == watchdog.OK {
+				t.Fatalf("placement %d violates its SLO with no active alert", id)
+			}
+		}
+	}
+	if viol := svc.SilentViolations(); len(viol) != 0 {
+		t.Fatalf("silent SLO violations after down: %v", viol)
+	}
+
+	// Idempotent re-application: no epoch bump.
+	epoch := svc.State().Epoch()
+	nr2, err := svc.ApplyHealth(node, HealthDown, "again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr2.Epoch != epoch || nr2.InstancesDestroyed != 0 {
+		t.Fatalf("re-applied down installed epoch %d (was %d), destroyed %d", nr2.Epoch, epoch, nr2.InstancesDestroyed)
+	}
+
+	// Recovery: destroyed instances are gone, so the full capacity returns.
+	if _, err := svc.ApplyHealth(node, HealthUp, "repaired"); err != nil {
+		t.Fatal(err)
+	}
+	if got := residualOf(svc, node); got != 1000 {
+		t.Fatalf("recovered node residual %v, want full capacity 1000", got)
+	}
+	if down := svc.State().DownNodes(); len(down) != 0 {
+		t.Fatalf("down set %v after recovery, want empty", down)
+	}
+	if lvl := svc.Alerter().Level(watchdog.Key{Kind: watchdog.KindCloudlet, ID: node}); lvl != watchdog.OK {
+		t.Fatalf("cloudlet alert %v after recovery, want OK", lvl)
+	}
+}
+
+func TestApplyHealthDegradedScalesFreeCapacity(t *testing.T) {
+	svc, err := New(testNetwork(1000), Options{Workers: 1, Seed: 5, DegradedFactor: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	if _, err := svc.ApplyHealth(2, HealthDegraded, "brownout"); err != nil {
+		t.Fatal(err)
+	}
+	if got := residualOf(svc, 2); got != 250 {
+		t.Fatalf("degraded empty node residual %v, want 250 (capacity 1000 x 0.25)", got)
+	}
+	if lvl := svc.Alerter().Level(watchdog.Key{Kind: watchdog.KindCloudlet, ID: 2}); lvl != watchdog.Warn {
+		t.Fatalf("cloudlet alert %v after degraded, want WARN", lvl)
+	}
+	if _, err := svc.ApplyHealth(2, HealthUp, "restored"); err != nil {
+		t.Fatal(err)
+	}
+	if got := residualOf(svc, 2); got != 1000 {
+		t.Fatalf("recovered node residual %v, want 1000", got)
+	}
+}
+
+func TestApplyHealthRejectsBadInput(t *testing.T) {
+	svc, err := New(testNetwork(1000), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	if _, err := svc.ApplyHealth(0, "sideways", ""); err == nil {
+		t.Fatal("unknown health state accepted")
+	}
+	if _, err := svc.ApplyHealth(99, HealthDown, ""); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+// TestReleaseAfterNodeDownConservesLedger pins the satellite bugfix: a
+// release must not resurrect capacity on a dark node, and the live ledger
+// must stay bit-identical to what WAL replay reconstructs from the same
+// event order — kill a node mid-load, release survivors, restore, compare.
+func TestReleaseAfterNodeDownConservesLedger(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Workers: 2, Seed: 13,
+		BatchSize: 4, BatchWait: 20 * time.Millisecond,
+		WALDir: dir, WALSync: "none", SnapshotEvery: 4,
+	}
+	svc, err := New(testNetwork(1000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := admitN(t, svc, 16, 31)
+	node := hostingNode(t, svc, ids)
+	if _, err := svc.ApplyHealth(node, HealthDown, "mid-load crash"); err != nil {
+		t.Fatal(err)
+	}
+	// Release half the survivors — including sessions that held instances on
+	// the failed node; their dark-node share must not come back.
+	for i, id := range ids {
+		if i%2 == 0 {
+			if _, err := svc.Release(id); err != nil {
+				t.Fatalf("release %d: %v", id, err)
+			}
+		}
+	}
+	if got := residualOf(svc, node); got != 0 {
+		t.Fatalf("releases resurrected %v MHz on the dark node", got)
+	}
+	admitN(t, svc, 8, 37) // keep writing after the failure
+	liveHash := svc.State().Hash()
+	liveEpoch := svc.State().Epoch()
+	livePlaced := svc.State().PlacedCount()
+	liveDown := svc.State().DownNodes()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewStateFromWAL(testNetwork(1000), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hash() != liveHash {
+		t.Fatalf("restored ledger hash %016x != live %016x", st.Hash(), liveHash)
+	}
+	if st.Epoch() != liveEpoch {
+		t.Fatalf("restored epoch %d != live %d", st.Epoch(), liveEpoch)
+	}
+	if st.PlacedCount() != livePlaced {
+		t.Fatalf("restored %d placements, live had %d", st.PlacedCount(), livePlaced)
+	}
+	if got := fmt.Sprint(st.DownNodes()); got != fmt.Sprint(liveDown) {
+		t.Fatalf("restored down set %v != live %v", st.DownNodes(), liveDown)
+	}
+	// Replay applied the same skip-dark-node release rule: the failed node's
+	// residual is still withdrawn.
+	if e := st.pin(); e.res[node] != 0 {
+		t.Fatalf("replayed ledger resurrected %v MHz on the dark node", e.res[node])
+	}
+}
+
+// TestReaugmentationRestoresSessions drives the self-healing loop: a node
+// failure drops sessions below ρ, re-augmentation rounds re-admit them
+// through the normal pipeline, and every outcome is either restored (alert
+// resolved) or still alerted — never silent.
+func TestReaugmentationRestoresSessions(t *testing.T) {
+	svc, err := New(testNetwork(1000), Options{Workers: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	ids := admitN(t, svc, 12, 41)
+	node := hostingNode(t, svc, ids)
+	nr, err := svc.ApplyHealth(node, HealthDown, "crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.ReaugQueued == 0 {
+		t.Skip("failure did not push any session below its expectation")
+	}
+	restored := 0
+	for round := 0; round < 16 && svc.ReaugPending() > 0; round++ {
+		rep := svc.AuditOnce()
+		restored += rep.Restored
+		if viol := svc.SilentViolations(); len(viol) != 0 {
+			t.Fatalf("round %d: silent SLO violations %v", round, viol)
+		}
+	}
+	if svc.ReaugPending() != 0 {
+		t.Fatalf("%d sessions still queued after 16 rounds", svc.ReaugPending())
+	}
+	if restored == 0 {
+		t.Fatal("no session restored despite four surviving cloudlets")
+	}
+	// Restored sessions meet ρ again and carry no alert.
+	for _, id := range svc.State().PlacementIDs() {
+		p, _ := svc.State().Placement(id)
+		if p.Met {
+			if lvl := svc.Alerter().Level(watchdog.Key{Kind: watchdog.KindSession, ID: id}); lvl != watchdog.OK {
+				t.Fatalf("restored session %d still alerted at %v", id, lvl)
+			}
+		}
+	}
+}
+
+// TestRestoreRebuildsWatchdogState pins restart semantics: a process that
+// crashes after a node failure rebuilds the down set, the cloudlet alert,
+// and the re-augmentation queue from the journal alone.
+func TestRestoreRebuildsWatchdogState(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Workers: 1, Seed: 19,
+		WALDir: dir, WALSync: "none", SnapshotEvery: 4,
+	}
+	svc, err := New(testNetwork(1000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := admitN(t, svc, 12, 43)
+	node := hostingNode(t, svc, ids)
+	nr, err := svc.ApplyHealth(node, HealthDown, "crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Restore = true
+	svc2, err := New(testNetwork(1000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if down := svc2.State().DownNodes(); len(down) != 1 || down[0] != node {
+		t.Fatalf("restored down set %v, want [%d]", down, node)
+	}
+	if lvl := svc2.Alerter().Level(watchdog.Key{Kind: watchdog.KindCloudlet, ID: node}); lvl != watchdog.Crit {
+		t.Fatalf("restored cloudlet alert %v, want CRIT", lvl)
+	}
+	if nr.ReaugQueued > 0 && svc2.ReaugPending() == 0 {
+		t.Fatalf("crashed process had %d sessions queued for re-augmentation, restore rebuilt none", nr.ReaugQueued)
+	}
+	if viol := svc2.SilentViolations(); len(viol) != 0 {
+		t.Fatalf("silent SLO violations after restore: %v", viol)
+	}
+}
+
+// chaosStream interleaves a deterministic request stream with scripted node
+// failures, repairs, and re-augmentation rounds, all from one goroutine. The
+// returned log covers placements, node events, and re-augmentation outcomes —
+// everything the determinism contract must hold constant.
+func chaosStream(t *testing.T, svc *Service, n int, seed int64) (string, uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var log strings.Builder
+	const wave = 8
+	waveIdx := 0
+	for submitted := 0; submitted < n; {
+		k := wave
+		if left := n - submitted; k > left {
+			k = left
+		}
+		tickets := make([]*Ticket, 0, k)
+		for i := 0; i < k; i++ {
+			sfc := make([]int, 2+rng.Intn(2))
+			for j := range sfc {
+				sfc[j] = rng.Intn(2)
+			}
+			tk, err := svc.Enqueue(AugmentRequest{
+				SFC: sfc, Expectation: 0.9,
+				Source: rng.Intn(5), Destination: rng.Intn(5),
+			})
+			if err != nil {
+				t.Fatalf("enqueue: %v", err)
+			}
+			tickets = append(tickets, tk)
+			submitted++
+		}
+		for _, tk := range tickets {
+			out := tk.Wait()
+			if out.Status != http.StatusOK {
+				fmt.Fprintf(&log, "status=%d\n", out.Status)
+				continue
+			}
+			r := out.Response
+			fmt.Fprintf(&log, "id=%d rel=%.12f met=%v sec=%v\n", r.ID, r.Reliability, r.MetExpectation, r.Secondaries)
+		}
+		// Scripted chaos: wave 1 kills node 1, wave 3 repairs it, wave 4
+		// degrades node 3, wave 6 repairs it. Every wave runs one audit +
+		// re-augmentation round.
+		switch waveIdx {
+		case 1:
+			nr, _ := svc.ApplyHealth(1, HealthDown, "scripted")
+			fmt.Fprintf(&log, "down node=1 destroyed=%d affected=%d queued=%d\n", nr.InstancesDestroyed, nr.SessionsAffected, nr.ReaugQueued)
+		case 3:
+			nr, _ := svc.ApplyHealth(1, HealthUp, "scripted")
+			fmt.Fprintf(&log, "up node=1 epoch-installed=%v\n", nr.Epoch > 0)
+		case 4:
+			svc.ApplyHealth(3, HealthDegraded, "scripted")
+			fmt.Fprintf(&log, "degraded node=3\n")
+		case 6:
+			svc.ApplyHealth(3, HealthUp, "scripted")
+			fmt.Fprintf(&log, "up node=3\n")
+		}
+		rep := svc.AuditOnce()
+		fmt.Fprintf(&log, "reaug attempted=%d restored=%d degraded=%d lost=%d\n",
+			rep.Attempted, rep.Restored, rep.Degraded, rep.Lost)
+		if viol := svc.SilentViolations(); len(viol) != 0 {
+			t.Fatalf("wave %d: silent SLO violations %v", waveIdx, viol)
+		}
+		waveIdx++
+	}
+	return log.String(), svc.State().Hash()
+}
+
+// TestChaosDeterminismAcrossBatchers extends the bit-identity contract to
+// failure handling: the full chaos log — placements, node events, destroyed
+// instance counts, re-augmentation outcomes — and the final ledger hash are
+// identical on one batcher and on four.
+func TestChaosDeterminismAcrossBatchers(t *testing.T) {
+	run := func(batchers int) (string, uint64) {
+		svc, err := New(testNetwork(1000), Options{
+			Workers: 2, Batchers: batchers, Seed: 23,
+			BatchSize: 4, BatchWait: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Drain()
+		return chaosStream(t, svc, 64, 29)
+	}
+	log1, hash1 := run(1)
+	log4, hash4 := run(4)
+	if log1 != log4 {
+		t.Fatalf("chaos logs differ between 1 and 4 batchers:\n--- 1 ---\n%s--- 4 ---\n%s", log1, log4)
+	}
+	if hash1 != hash4 {
+		t.Fatalf("final state hash differs: %016x vs %016x", hash1, hash4)
+	}
+}
+
+// TestNodeAndAlertsEndpoints exercises the HTTP surface: POST /v1/node
+// applies a transition, GET /v1/alerts reflects it, GET /v1/state lists the
+// down node.
+func TestNodeAndAlertsEndpoints(t *testing.T) {
+	svc, err := New(testNetwork(1000), Options{Workers: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+	h := svc.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/node",
+		strings.NewReader(`{"node": 2, "health": "down", "note": "ops"}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/node: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/alerts", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/alerts: %d", rec.Code)
+	}
+	var view watchdog.View
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	foundCloudlet := false
+	for _, a := range view.Active {
+		if a.Key.Kind == watchdog.KindCloudlet && a.Key.ID == 2 && a.Level == "CRIT" {
+			foundCloudlet = true
+		}
+	}
+	if !foundCloudlet {
+		t.Fatalf("alerts view missing CRIT for cloudlet 2: %+v", view.Active)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/state", nil))
+	var st StateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.DownNodes) != 1 || st.DownNodes[0] != 2 {
+		t.Fatalf("/v1/state down_nodes %v, want [2]", st.DownNodes)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/node",
+		strings.NewReader(`{"node": 2, "health": "sideways"}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad health state answered %d, want 400", rec.Code)
+	}
+}

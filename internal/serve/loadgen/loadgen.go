@@ -39,6 +39,10 @@ type Config struct {
 	ReleaseEvery int
 	// DeadlineMS is forwarded to each request (0: server default).
 	DeadlineMS int
+	// Chaos configures deterministic fault injection: scheduled node health
+	// transitions applied between waves, each followed by a watchdog audit
+	// and re-augmentation round. See ChaosConfig.
+	Chaos ChaosConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +90,27 @@ type Result struct {
 	Elapsed    time.Duration
 	// Throughput is answered augment requests per second.
 	Throughput float64
+
+	// Chaos counters (populated only when Config.Chaos.Enabled).
+	NodeEvents         int // node health transitions applied
+	InstancesDestroyed int // VNF instances destroyed by failures
+	ReaugAttempted     int // re-augmentation attempts across all rounds
+	ReaugRestored      int // sessions restored to u >= ρ
+	ReaugDegraded      int // sessions re-served below ρ (alerted)
+	ReaugLost          int // sessions abandoned after the retry budget
+	// ChaosLines is the canonical chaos log: one line per applied event and
+	// per non-empty re-augmentation round, timing-independent — the chaos
+	// determinism selftest compares it alongside PlacementLog.
+	ChaosLines []string
+}
+
+// ChaosLog renders the canonical chaos event/re-augmentation log, compared
+// across runs by the chaos determinism selftest (empty without chaos).
+func (r *Result) ChaosLog() string {
+	if len(r.ChaosLines) == 0 {
+		return ""
+	}
+	return strings.Join(r.ChaosLines, "\n") + "\n"
 }
 
 // PlacementLog renders the canonical per-request placement log used by the
@@ -117,9 +142,15 @@ func Run(svc *serve.Service, cfg Config) (*Result, error) {
 	res := &Result{}
 	start := time.Now()
 
+	var chaos *chaosSchedule
+	totalWaves := (cfg.Requests + cfg.WaveSize - 1) / cfg.WaveSize
+	if cfg.Chaos.Enabled {
+		chaos = buildChaosSchedule(svc.Cloudlets(), cfg.Chaos.withDefaults(), totalWaves)
+	}
+
 	var prev *serve.AugmentRequest
 	var admittedIDs []int
-	submitted := 0
+	submitted, waveIdx := 0, 0
 	for submitted < cfg.Requests {
 		wave := cfg.WaveSize
 		if left := cfg.Requests - submitted; wave > left {
@@ -160,6 +191,16 @@ func Run(svc *serve.Service, cfg Config) (*Result, error) {
 				}
 			}
 		}
+		// Chaos events and their audit/re-augmentation round run between
+		// waves, from this single producer goroutine — the re-admissions they
+		// enqueue take deterministic sequence numbers.
+		if chaos != nil {
+			chaos.applyWave(svc, res, waveIdx)
+		}
+		waveIdx++
+	}
+	if chaos != nil {
+		chaos.drain(svc, res, waveIdx-1)
 	}
 	res.Elapsed = time.Since(start)
 	if res.Elapsed > 0 {

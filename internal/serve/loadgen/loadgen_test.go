@@ -85,3 +85,43 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("zero Requests accepted")
 	}
 }
+
+// TestChaosDeterministicRuns pins the chaos extension of the determinism
+// contract: two identically configured chaos runs — and runs at different
+// worker counts — produce bit-identical placement AND chaos logs (node
+// events, destroyed-instance counts, re-augmentation outcomes), with zero
+// silent SLO violations at the end.
+func TestChaosDeterministicRuns(t *testing.T) {
+	cfg := Config{
+		Seed: 7, Requests: 96, WaveSize: 16, ReleaseEvery: 8,
+		Chaos: ChaosConfig{Enabled: true, Seed: 3, MeanUpWaves: 3, MeanDownWaves: 2, DegradedRatio: 0.25},
+	}
+	var refPlace, refChaos string
+	for i, workers := range []int{1, 1, 8} {
+		svc := newService(t, workers, serve.AdmitRandom)
+		res, err := Run(svc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viol := svc.SilentViolations(); len(viol) != 0 {
+			t.Fatalf("run %d: silent SLO violations %v", i, viol)
+		}
+		svc.Drain()
+		if i == 0 {
+			refPlace, refChaos = res.PlacementLog(), res.ChaosLog()
+			if res.NodeEvents == 0 {
+				t.Fatal("chaos schedule produced no node events; tighten MTBF")
+			}
+			if res.ReaugAttempted == 0 {
+				t.Fatal("chaos run attempted no re-augmentation")
+			}
+			continue
+		}
+		if res.PlacementLog() != refPlace {
+			t.Fatalf("run %d (workers=%d): placement log diverged", i, workers)
+		}
+		if res.ChaosLog() != refChaos {
+			t.Fatalf("run %d (workers=%d): chaos log diverged:\n--- ref ---\n%s--- got ---\n%s", i, workers, refChaos, res.ChaosLog())
+		}
+	}
+}

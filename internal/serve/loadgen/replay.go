@@ -61,8 +61,8 @@ type ReplayConfig struct {
 
 // Replay drives a recorded request trace through svc: every OpAugment is
 // re-enqueued with its recorded admission sequence (gaps included, via
-// Service.AdvanceSeq) and every OpRelease is re-applied at its recorded point
-// in the stream. Like Run, Replay must be the only producer touching svc.
+// Service.AdvanceSeq), and every OpRelease and OpNode health transition is
+// re-applied at its recorded point in the stream. Like Run, Replay must be the only producer touching svc.
 // With the service configured as the recording run's meta header says (same
 // seed, solver, hop bound, admission policy, network), the replayed
 // placements — and the final state hash — are bit-identical to the recorded
@@ -89,6 +89,12 @@ func Replay(svc *serve.Service, ops []serve.TraceOp, cfg ReplayConfig) (*Result,
 		clock.Advance(time.Duration(op.AtUS) * time.Microsecond)
 		switch op.Op {
 		case serve.OpAugment:
+			// A sync op was submitted by the recording's producer only after
+			// draining everything before it; mirror that on both sides of the
+			// submission (see the post-enqueue flush below).
+			if op.Sync {
+				flush()
+			}
 			// Reproduce the recorded sequence number exactly: submissions the
 			// recording run rejected consumed a sequence without leaving an
 			// op, and every per-request seed is a function of the sequence.
@@ -115,7 +121,10 @@ func Replay(svc *serve.Service, ops []serve.TraceOp, cfg ReplayConfig) (*Result,
 				entry.ticket = t
 			}
 			inflight = append(inflight, entry)
-			if len(inflight) >= cfg.WaveSize {
+			// Sync ops were enqueued alone and waited on by the recording's
+			// producer (re-augmentation); batch composition is an input to the
+			// solves, so the replay must reproduce that serialization.
+			if op.Sync || len(inflight) >= cfg.WaveSize {
 				flush()
 			}
 		case serve.OpRelease:
@@ -124,6 +133,16 @@ func Replay(svc *serve.Service, ops []serve.TraceOp, cfg ReplayConfig) (*Result,
 			flush()
 			if _, err := svc.Release(op.ID); err == nil {
 				res.Released++
+			}
+		case serve.OpNode:
+			// Node health transitions apply at their recorded stream position.
+			// The recording run's re-augmentations were themselves recorded as
+			// OpRelease/OpAugment ops, so the replay only re-applies the
+			// transition — it must NOT run an audit round of its own.
+			flush()
+			if nr, err := svc.ApplyHealth(op.ID, op.Health, "trace replay"); err == nil {
+				res.NodeEvents++
+				res.InstancesDestroyed += nr.InstancesDestroyed
 			}
 		default:
 			return nil, fmt.Errorf("loadgen: unexpected trace op %q at index %d", op.Op, i)

@@ -141,3 +141,75 @@ func TestReplayVirtualVsWallClock(t *testing.T) {
 		t.Fatalf("virtual and wall clock replays diverge:\n%s\nvs\n%s", logs[0], logs[1])
 	}
 }
+
+// TestRecordReplayChaosRoundTrip pins the trace contract under failures: a
+// chaos run — node transitions, destroyed instances, re-augmentations — is
+// recorded as OpNode/OpRelease/OpAugment ops (re-augmentation enqueues carry
+// the Sync flag), and replaying the trace at other worker and batcher counts
+// reproduces the final ledger bit-identically. Micro-batch composition is an
+// input to every solve, so this test fails if the replay driver ever stops
+// honoring sync points.
+func TestRecordReplayChaosRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chaos.trace")
+	cfg := Config{Seed: 7, Requests: 96, WaveSize: 16, ReleaseEvery: 8,
+		Chaos: ChaosConfig{Enabled: true, Seed: 3, MeanUpWaves: 3, MeanDownWaves: 2, DegradedRatio: 0.25}}
+
+	rec := newServiceOpts(t, serve.Options{Workers: 1, Batchers: 1, Seed: 11, QueueDepth: 64, RecordPath: path})
+	orig, err := Run(rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Drain()
+	origHash, origPlaced := rec.State().Hash(), rec.State().PlacedCount()
+	origDown := fmt.Sprint(rec.State().DownNodes())
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if orig.NodeEvents == 0 || orig.ReaugAttempted == 0 {
+		t.Fatalf("chaos recording injected nothing (events=%d reaug=%d); schedule too sparse",
+			orig.NodeEvents, orig.ReaugAttempted)
+	}
+
+	_, ops, eof, err := serve.ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eof == nil {
+		t.Fatal("trace has no EOF trailer after Close")
+	}
+	nodes, syncs := 0, 0
+	for _, op := range ops {
+		if op.Op == serve.OpNode {
+			nodes++
+		}
+		if op.Sync {
+			syncs++
+		}
+	}
+	if nodes == 0 || syncs == 0 {
+		t.Fatalf("trace recorded %d node ops and %d sync augments; want both > 0", nodes, syncs)
+	}
+
+	for _, combo := range []struct{ w, b int }{{1, 1}, {8, 1}, {1, 4}, {8, 4}} {
+		svc := newServiceOpts(t, serve.Options{Workers: combo.w, Batchers: combo.b, Seed: 11, QueueDepth: 64})
+		res, err := Replay(svc, ops, ReplayConfig{WaveSize: cfg.WaveSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Drain()
+		if res.NodeEvents != orig.NodeEvents {
+			t.Errorf("workers=%d batchers=%d: replay applied %d node events, recording had %d",
+				combo.w, combo.b, res.NodeEvents, orig.NodeEvents)
+		}
+		if h, p := svc.State().Hash(), svc.State().PlacedCount(); h != origHash || p != origPlaced {
+			t.Errorf("workers=%d batchers=%d: replay state hash=%016x placed=%d, recorded hash=%016x placed=%d",
+				combo.w, combo.b, h, p, origHash, origPlaced)
+		}
+		if got := fmt.Sprint(svc.State().DownNodes()); got != origDown {
+			t.Errorf("workers=%d batchers=%d: replay down set %s, recorded %s", combo.w, combo.b, got, origDown)
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

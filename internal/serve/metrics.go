@@ -32,6 +32,17 @@ var metrics = struct {
 	walErrors     *obs.Counter   // WAL append/snapshot failures (service degrades to non-durable)
 	walFsync      *obs.Histogram // latency of each performed WAL fsync (coalesced group commits count once)
 
+	// Live failure handling (watchdog + re-augmentation).
+	nodeDown           *obs.Counter // cloudlet down transitions applied
+	nodeUp             *obs.Counter // cloudlet up (recovery) transitions applied
+	nodeDegraded       *obs.Counter // cloudlet degraded transitions applied
+	instancesDestroyed *obs.Counter // VNF instances destroyed by node failures
+	reaugAttempts      *obs.Counter // re-augmentation attempts submitted
+	reaugRestored      *obs.Counter // sessions fully restored to u >= ρ by re-augmentation
+	reaugDegradedTotal *obs.Counter // sessions re-served in degraded mode (u < ρ, alerted)
+	reaugLost          *obs.Counter // sessions abandoned after the re-augmentation budget
+	degradedAnswers    *obs.Counter // fresh admissions answered with u < ρ (Met=false)
+
 	// Per-stage span handles for the batch pipeline, pre-resolved so the hot
 	// path pays zero lookups/allocations per observation (see obs.SpanHandle).
 	// Stage boundaries are stamped once per batch and observed here; the same
@@ -43,36 +54,45 @@ var metrics = struct {
 	stageGate   obs.SpanHandle // commit-gate wait (batch-order serialization)
 	stageFsync  obs.SpanHandle // post-install WAL flush wait
 }{
-	queueDepth:    obs.Default().Gauge("serve_queue_depth"),
-	queueWait:     obs.Default().Histogram("serve_queue_wait_seconds", obs.DurationBuckets),
-	batchSize:     obs.Default().Histogram("serve_batch_size", obs.CountBuckets),
-	batches:       obs.Default().Counter("serve_batches_total"),
-	inflight:      obs.Default().Gauge("serve_inflight"),
-	admitted:      obs.Default().Counter("serve_admitted_total"),
-	infeasible:    obs.Default().Counter("serve_infeasible_total"),
-	deadlineHits:  obs.Default().Counter("serve_deadline_hits_total"),
-	conflicts:     obs.Default().Counter("serve_commit_conflicts_total"),
-	released:      obs.Default().Counter("serve_released_total"),
-	cacheHits:     obs.Default().Counter("serve_cache_hits_total"),
-	cacheMisses:   obs.Default().Counter("serve_cache_misses_total"),
-	cacheSize:     obs.Default().Gauge("serve_cache_size"),
-	cacheEvicted:  obs.Default().Counter("serve_cache_evictions_total"),
-	epochSeq:      obs.Default().Gauge("serve_epoch"),
-	epochAdvances: obs.Default().Counter("serve_epoch_advances_total"),
-	specValid:     obs.Default().Counter("serve_speculation_valid_total"),
-	specStale:     obs.Default().Counter("serve_speculation_stale_total"),
-	specSkipped:   obs.Default().Counter("serve_speculation_skipped_total"),
-	memoHits:      obs.Default().Counter("serve_solve_memo_hits_total"),
-	walAppends:    obs.Default().Counter("serve_wal_appends_total"),
-	walSnapshots:  obs.Default().Counter("serve_wal_snapshots_total"),
-	walErrors:     obs.Default().Counter("serve_wal_errors_total"),
-	walFsync:      obs.Default().Histogram("serve_wal_fsync_seconds", obs.DurationBuckets),
-	stageAdmit:    obs.Default().SpanHandle("serve_admit"),
-	stageSolve:    obs.Default().SpanHandle("serve_solve"),
-	stageCommit:   obs.Default().SpanHandle("serve_commit"),
-	stageExec:     obs.Default().SpanHandle("serve_exec"),
-	stageGate:     obs.Default().SpanHandle("serve_gate_wait"),
-	stageFsync:    obs.Default().SpanHandle("serve_wal_fsync"),
+	queueDepth:         obs.Default().Gauge("serve_queue_depth"),
+	queueWait:          obs.Default().Histogram("serve_queue_wait_seconds", obs.DurationBuckets),
+	batchSize:          obs.Default().Histogram("serve_batch_size", obs.CountBuckets),
+	batches:            obs.Default().Counter("serve_batches_total"),
+	inflight:           obs.Default().Gauge("serve_inflight"),
+	admitted:           obs.Default().Counter("serve_admitted_total"),
+	infeasible:         obs.Default().Counter("serve_infeasible_total"),
+	deadlineHits:       obs.Default().Counter("serve_deadline_hits_total"),
+	conflicts:          obs.Default().Counter("serve_commit_conflicts_total"),
+	released:           obs.Default().Counter("serve_released_total"),
+	cacheHits:          obs.Default().Counter("serve_cache_hits_total"),
+	cacheMisses:        obs.Default().Counter("serve_cache_misses_total"),
+	cacheSize:          obs.Default().Gauge("serve_cache_size"),
+	cacheEvicted:       obs.Default().Counter("serve_cache_evictions_total"),
+	epochSeq:           obs.Default().Gauge("serve_epoch"),
+	epochAdvances:      obs.Default().Counter("serve_epoch_advances_total"),
+	specValid:          obs.Default().Counter("serve_speculation_valid_total"),
+	specStale:          obs.Default().Counter("serve_speculation_stale_total"),
+	specSkipped:        obs.Default().Counter("serve_speculation_skipped_total"),
+	memoHits:           obs.Default().Counter("serve_solve_memo_hits_total"),
+	walAppends:         obs.Default().Counter("serve_wal_appends_total"),
+	walSnapshots:       obs.Default().Counter("serve_wal_snapshots_total"),
+	walErrors:          obs.Default().Counter("serve_wal_errors_total"),
+	walFsync:           obs.Default().Histogram("serve_wal_fsync_seconds", obs.DurationBuckets),
+	nodeDown:           obs.Default().Counter("serve_node_transitions_total", "to", "down"),
+	nodeUp:             obs.Default().Counter("serve_node_transitions_total", "to", "up"),
+	nodeDegraded:       obs.Default().Counter("serve_node_transitions_total", "to", "degraded"),
+	instancesDestroyed: obs.Default().Counter("serve_instances_destroyed_total"),
+	reaugAttempts:      obs.Default().Counter("serve_reaug_attempts_total"),
+	reaugRestored:      obs.Default().Counter("serve_reaug_restored_total"),
+	reaugDegradedTotal: obs.Default().Counter("serve_reaug_degraded_total"),
+	reaugLost:          obs.Default().Counter("serve_reaug_lost_total"),
+	degradedAnswers:    obs.Default().Counter("serve_degraded_answers_total"),
+	stageAdmit:         obs.Default().SpanHandle("serve_admit"),
+	stageSolve:         obs.Default().SpanHandle("serve_solve"),
+	stageCommit:        obs.Default().SpanHandle("serve_commit"),
+	stageExec:          obs.Default().SpanHandle("serve_exec"),
+	stageGate:          obs.Default().SpanHandle("serve_gate_wait"),
+	stageFsync:         obs.Default().SpanHandle("serve_wal_fsync"),
 }
 
 // endpointInstruments caches the per-endpoint request counter and latency

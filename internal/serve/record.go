@@ -14,8 +14,8 @@ import (
 )
 
 // Request-trace operation kinds. A trace file is a header (OpMeta), a body of
-// OpAugment/OpRelease operations in admission order, and an optional OpEOF
-// trailer carrying the run's final state for replay verification.
+// OpAugment/OpRelease/OpNode operations in admission order, and an optional
+// OpEOF trailer carrying the run's final state for replay verification.
 const (
 	// OpMeta is the trace header: the recording service's determinism-relevant
 	// configuration (seed, solver, hop bound, admission policy).
@@ -25,6 +25,8 @@ const (
 	OpAugment = "augment"
 	// OpRelease is one successful placement release.
 	OpRelease = "release"
+	// OpNode is one applied node health transition (down/up/degraded).
+	OpNode = "node"
 	// OpEOF is the trailer: final state hash, placement count, and epoch of
 	// the recorded run — the ground truth a replay must reproduce.
 	OpEOF = "eof"
@@ -55,9 +57,18 @@ type TraceOp struct {
 	Destination int     `json:"dst"`
 	Primaries   []int   `json:"primaries,omitempty"`
 	DeadlineMS  int     `json:"deadline_ms,omitempty"`
+	// Sync marks an augment the producer waited on before submitting anything
+	// else (re-augmentation enqueues). Micro-batch composition is an input to
+	// every solve — phase 1 charges the whole batch's primaries before any
+	// secondaries are placed — so the replay driver must flush its in-flight
+	// window at sync points to reproduce the recorded batching.
+	Sync bool `json:"sync,omitempty"`
 
-	// Release field (OpRelease) — the placement ID torn down.
+	// Release field (OpRelease) — the placement ID torn down. For OpNode, the
+	// cloudlet the health transition applies to.
 	ID int `json:"id,omitempty"`
+	// Node field (OpNode) — the health state entered.
+	Health string `json:"health,omitempty"`
 
 	// EOF fields (OpEOF).
 	Hash   string `json:"hash,omitempty"`
@@ -179,7 +190,7 @@ func ReadTrace(path string) (meta TraceOp, ops []TraceOp, eof *TraceOp, err erro
 		decoded = decoded[:n-1]
 	}
 	for _, op := range decoded {
-		if op.Op != OpAugment && op.Op != OpRelease {
+		if op.Op != OpAugment && op.Op != OpRelease && op.Op != OpNode {
 			return meta, nil, nil, fmt.Errorf("serve: unexpected trace op %q in %s", op.Op, path)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/mec"
 	"repro/internal/obs/trace"
 	"repro/internal/serve/wal"
+	"repro/internal/serve/watchdog"
 )
 
 // Admission policies for requests that arrive without primaries.
@@ -105,6 +107,27 @@ type Options struct {
 	// The recorded order is faithful only under a single admission producer
 	// (the loadgen path); concurrent HTTP admissions may interleave.
 	RecordPath string
+	// DegradedFactor scales the free capacity a degraded cloudlet offers to
+	// new placements (existing instances survive). Default 0.5.
+	DegradedFactor float64
+	// ReaugBudget bounds re-augmentation attempts per failed session before
+	// it is declared lost (sticky CRIT alert). Default 3.
+	ReaugBudget int
+	// AlertWarnFactor raises a session WARN when u < ρ·AlertWarnFactor (the
+	// session is close to its SLO). Default 1.05.
+	AlertWarnFactor float64
+	// AlertCritFactor raises a session CRIT when u < ρ·AlertCritFactor — with
+	// the default 1.0, CRIT means the SLO is violated outright.
+	AlertCritFactor float64
+	// AlertDedup suppresses duplicate alert firings (not state transitions)
+	// within the window. Default 5s.
+	AlertDedup time.Duration
+	// ProbeEvery, when positive, runs the watchdog probe loop at this
+	// interval: session alerts are refreshed and one re-augmentation round
+	// runs per tick. Zero leaves the cadence to the caller (loadgen chaos
+	// drives rounds synchronously; cmd/augmentd starts the loop in server
+	// mode).
+	ProbeEvery time.Duration
 }
 
 // withDefaults fills unset options.
@@ -180,6 +203,18 @@ func (o Options) withDefaults() (Options, error) {
 	if o.TraceDepth < 0 {
 		o.TraceDepth = 0 // explicit disable
 	}
+	if o.DegradedFactor == 0 {
+		o.DegradedFactor = 0.5
+	}
+	if o.DegradedFactor < 0 || o.DegradedFactor > 1 {
+		return o, fmt.Errorf("serve: degraded factor %v out of [0,1]", o.DegradedFactor)
+	}
+	if o.ReaugBudget == 0 {
+		o.ReaugBudget = 3
+	}
+	if o.ReaugBudget < 0 {
+		return o, fmt.Errorf("serve: re-augmentation budget %d must be positive", o.ReaugBudget)
+	}
 	return o, nil
 }
 
@@ -199,6 +234,15 @@ type Service struct {
 	// (nil when Options.RecordPath is empty).
 	flight   *trace.Recorder
 	recorder *TraceWriter
+
+	// alerter is the stateful watchdog (always non-nil); reaug queues the
+	// sessions node failures dropped below their expectation; the probe
+	// fields manage the optional background audit/re-augmentation loop.
+	alerter   *watchdog.Alerter
+	reaug     reaugQueue
+	probeMu   sync.Mutex
+	probeStop chan struct{}
+	probeDone chan struct{}
 
 	augmentIns *endpointInstruments
 	releaseIns *endpointInstruments
@@ -243,6 +287,11 @@ func New(net *mec.Network, opt Options) (*Service, error) {
 		augmentIns: endpointInstrumentsFor("augment"),
 		releaseIns: endpointInstrumentsFor("release"),
 		stateIns:   endpointInstrumentsFor("state"),
+		alerter: watchdog.New(watchdog.Config{
+			WarnFactor:  opt.AlertWarnFactor,
+			CritFactor:  opt.AlertCritFactor,
+			DedupWindow: opt.AlertDedup,
+		}),
 	}
 	if opt.TraceDepth > 0 {
 		s.flight = trace.NewRecorder(opt.TraceDepth)
@@ -261,6 +310,15 @@ func New(net *mec.Network, opt Options) (*Service, error) {
 	// Replayed placements keep their IDs; new admissions continue above them.
 	s.nextSeq.Store(int64(state.MaxPlacedID()))
 	s.queue = newQueue(s, opt.QueueDepth, opt.Batchers)
+	if opt.Restore {
+		// The journal carries health transitions and failure-rewritten
+		// records, so a restarted process resumes alerting and re-augmentation
+		// exactly where the crashed one stopped.
+		s.seedFromRestore()
+	}
+	if opt.ProbeEvery > 0 {
+		s.StartProbe(opt.ProbeEvery)
+	}
 	return s, nil
 }
 
@@ -300,6 +358,7 @@ func (s *Service) AdvanceSeq(n int) {
 // Call it instead of Drain when the service was built with a WALDir or a
 // RecordPath.
 func (s *Service) Close() error {
+	s.StopProbe()
 	s.Drain()
 	var firstErr error
 	if s.recorder != nil {
@@ -324,6 +383,10 @@ func (s *Service) State() *State { return s.state }
 
 // NumAPs returns the AP count of the served network (for request generators).
 func (s *Service) NumAPs() int { return s.state.base.G.N() }
+
+// Cloudlets returns the IDs of the served network's cloudlets (APs with
+// compute capacity) — the chaos fault injector's target set.
+func (s *Service) Cloudlets() []int { return s.state.base.Cloudlets() }
 
 // CatalogSize returns |ℱ| of the served network's function catalog.
 func (s *Service) CatalogSize() int { return s.state.base.Catalog().Size() }
@@ -409,6 +472,12 @@ type StateResponse struct {
 	// by this process (absent when durability is off).
 	WALEntries   uint64 `json:"wal_entries,omitempty"`
 	WALSnapshots uint64 `json:"wal_snapshots,omitempty"`
+	// DownNodes and DegradedNodes list cloudlets currently marked down or
+	// degraded (absent when every node is healthy).
+	DownNodes     []int `json:"down_nodes,omitempty"`
+	DegradedNodes []int `json:"degraded_nodes,omitempty"`
+	// ReaugPending counts sessions queued for proactive re-augmentation.
+	ReaugPending int `json:"reaug_pending,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer. Cached marks a 422
@@ -423,6 +492,8 @@ type errorResponse struct {
 //
 //	POST /v1/augment
 //	POST /v1/release
+//	POST /v1/node
+//	GET  /v1/alerts
 //	GET  /v1/state
 //	GET  /v1/healthz
 //	GET  /debug/traces   (when tracing is enabled)
@@ -430,6 +501,8 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/augment", s.handleAugment)
 	mux.HandleFunc("/v1/release", s.handleRelease)
+	mux.HandleFunc("/v1/node", s.handleNode)
+	mux.HandleFunc("/v1/alerts", s.handleAlerts)
 	mux.HandleFunc("/v1/state", s.handleState)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	if s.flight != nil {
@@ -541,6 +614,16 @@ func (t *Ticket) Wait() Outcome {
 // does not guarantee cross-connection admission order, the in-process load
 // generator does.
 func (s *Service) Enqueue(ar AugmentRequest) (*Ticket, error) {
+	return s.enqueue(ar, false)
+}
+
+// enqueue is Enqueue with control over the recorded Sync flag: sync marks
+// submissions the producer waits on before submitting anything else (the
+// re-augmentation loop), so a trace replay can reproduce the exact
+// enqueue/wait interleaving — micro-batch composition is an admission-order
+// input to every solve (phase 1 charges the whole batch's primaries before
+// any secondaries are placed).
+func (s *Service) enqueue(ar AugmentRequest, sync bool) (*Ticket, error) {
 	if err := s.validate(&ar); err != nil {
 		return nil, err
 	}
@@ -574,6 +657,7 @@ func (s *Service) Enqueue(ar AugmentRequest) (*Ticket, error) {
 			Destination: p.destination,
 			Primaries:   p.primaries,
 			DeadlineMS:  ar.DeadlineMS,
+			Sync:        sync,
 		})
 	}
 	return &Ticket{p: p}, nil
@@ -589,6 +673,10 @@ func (s *Service) Release(id int) (float64, error) {
 	}
 	s.cache.Invalidate()
 	metrics.released.Inc()
+	// A released session has no SLO to violate: clear its alert and any
+	// queued re-augmentation.
+	s.alerter.Resolve(watchdog.Key{Kind: watchdog.KindSession, ID: id}, "released")
+	s.reaug.remove(id)
 	if s.recorder != nil {
 		s.recorder.Record(TraceOp{Op: OpRelease, ID: id})
 	}
@@ -687,6 +775,9 @@ func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 		resp.WALEntries = l.Entries()
 		resp.WALSnapshots = l.Snapshots()
 	}
+	resp.DownNodes = s.state.DownNodes()
+	resp.DegradedNodes = s.state.DegradedNodes()
+	resp.ReaugPending = s.reaug.pending()
 	writeJSON(w, http.StatusOK, resp)
 }
 

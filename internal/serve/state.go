@@ -10,6 +10,8 @@
 //
 //	POST /v1/augment   admit a request and place its secondaries
 //	POST /v1/release   tear a placed request down, restoring capacity
+//	POST /v1/node      apply a node health transition (down/up/degraded)
+//	GET  /v1/alerts    active alerts + recent transitions (watchdog view)
 //	GET  /v1/state     residual ledger, epoch, placement count, WAL status
 //	GET  /v1/healthz   liveness + drain status
 //
@@ -39,10 +41,16 @@ import (
 const numShards = 16
 
 // placed is the per-request record kept for the lifetime of a placement.
+// A node failure rewrites the record in place: destroyed primaries become -1,
+// destroyed secondaries leave their host lists, the node's perNode share is
+// dropped (the capacity is gone, not releasable), and Reliability/Met are
+// recomputed from the surviving replicas.
 type placed struct {
 	ID          int
 	SFC         []int
 	Expectation float64
+	Source      int
+	Destination int
 	Primaries   []int
 	Secondaries [][]int
 	Reliability float64
@@ -95,6 +103,13 @@ type State struct {
 	wal           *wal.Log
 	snapshotEvery uint64
 	sinceSnapshot uint64
+
+	// healthMu guards the node health sets. Writers hold commitMu too —
+	// health transitions are epoch mutations — so readers see sets consistent
+	// with some installed epoch.
+	healthMu sync.RWMutex
+	down     map[int]bool
+	degraded map[int]bool
 }
 
 // walTicket is one install's pending durability work: the WAL entry to
@@ -111,7 +126,7 @@ type walTicket struct {
 // at this moment becomes epoch 0; the service never mutates the network
 // itself afterwards (epochs are copy-on-write forks).
 func NewState(net *mec.Network) *State {
-	s := &State{base: net}
+	s := &State{base: net, down: make(map[int]bool), degraded: make(map[int]bool)}
 	for i := range s.shards {
 		s.shards[i].m = make(map[int]*placed)
 	}
@@ -168,6 +183,18 @@ func (s *State) Epoch() uint64 { return s.pin().seq }
 // Hash returns the canonical hash of the current epoch's residual ledger.
 func (s *State) Hash() uint64 { return s.pin().hash }
 
+// installOp describes one epoch install beyond its ledger transition: the
+// placements it admits or releases, and — for node health transitions — the
+// triggering event plus the placement records the failure rewrote. Everything
+// here is journaled, so WAL replay and the live process agree on
+// failed-instance accounting.
+type installOp struct {
+	admits   []*placed
+	releases []int
+	updates  []*placed // records rewritten in place by a health transition
+	health   *wal.HealthRecord
+}
+
 // installLocked publishes a successor epoch — stores the new ledger pointer
 // and records admitted placements — and returns the install's durability
 // ticket (nil without a WAL). Callers must hold commitMu, may then release
@@ -175,11 +202,11 @@ func (s *State) Hash() uint64 { return s.pin().hash }
 // epoch becomes visible to new pins immediately (so the next batch can
 // execute against it while this one's fsync is in flight — group commit),
 // but responses wait for durability.
-func (s *State) installLocked(res []float64, hash uint64, admits []*placed, releases []int) *walTicket {
+func (s *State) installLocked(res []float64, hash uint64, op installOp) *walTicket {
 	prev := s.pin()
 	next := &epochLedger{seq: prev.seq + 1, res: res, hash: hash}
 	s.cur.Store(next)
-	for _, p := range admits {
+	for _, p := range op.admits {
 		sh := s.shard(p.ID)
 		sh.mu.Lock()
 		sh.m[p.ID] = p
@@ -194,10 +221,21 @@ func (s *State) installLocked(res []float64, hash uint64, admits []*placed, rele
 		Epoch:    next.seq,
 		Hash:     fmt.Sprintf("%016x", hash),
 		Residual: res,
-		Releases: releases,
+		Releases: op.releases,
+		Health:   op.health,
 	}}
-	for _, p := range admits {
+	for _, p := range op.admits {
 		t.entry.Admits = append(t.entry.Admits, toWALRecord(p))
+	}
+	if op.health != nil {
+		// Health entries carry the rewritten records and the full
+		// post-transition health sets; callers hold commitMu, so the sets
+		// read here are exactly the ones this install published.
+		for _, p := range op.updates {
+			t.entry.Updates = append(t.entry.Updates, toWALRecord(p))
+		}
+		t.entry.Down = s.DownNodes()
+		t.entry.Degraded = s.DegradedNodes()
 	}
 	s.sinceSnapshot++
 	if s.sinceSnapshot >= s.snapshotEvery {
@@ -255,6 +293,8 @@ func (s *State) captureSnapshotLocked(e *epochLedger) *wal.Snapshot {
 		Epoch:    e.seq,
 		Hash:     fmt.Sprintf("%016x", e.hash),
 		Residual: e.res,
+		Down:     s.DownNodes(),
+		Degraded: s.DegradedNodes(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -288,6 +328,13 @@ func (s *State) Release(id int) (float64, error) {
 	res := append([]float64(nil), cur.res...)
 	freed := 0.0
 	for _, v := range sortedNodes(p.perNode) {
+		if s.NodeDown(v) {
+			// A failed node's share was already dropped when its instances
+			// were destroyed; any residue here (e.g. a record admitted before
+			// this process learned of the failure) must not resurrect
+			// capacity on a dark node — WAL replay applies the same rule.
+			continue
+		}
 		mhz := p.perNode[v]
 		res[v] += mhz
 		if cap := s.base.Capacity[v]; res[v] > cap {
@@ -295,10 +342,83 @@ func (s *State) Release(id int) (float64, error) {
 		}
 		freed += mhz
 	}
-	t := s.installLocked(res, hashResiduals(res), nil, []int{id})
+	t := s.installLocked(res, hashResiduals(res), installOp{releases: []int{id}})
 	s.commitMu.Unlock()
 	s.flushWAL(t)
 	return freed, nil
+}
+
+// NodeDown reports whether cloudlet v is currently marked down.
+func (s *State) NodeDown(v int) bool {
+	s.healthMu.RLock()
+	defer s.healthMu.RUnlock()
+	return s.down[v]
+}
+
+// NodeDegraded reports whether cloudlet v is currently marked degraded.
+func (s *State) NodeDegraded(v int) bool {
+	s.healthMu.RLock()
+	defer s.healthMu.RUnlock()
+	return s.degraded[v]
+}
+
+// DownNodes returns the cloudlets currently marked down, ascending.
+func (s *State) DownNodes() []int {
+	s.healthMu.RLock()
+	defer s.healthMu.RUnlock()
+	return sortedSet(s.down)
+}
+
+// DegradedNodes returns the cloudlets currently marked degraded, ascending.
+func (s *State) DegradedNodes() []int {
+	s.healthMu.RLock()
+	defer s.healthMu.RUnlock()
+	return sortedSet(s.degraded)
+}
+
+// setHealthLocked moves node v into the given health state in the tracking
+// sets. Callers hold commitMu (the accompanying ledger change is an epoch
+// install); the healthMu write lock is taken here.
+func (s *State) setHealthLocked(v int, to string) {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	delete(s.down, v)
+	delete(s.degraded, v)
+	switch to {
+	case "down":
+		s.down[v] = true
+	case "degraded":
+		s.degraded[v] = true
+	}
+}
+
+// sortedSet returns a bool set's true keys ascending.
+func sortedSet(m map[int]bool) []int {
+	var out []int
+	for v, ok := range m {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PlacementIDs returns every live placement ID, ascending — the
+// deterministic iteration order the watchdog uses for audits and
+// re-augmentation.
+func (s *State) PlacementIDs() []int {
+	var out []int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Ints(out)
+	return out
 }
 
 // sortedNodes returns a per-node map's keys ascending, so ledger arithmetic
@@ -372,11 +492,16 @@ func rollback(work *mec.Network, perNode map[int]float64) {
 	}
 }
 
-// Placement is the read-only public view of one live placement record.
+// Placement is the read-only public view of one live placement record. After
+// a node failure, destroyed primaries read -1 and destroyed secondaries are
+// absent from their host lists; Reliability is the attained u_j of the
+// surviving replicas.
 type Placement struct {
 	ID          int
 	SFC         []int
 	Expectation float64
+	Source      int
+	Destination int
 	Primaries   []int
 	Secondaries [][]int
 	Reliability float64
@@ -401,6 +526,8 @@ func (s *State) Placement(id int) (Placement, bool) {
 		ID:          p.ID,
 		SFC:         append([]int(nil), p.SFC...),
 		Expectation: p.Expectation,
+		Source:      p.Source,
+		Destination: p.Destination,
 		Primaries:   append([]int(nil), p.Primaries...),
 		Secondaries: make([][]int, len(p.Secondaries)),
 		Reliability: p.Reliability,
@@ -454,6 +581,8 @@ func toWALRecord(p *placed) wal.PlacedRecord {
 		ID:          p.ID,
 		SFC:         p.SFC,
 		Expectation: p.Expectation,
+		Source:      p.Source,
+		Destination: p.Destination,
 		Primaries:   p.Primaries,
 		Secondaries: p.Secondaries,
 		Reliability: p.Reliability,
@@ -470,6 +599,8 @@ func fromWALRecord(r wal.PlacedRecord) *placed {
 		ID:          r.ID,
 		SFC:         r.SFC,
 		Expectation: r.Expectation,
+		Source:      r.Source,
+		Destination: r.Destination,
 		Primaries:   r.Primaries,
 		Secondaries: r.Secondaries,
 		Reliability: r.Reliability,
@@ -495,6 +626,7 @@ func NewStateFromWAL(net *mec.Network, dir string) (*State, error) {
 	seq := uint64(0)
 	wantHash := ""
 	records := make(map[int]*placed)
+	var down, degraded []int
 	if snap != nil {
 		if len(snap.Residual) != len(res) {
 			return nil, fmt.Errorf("serve: WAL snapshot covers %d nodes, network has %d", len(snap.Residual), len(res))
@@ -502,6 +634,7 @@ func NewStateFromWAL(net *mec.Network, dir string) (*State, error) {
 		res = snap.Residual
 		seq = snap.Epoch
 		wantHash = snap.Hash
+		down, degraded = snap.Down, snap.Degraded
 		for _, r := range snap.Placed {
 			records[r.ID] = fromWALRecord(r)
 		}
@@ -516,6 +649,16 @@ func NewStateFromWAL(net *mec.Network, dir string) (*State, error) {
 		for _, r := range e.Admits {
 			records[r.ID] = fromWALRecord(r)
 		}
+		// Health entries rewrite live records in place (destroyed instances,
+		// recomputed reliability) and republish the full down/degraded sets.
+		for _, r := range e.Updates {
+			if _, live := records[r.ID]; live {
+				records[r.ID] = fromWALRecord(r)
+			}
+		}
+		if e.Health != nil {
+			down, degraded = e.Down, e.Degraded
+		}
 		for _, id := range e.Releases {
 			delete(records, id)
 		}
@@ -527,6 +670,12 @@ func NewStateFromWAL(net *mec.Network, dir string) (*State, error) {
 	s.cur.Store(&epochLedger{seq: seq, res: res, hash: hash})
 	for id, p := range records {
 		s.shard(id).m[id] = p
+	}
+	for _, v := range down {
+		s.down[v] = true
+	}
+	for _, v := range degraded {
+		s.degraded[v] = true
 	}
 	metrics.epochSeq.Set(float64(seq))
 	return s, nil

@@ -59,6 +59,8 @@ type PlacedRecord struct {
 	ID          int             `json:"id"`
 	SFC         []int           `json:"sfc"`
 	Expectation float64         `json:"rho"`
+	Source      int             `json:"src"`
+	Destination int             `json:"dst"`
 	Primaries   []int           `json:"primaries"`
 	Secondaries [][]int         `json:"secondaries"`
 	Reliability float64         `json:"reliability"`
@@ -68,14 +70,31 @@ type PlacedRecord struct {
 	PerNode     map[int]float64 `json:"per_node"`
 }
 
+// HealthRecord journals one node health transition: the cloudlet and the
+// state it entered ("down", "up", or "degraded"). A restarted service replays
+// these to rebuild its down/degraded sets — and therefore its alert state —
+// exactly as they were at crash time.
+type HealthRecord struct {
+	Node int    `json:"node"`
+	To   string `json:"to"`
+}
+
 // Entry is one logged epoch transition: the post-install residual vector and
 // canonical hash, plus the placements admitted and released by the install.
+// Health transitions additionally carry the triggering event, the placement
+// records the failure rewrote (destroyed instances, recomputed reliability),
+// and the full post-transition down/degraded sets, so replay agrees with the
+// live process on failed-instance accounting.
 type Entry struct {
 	Epoch    uint64         `json:"epoch"`
 	Hash     string         `json:"hash"` // %016x of the canonical ledger hash
 	Residual []float64      `json:"residual"`
 	Admits   []PlacedRecord `json:"admits,omitempty"`
 	Releases []int          `json:"releases,omitempty"`
+	Health   *HealthRecord  `json:"health,omitempty"`
+	Updates  []PlacedRecord `json:"updates,omitempty"`
+	Down     []int          `json:"down,omitempty"`
+	Degraded []int          `json:"degraded,omitempty"`
 }
 
 // Snapshot is a full serving-state checkpoint: writing one truncates the log,
@@ -85,6 +104,8 @@ type Snapshot struct {
 	Hash     string         `json:"hash"`
 	Residual []float64      `json:"residual"`
 	Placed   []PlacedRecord `json:"placed"`
+	Down     []int          `json:"down,omitempty"`
+	Degraded []int          `json:"degraded,omitempty"`
 }
 
 // File names inside the WAL directory.
