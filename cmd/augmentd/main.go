@@ -106,7 +106,9 @@ func main() {
 	chaosMTBF := flag.Float64("chaos-mtbf", 8, "selftest: mean waves between cloudlet failures (exponential)")
 	chaosMTTR := flag.Float64("chaos-mttr", 2, "selftest: mean cloudlet outage length in waves (exponential)")
 	chaosDegraded := flag.Float64("chaos-degraded", 0, "selftest: probability a failure arrives as degraded instead of down")
+	bnbWorkers := flag.Int("bnb-workers", 1, "parallel branch-and-bound component workers per ILP solve (results are bit-identical for any value)")
 	flag.Parse()
+	core.SetDefaultBnBWorkers(*bnbWorkers)
 
 	obsSrv, err := obs.Boot(*logLevel, *obsAddr)
 	if err != nil {

@@ -10,19 +10,25 @@
 //	    Parse raw `go test -bench` output into the JSON form of
 //	    internal/benchfmt.
 //
-//	benchdiff -diff old.json new.json [-out merged.json]
+//	benchdiff -diff old.json new.json [-out merged.json] [-max-regress 1.75]
 //	    Print an old-vs-new delta table (min ns/op and min allocs/op per
-//	    benchmark, the noise-robust statistics for -count runs) and
-//	    optionally write a combined {"before","after"} file — the format of
-//	    the committed BENCH_<label>.json acceptance artifacts.
+//	    benchmark, the noise-robust statistics for -count runs) followed by
+//	    a geomean-speedup line per benchmark family (the name segment before
+//	    the first '/'), and optionally write a combined {"before","after"}
+//	    file — the format of the committed BENCH_<label>.json acceptance
+//	    artifacts. With -max-regress F the diff exits nonzero when any
+//	    benchmark present in both files got slower than old×F, which turns
+//	    `make bench` into a regression guard instead of an eyeball check.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"text/tabwriter"
 
 	"repro/internal/benchfmt"
@@ -35,12 +41,13 @@ type merged struct {
 
 func main() {
 	var (
-		guard = flag.Bool("guard", false, "fail when GOMAXPROCS < 2 (unless -short)")
-		short = flag.Bool("short", false, "with -guard: allow single-proc runs")
-		parse = flag.String("parse", "", "parse raw `go test -bench` output from this file")
-		label = flag.String("label", "local", "label stored in the JSON written by -parse")
-		diff  = flag.Bool("diff", false, "diff two JSON files: benchdiff -diff old.json new.json")
-		out   = flag.String("out", "", "output path for -parse JSON or -diff merged JSON")
+		guard      = flag.Bool("guard", false, "fail when GOMAXPROCS < 2 (unless -short)")
+		short      = flag.Bool("short", false, "with -guard: allow single-proc runs")
+		parse      = flag.String("parse", "", "parse raw `go test -bench` output from this file")
+		label      = flag.String("label", "local", "label stored in the JSON written by -parse")
+		diff       = flag.Bool("diff", false, "diff two JSON files: benchdiff -diff old.json new.json")
+		out        = flag.String("out", "", "output path for -parse JSON or -diff merged JSON")
+		maxRegress = flag.Float64("max-regress", 0, "with -diff: exit nonzero when any benchmark's new min ns/op exceeds old×this factor (0: report only)")
 	)
 	flag.Parse()
 	switch {
@@ -56,7 +63,7 @@ func main() {
 		if flag.NArg() != 2 {
 			fatalf("usage: benchdiff -diff old.json new.json [-out merged.json]")
 		}
-		if err := runDiff(flag.Arg(0), flag.Arg(1), *out); err != nil {
+		if err := runDiff(flag.Arg(0), flag.Arg(1), *out, *maxRegress); err != nil {
 			fatalf("%v", err)
 		}
 	default:
@@ -118,7 +125,7 @@ func loadFile(path string) (benchfmt.File, error) {
 	return f, nil
 }
 
-func runDiff(oldPath, newPath, out string) error {
+func runDiff(oldPath, newPath, out string, maxRegress float64) error {
 	oldF, err := loadFile(oldPath)
 	if err != nil {
 		return err
@@ -134,6 +141,13 @@ func runDiff(oldPath, newPath, out string) error {
 		newByName[g.Name] = g
 	}
 
+	type famStat struct {
+		logSum float64
+		n      int
+	}
+	families := make(map[string]*famStat)
+	var regressions []string
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tspeedup\told allocs\tnew allocs\tdelta\n")
 	for _, og := range oldG {
@@ -147,9 +161,43 @@ func runDiff(oldPath, newPath, out string) error {
 			og.Name, og.MinNs(), ng.MinNs(), speed,
 			allocStr(og.MinAllocs()), allocStr(ng.MinAllocs()),
 			allocDelta(og.MinAllocs(), ng.MinAllocs()))
+		fs := families[familyOf(og.Name)]
+		if fs == nil {
+			fs = &famStat{}
+			families[familyOf(og.Name)] = fs
+		}
+		fs.logSum += math.Log(speed)
+		fs.n++
+		if maxRegress > 0 && ng.MinNs() > og.MinNs()*maxRegress {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx slower, limit %.2fx)",
+					og.Name, og.MinNs(), ng.MinNs(), ng.MinNs()/og.MinNs(), maxRegress))
+		}
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+
+	// Per-family geomean: one robust speedup number per benchmark family
+	// (the name segment before the first '/'), so a wash across a family's
+	// sub-cases is visible even when individual lines are noisy.
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println()
+	for _, name := range names {
+		fs := families[name]
+		fmt.Printf("geomean %s: %.2fx (%d benchmarks)\n", name, math.Exp(fs.logSum/float64(fs.n)), fs.n)
+	}
+
+	if len(regressions) > 0 {
+		fmt.Println()
+		for _, r := range regressions {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed past the -max-regress %.2fx limit", len(regressions), maxRegress)
 	}
 
 	if out != "" {
@@ -164,6 +212,17 @@ func runDiff(oldPath, newPath, out string) error {
 		fmt.Printf("wrote %s\n", out)
 	}
 	return nil
+}
+
+// familyOf maps a benchmark name to its family: the segment before the
+// first '/' (sub-benchmark separator), or the whole name without one.
+func familyOf(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 func allocStr(a int64) string {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -38,7 +39,9 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/vars, /debug/pprof/ on this address (e.g. :9090 or :0; empty: off)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	manifestPath := flag.String("run-manifest", "", "write a JSON run manifest to this path")
+	bnbWorkers := flag.Int("bnb-workers", 1, "parallel branch-and-bound component workers per ILP solve (results are bit-identical for any value)")
 	flag.Parse()
+	core.SetDefaultBnBWorkers(*bnbWorkers)
 
 	srv, err := obs.Boot(*logLevel, *obsAddr)
 	if err != nil {

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ilp"
+	"repro/internal/workload"
+)
+
+// fig1Len14Instance reproduces instance i of the BenchmarkFig1/SFCLen14 pool
+// (same config, same seeding discipline as bench_test.go's instancePool).
+func fig1Len14Instance(i int) *Instance {
+	cfg := workload.NewDefaultConfig()
+	rng := rand.New(rand.NewSource(1014 + int64(i)))
+	net := cfg.Network(rng)
+	_ = cfg.Request(rng, i, net.Catalog().Size())
+	req := cfg.RequestWithLength(rng, i, 14, net.Catalog().Size())
+	workload.PlacePrimariesRandom(net, req, rng)
+	return NewInstance(net, req, Params{L: cfg.HopBound})
+}
+
+// TestSolveILPBitIdenticalAcrossWorkers pins the deterministic parallel
+// component driver: SolveILP on hard Fig1/SFCLen14 instances must return
+// bit-identical results (placements, objective bits, node accounting,
+// proven-ness) at every BnBWorkers count. Run under -race (make test-race)
+// this also proves the component workers share no mutable state.
+func TestSolveILPBitIdenticalAcrossWorkers(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		inst := fig1Len14Instance(i)
+		base, err := SolveILP(inst, ILPOptions{Timeout: NoTimeout, BnBWorkers: 1})
+		if err != nil {
+			t.Fatalf("instance %d workers=1: %v", i, err)
+		}
+		if inst.TotalItems() == 0 {
+			continue
+		}
+		for _, w := range []int{2, 8} {
+			got, err := SolveILP(inst, ILPOptions{Timeout: NoTimeout, BnBWorkers: w})
+			if err != nil {
+				t.Fatalf("instance %d workers=%d: %v", i, w, err)
+			}
+			if math.Float64bits(got.Objective) != math.Float64bits(base.Objective) {
+				t.Errorf("instance %d workers=%d: objective %x != %x", i, w,
+					math.Float64bits(got.Objective), math.Float64bits(base.Objective))
+			}
+			if math.Float64bits(got.Reliability) != math.Float64bits(base.Reliability) {
+				t.Errorf("instance %d workers=%d: reliability bits differ", i, w)
+			}
+			if got.Nodes != base.Nodes || got.Proven != base.Proven {
+				t.Errorf("instance %d workers=%d: nodes/proven %d/%v != %d/%v", i, w,
+					got.Nodes, got.Proven, base.Nodes, base.Proven)
+			}
+			if !reflect.DeepEqual(got.PerBin, base.PerBin) {
+				t.Errorf("instance %d workers=%d: placements differ", i, w)
+			}
+			if !reflect.DeepEqual(got.Counts, base.Counts) {
+				t.Errorf("instance %d workers=%d: counts differ", i, w)
+			}
+		}
+	}
+}
+
+// incumbentStep is one improvement of the generic B&B incumbent: the
+// committed node sequence number and the new objective's bits.
+type incumbentStep struct {
+	node int
+	bits uint64
+}
+
+// TestGenericBnBBitIdenticalAcrossWorkers pins the speculative round-based
+// driver in internal/ilp: the explored tree, every statistic, the returned
+// point, and the full incumbent trajectory must be identical at workers
+// 1, 2, and 8. Instances are aggregated augmentation models small enough for
+// the generic 0/1 search (see crosscheck_test.go for why big ones are not).
+func TestGenericBnBBitIdenticalAcrossWorkers(t *testing.T) {
+	cfg := workload.NewDefaultConfig()
+	cfg.ResidualFraction = 1.0 / 8
+	checked := 0
+	for seed := int64(0); seed < 40 && checked < 8; seed++ {
+		rng := rand.New(rand.NewSource(500 + seed))
+		net := cfg.Network(rng)
+		req := cfg.RequestWithLength(rng, 0, 3, net.Catalog().Size())
+		workload.PlacePrimariesRandom(net, req, rng)
+		inst := NewInstance(net, req, Params{L: 1})
+		if inst.TotalItems() == 0 || inst.TotalItems() > 14 {
+			continue
+		}
+		checked++
+
+		bm := buildModel(inst, ObjectiveLogGain)
+		run := func(workers int) (*ilp.Result, []incumbentStep) {
+			var trail []incumbentStep
+			r, err := ilp.Solve(bm.m, bm.intVars, ilp.Options{
+				MaxNodes: 20000,
+				Workers:  workers,
+				TraceIncumbent: func(node int, obj float64) {
+					trail = append(trail, incumbentStep{node: node, bits: math.Float64bits(obj)})
+				},
+			})
+			if err != nil {
+				t.Fatalf("seed %d workers=%d: %v", seed, workers, err)
+			}
+			return r, trail
+		}
+
+		base, baseTrail := run(1)
+		for _, w := range []int{2, 8} {
+			got, gotTrail := run(w)
+			if got.Status != base.Status || got.Proven != base.Proven {
+				t.Errorf("seed %d workers=%d: status %v/%v != %v/%v", seed, w,
+					got.Status, got.Proven, base.Status, base.Proven)
+			}
+			if math.Float64bits(got.Objective) != math.Float64bits(base.Objective) {
+				t.Errorf("seed %d workers=%d: objective bits differ", seed, w)
+			}
+			if got.Nodes != base.Nodes || got.Depth != base.Depth ||
+				got.Pivots != base.Pivots || got.Claimed != base.Claimed ||
+				got.WarmHits != base.WarmHits || got.ColdRuns != base.ColdRuns ||
+				got.EtaRefreshes != base.EtaRefreshes {
+				t.Errorf("seed %d workers=%d: accounting differs: %+v vs %+v", seed, w, got, base)
+			}
+			if len(got.X) != len(base.X) {
+				t.Fatalf("seed %d workers=%d: X length differs", seed, w)
+			}
+			for j := range got.X {
+				if math.Float64bits(got.X[j]) != math.Float64bits(base.X[j]) {
+					t.Errorf("seed %d workers=%d: X[%d] bits differ", seed, w, j)
+					break
+				}
+			}
+			if !reflect.DeepEqual(gotTrail, baseTrail) {
+				t.Errorf("seed %d workers=%d: incumbent trajectory %v != %v", seed, w, gotTrail, baseTrail)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d instances were small enough; loosen the sampler", checked)
+	}
+}

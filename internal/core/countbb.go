@@ -48,8 +48,11 @@ type countBB struct {
 	nFallback int
 	nPackFail int
 
-	// packMemo caches conclusive packing failures by count vector.
-	packMemo map[string]bool
+	// packMemo caches every packing-oracle outcome by count vector (the
+	// cover-children recursion and the fractional-node incumbent probes
+	// revisit count vectors; witnesses and exhaustive refutations are
+	// budget-independent, so both replay for free).
+	packMemo map[string]packOutcome
 	// packFail is the packing oracle's failure table, reused (via
 	// generation reset) across every packCounts query this search issues.
 	packFail *failTable
@@ -119,7 +122,7 @@ func solveCountBB(inst *Instance, obj Objective, maxNodes int, timeout time.Dura
 		tol:      countTol,
 		max:      maxNodes,
 		deadline: deadline,
-		packMemo: make(map[string]bool),
+		packMemo: make(map[string]packOutcome),
 		packFail: newFailTable(1 + len(inst.BinSet)),
 	}
 	L := len(inst.Positions)
@@ -181,17 +184,25 @@ func (bb *countBB) valueOf(counts []int) float64 {
 	return v
 }
 
-// packMemoized wraps packCounts with a cache of conclusive failures (the
-// cover-children recursion revisits count vectors).
-func (bb *countBB) packMemoized(n []int) (perBin []map[int]int, conclusive bool) {
+// packOutcome is one cached packing-oracle answer. Witnesses and exhaustive
+// refutations (conclusive == true) hold at any budget; a budget exhaustion is
+// only reusable for queries allowed at most the budget that already failed.
+type packOutcome struct {
+	perBin     []map[int]int // shared witness; consider() copies before storing
+	conclusive bool
+	budget     int
+}
+
+// packMemoized wraps packCounts with a cache of every prior outcome for the
+// search (the cover-children recursion and the per-fractional-node incumbent
+// probes revisit count vectors).
+func (bb *countBB) packMemoized(n []int, budget int) (perBin []map[int]int, conclusive bool) {
 	key := countsKey(n)
-	if bb.packMemo[key] {
-		return nil, true
+	if o, ok := bb.packMemo[key]; ok && (o.conclusive || o.budget >= budget) {
+		return o.perBin, o.conclusive
 	}
-	perBin, conclusive = packCountsIn(bb.inst, n, packBudget, bb.packFail)
-	if perBin == nil && conclusive {
-		bb.packMemo[key] = true
-	}
+	perBin, conclusive = packCountsIn(bb.inst, n, budget, bb.packFail)
+	bb.packMemo[key] = packOutcome{perBin: perBin, conclusive: conclusive, budget: budget}
 	return perBin, conclusive
 }
 
@@ -264,7 +275,7 @@ func (bb *countBB) explore(box countBox) {
 				fl[i] = box.lo[i]
 			}
 		}
-		if pb, _ := packCountsIn(bb.inst, fl, packIncumbentBudget, bb.packFail); pb != nil {
+		if pb, _ := bb.packMemoized(fl, packIncumbentBudget); pb != nil {
 			bb.consider(pb, bb.valueOf(fl))
 		}
 		down := countBox{lo: append([]int(nil), box.lo...), hi: append([]int(nil), box.hi...), bound: bound}
@@ -283,7 +294,7 @@ func (bb *countBB) explore(box countBox) {
 	for i, t := range counts {
 		n[i] = int(math.Round(t))
 	}
-	pb, conclusive := bb.packMemoized(n)
+	pb, conclusive := bb.packMemoized(n, packBudget)
 	switch {
 	case pb != nil:
 		bb.consider(pb, bound)

@@ -55,15 +55,28 @@ func packCountsIn(inst *Instance, counts []int, budget int, failed *failTable) (
 	})
 
 	residual := append([]float64(nil), inst.Residual...)
-	// cnt[i][b] counts items of position i placed into inst.Positions[i].Bins[b].
+	// bins[i] is position i's candidate bin list reordered tightest-first
+	// (ascending initial residual, ties in original order): the DFS refutes
+	// doomed assignments sooner and spends loose bins last, which is what
+	// lets hard queries conclude within budget. cnt[i][b] counts items of
+	// position i placed into bins[i][b].
+	bins := make([][]int, len(inst.Positions))
 	cnt := make([][]int, len(inst.Positions))
 	for _, i := range order {
-		cnt[i] = make([]int, len(inst.Positions[i].Bins))
+		pb := inst.Positions[i].Bins
+		sorted := append([]int(nil), pb...)
+		for a := 1; a < len(sorted); a++ { // stable insertion sort: small, allocation-free
+			for b := a; b > 0 && residual[sorted[b]] < residual[sorted[b-1]]; b-- {
+				sorted[b], sorted[b-1] = sorted[b-1], sorted[b]
+			}
+		}
+		bins[i] = sorted
+		cnt[i] = make([]int, len(pb))
 	}
 
 	// Fast path: greedy best-fit.
-	if greedyPack(inst, counts, order, residual, cnt) {
-		return countsToPerBin(inst, cnt), true
+	if greedyPack(inst, counts, order, bins, residual, cnt) {
+		return countsToPerBin(inst, bins, cnt), true
 	}
 	copy(residual, inst.Residual)
 	for _, i := range order {
@@ -82,9 +95,11 @@ func packCountsIn(inst *Instance, counts []int, budget int, failed *failTable) (
 	failed.reset(1 + nBins)
 	quant := make([]int64, 1+nBins)
 	binPos := make([]int, len(residual)) // bin node id -> index in quant
+	rh := uint64(0)                      // rolling XOR of mixSlot over quant[1:]
 	for k, u := range inst.BinSet {
 		binPos[u] = 1 + k
 		quant[1+k] = quantize(residual[u])
+		rh ^= mixSlot(1+k, quant[1+k])
 	}
 	var placePos func(oi int) bool
 	placePos = func(oi int) bool {
@@ -92,21 +107,29 @@ func packCountsIn(inst *Instance, counts []int, budget int, failed *failTable) (
 			return true
 		}
 		quant[0] = int64(oi)
-		h := hashKey(quant)
+		h := rh ^ mixSlot(0, quant[0])
 		if failed.has(h, quant) {
 			return false
 		}
 		i := order[oi]
 		p := &inst.Positions[i]
 		need := counts[i]
-		// Slot prune across all later positions.
+		// Slot prune across all later positions. Only the slots < counts[j]
+		// outcome matters, so counting stops the moment a position is covered,
+		// and bins too tight to hold even one item skip the division.
 		for _, j := range order[oi:] {
 			pj := &inst.Positions[j]
-			slots := 0
+			slots, need := 0, counts[j]
 			for _, u := range pj.Bins {
+				if residual[u] < pj.Func.Demand {
+					continue
+				}
 				slots += int(residual[u] / pj.Func.Demand)
+				if slots >= need {
+					break
+				}
 			}
-			if slots < counts[j] {
+			if slots < need {
 				failed.insert(h, quant)
 				return false
 			}
@@ -121,19 +144,25 @@ func packCountsIn(inst *Instance, counts []int, budget int, failed *failTable) (
 			if itemIdx == need {
 				return placePos(oi + 1)
 			}
-			for b := minBin; b < len(p.Bins); b++ {
-				u := p.Bins[b]
+			pBins := bins[i]
+			for b := minBin; b < len(pBins); b++ {
+				u := pBins[b]
 				if residual[u] < p.Func.Demand {
 					continue
 				}
 				residual[u] -= p.Func.Demand
-				quant[binPos[u]] = quantize(residual[u])
+				q := binPos[u]
+				rh ^= mixSlot(q, quant[q])
+				quant[q] = quantize(residual[u])
+				rh ^= mixSlot(q, quant[q])
 				cnt[i][b]++
 				if placeItem(itemIdx+1, b) {
 					return true
 				}
 				residual[u] += p.Func.Demand
-				quant[binPos[u]] = quantize(residual[u])
+				rh ^= mixSlot(q, quant[q])
+				quant[q] = quantize(residual[u])
+				rh ^= mixSlot(q, quant[q])
 				cnt[i][b]--
 				if exhausted {
 					// Unwind without exploring alternatives.
@@ -153,7 +182,7 @@ func packCountsIn(inst *Instance, counts []int, budget int, failed *failTable) (
 		return ok
 	}
 	if placePos(0) {
-		return countsToPerBin(inst, cnt), true
+		return countsToPerBin(inst, bins, cnt), true
 	}
 	if exhausted {
 		return nil, false
@@ -164,15 +193,16 @@ func packCountsIn(inst *Instance, counts []int, budget int, failed *failTable) (
 // quantize maps a residual capacity to the cache's 1/64-MHz grid.
 func quantize(r float64) int64 { return int64(r*64 + 0.5) }
 
-// countsToPerBin converts flat slot counters into the per-position bin→count
-// map witness packCounts promises its callers.
-func countsToPerBin(inst *Instance, cnt [][]int) []map[int]int {
+// countsToPerBin converts flat slot counters (indexed by the tightest-first
+// bin order in bins) into the per-position bin→count map witness packCounts
+// promises its callers.
+func countsToPerBin(inst *Instance, bins [][]int, cnt [][]int) []map[int]int {
 	perBin := make([]map[int]int, len(inst.Positions))
 	for i := range perBin {
 		perBin[i] = make(map[int]int)
 		for b, c := range cnt[i] {
 			if c > 0 {
-				perBin[i][inst.Positions[i].Bins[b]] += c
+				perBin[i][bins[i][b]] += c
 			}
 		}
 	}
@@ -181,15 +211,16 @@ func countsToPerBin(inst *Instance, cnt [][]int) []map[int]int {
 
 // greedyPack attempts a best-fit packing: positions by decreasing demand
 // (the caller-provided order), each item into the allowed bin with the most
-// residual capacity. On success the placements are left in cnt and residual
-// reflects them; on failure it reports false and the caller resets both.
-func greedyPack(inst *Instance, counts []int, order []int, residual []float64, cnt [][]int) bool {
+// residual capacity (ties broken by the tightest-first enumeration in bins).
+// On success the placements are left in cnt and residual reflects them; on
+// failure it reports false and the caller resets both.
+func greedyPack(inst *Instance, counts []int, order []int, bins [][]int, residual []float64, cnt [][]int) bool {
 	for _, i := range order {
 		p := &inst.Positions[i]
 		for item := 0; item < counts[i]; item++ {
 			best := -1
 			var bestRes float64
-			for b, u := range p.Bins {
+			for b, u := range bins[i] {
 				if residual[u] >= p.Func.Demand && residual[u] > bestRes {
 					best, bestRes = b, residual[u]
 				}
@@ -197,7 +228,7 @@ func greedyPack(inst *Instance, counts []int, order []int, residual []float64, c
 			if best < 0 {
 				return false
 			}
-			residual[p.Bins[best]] -= p.Func.Demand
+			residual[bins[i][best]] -= p.Func.Demand
 			cnt[i][best]++
 		}
 	}
@@ -210,14 +241,19 @@ func clearInts(s []int) {
 	}
 }
 
-// hashKey is FNV-1a folded over the key's int64 words. Collisions are
-// harmless (the table compares full keys); the hash only spreads probes.
-func hashKey(key []int64) uint64 {
-	h := uint64(1469598103934665603)
-	for _, q := range key {
-		h = (h ^ uint64(q)) * 1099511628211
-	}
-	return h
+// mixSlot hashes one (slot, value) pair of a failure-cache key. Keys hash to
+// the XOR of their slots' mixes, which placeItem maintains incrementally as
+// residuals change instead of rehashing the whole vector at each position
+// boundary. Collisions are harmless (the table compares full keys); the hash
+// only spreads probes.
+func mixSlot(k int, v int64) uint64 {
+	x := uint64(k)*0x9E3779B97F4A7C15 + uint64(v)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // failChunkShift sizes the arena chunks: 1<<failChunkShift keys per chunk.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // RandomizedOptions tunes Algorithm 1.
@@ -51,6 +52,7 @@ func SolveRandomized(inst *Instance, rng *rand.Rand, opt RandomizedOptions) (*Re
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("core: LP relaxation returned %v on an always-feasible instance", sol.Status)
 	}
+	obs.Default().Counter("lp_eta_refreshes").Add(int64(sol.EtaRefreshes))
 
 	var best *Result
 	for round := 0; round < opt.Rounds; round++ {

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/lp"
 	"repro/internal/obs"
@@ -35,7 +37,27 @@ type Options struct {
 	// GapTol stops the search when (incumbent-bound)/max(1,|incumbent|)
 	// falls below it; <=0 means prove exact optimality (1e-9).
 	GapTol float64
+	// Workers is the number of goroutines evaluating node relaxations
+	// (<=0 means 1). The explored tree, incumbent trajectory, and every
+	// Result field are bit-identical at any worker count: nodes are claimed
+	// from a fixed-width speculation window in index order and their results
+	// committed in that same order (see solve).
+	Workers int
+	// TraceIncumbent, when non-nil, is invoked (from the commit goroutine,
+	// in deterministic commit order) every time the incumbent improves —
+	// with the 1-based sequence number of the node that produced it and the
+	// new objective. Sequence 0 is the root rounding heuristic. This is a
+	// test/diagnostic hook for pinning the incumbent trajectory.
+	TraceIncumbent func(node int, obj float64)
 }
+
+// speculationWidth is the size of the per-round claim window: each round
+// pops up to this many best-bound nodes, evaluates their LP relaxations in
+// parallel, and commits the results in pop order. The width is a constant —
+// NOT the worker count — so the set of nodes evaluated per round, and hence
+// the entire explored tree, is identical no matter how many workers split
+// the window. Workers beyond the width can never find a node to claim.
+const speculationWidth = 8
 
 func (o Options) withDefaults() Options {
 	if o.MaxNodes <= 0 {
@@ -44,21 +66,29 @@ func (o Options) withDefaults() Options {
 	if o.GapTol <= 0 {
 		o.GapTol = 1e-9
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Workers > speculationWidth {
+		o.Workers = speculationWidth
+	}
 	return o
 }
 
 // Result is the outcome of a branch-and-bound run.
 type Result struct {
-	Status    lp.Status // Optimal, Infeasible, or IterLimit (budget exhausted with/without incumbent)
-	Objective float64
-	X         []float64
-	Nodes     int     // nodes explored
-	Depth     int     // maximum tree depth among explored nodes (root = 0)
-	Pivots    int     // simplex pivots over root + node relaxations (rounding re-solves excluded)
-	Proven    bool    // true if optimality was proven within budgets
-	Gap       float64 // remaining relative gap when !Proven and an incumbent exists
-	WarmHits  int     // node relaxations answered by a warm-started phase 2
-	ColdRuns  int     // node relaxations that needed the cold two-phase path
+	Status       lp.Status // Optimal, Infeasible, or IterLimit (budget exhausted with/without incumbent)
+	Objective    float64
+	X            []float64
+	Nodes        int     // nodes explored
+	Depth        int     // maximum tree depth among explored nodes (root = 0)
+	Pivots       int     // simplex pivots over root + node relaxations (rounding re-solves excluded)
+	Proven       bool    // true if optimality was proven within budgets
+	Gap          float64 // remaining relative gap when !Proven and an incumbent exists
+	WarmHits     int     // node relaxations answered by a warm-started phase 2
+	ColdRuns     int     // node relaxations that needed the cold two-phase path
+	Claimed      int     // node relaxations evaluated, including speculative ones discarded at commit
+	EtaRefreshes int     // simplex basis refactorizations across root + counted node relaxations
 }
 
 // Solve optimizes the model requiring the variables listed in intVars to take
@@ -79,6 +109,8 @@ func Solve(m *lp.Model, intVars []int, opt Options) (*Result, error) {
 	r.Histogram("ilp_lp_pivots", obs.CountBuckets).Observe(float64(res.Pivots))
 	r.Counter("ilp_warmstart_hits").Add(int64(res.WarmHits))
 	r.Counter("ilp_cold_restarts").Add(int64(res.ColdRuns))
+	r.Counter("ilp_bnb_nodes_claimed").Add(int64(res.Claimed))
+	r.Counter("lp_eta_refreshes").Add(int64(res.EtaRefreshes))
 	return res, nil
 }
 
@@ -99,18 +131,20 @@ func solve(m *lp.Model, intVars []int, opt Options) (*Result, error) {
 		return a < b
 	}
 
-	ws := lp.AcquireWorkspace()
-	defer lp.ReleaseWorkspace(ws)
+	// Worker contexts: each owns a mutable model copy for node relaxations
+	// (branching bound changes applied before the solve, undone after), a
+	// second copy for the rounding heuristic, and a workspace arena, so node
+	// evaluations from different workers never share mutable state and the
+	// resolves stay alloc-free.
+	wcs := make([]*workerCtx, opt.Workers)
+	for w := range wcs {
+		wcs[w] = &workerCtx{work: m.Clone(), roundWork: m.Clone(), ws: lp.AcquireWorkspace()}
+		defer lp.ReleaseWorkspace(wcs[w].ws)
+	}
+	ws := wcs[0].ws
 
-	// One mutable copy serves every node relaxation: branching fixes are
-	// bound changes applied before the solve and undone (from m, which is
-	// never touched) afterwards. A second copy serves the rounding
-	// heuristic, which fixes all integer variables at once.
-	work := m.Clone()
-	roundWork := m.Clone()
-
-	rootSol := work.SolveWithWorkspace(ws)
-	res := &Result{Status: lp.Infeasible, Pivots: rootSol.Iterations}
+	rootSol := wcs[0].work.SolveWithWorkspace(ws)
+	res := &Result{Status: lp.Infeasible, Pivots: rootSol.Iterations, EtaRefreshes: rootSol.EtaRefreshes}
 	switch rootSol.Status {
 	case lp.Infeasible:
 		return res, nil
@@ -127,99 +161,151 @@ func solve(m *lp.Model, intVars []int, opt Options) (*Result, error) {
 		incumbent    []float64
 		incumbentObj float64
 		haveInc      bool
+		nodes        int
 	)
 	consider := func(x []float64, obj float64) {
 		if !haveInc || better(obj, incumbentObj) {
 			incumbent = append([]float64(nil), x...)
 			incumbentObj = obj
 			haveInc = true
+			if opt.TraceIncumbent != nil {
+				opt.TraceIncumbent(nodes, obj)
+			}
 		}
 	}
 
 	// Try rounding the root solution for an initial incumbent.
-	if x, obj, ok := roundToFeasible(m, roundWork, ws, intVars, rootSol.X); ok {
+	if x, obj, ok := roundToFeasible(m, wcs[0].roundWork, ws, intVars, rootSol.X); ok {
 		consider(x, obj)
 	}
 
 	pq := &nodeHeap{better: better}
 	pq.push(nodeEntry{bound: rootSol.Objective, depth: 0, basis: rootBasis})
-	nodes := 0
 
-	bestBound := rootSol.Objective
+	// Deterministic parallel exploration: each round pops up to
+	// speculationWidth best-bound nodes in heap order, evaluates their
+	// relaxations concurrently (workers claim window slots in index order
+	// through an atomic cursor), then commits the results strictly in pop
+	// order. All incumbent reads happen at commit, so a node the serial
+	// discipline would have pruned just has its speculative result (and its
+	// pivot/warm-start statistics) discarded — every Result field is
+	// therefore a pure function of the model, independent of worker count
+	// and goroutine scheduling.
+	batch := make([]nodeEntry, 0, speculationWidth)
+	results := make([]nodeResult, speculationWidth)
 	for pq.len() > 0 && nodes < opt.MaxNodes {
-		ent := pq.pop()
-		nodes++
-		if ent.depth > res.Depth {
-			res.Depth = ent.depth
+		width := speculationWidth
+		if r := opt.MaxNodes - nodes; width > r {
+			width = r
 		}
-		// Prune against incumbent.
-		if haveInc && !better(ent.bound, incumbentObj) &&
-			math.Abs(ent.bound-incumbentObj) > 1e-12 {
-			continue
+		if width > pq.len() {
+			width = pq.len()
 		}
+		batch = batch[:0]
+		for i := 0; i < width; i++ {
+			batch = append(batch, pq.pop())
+		}
+		res.Claimed += width
 
-		for _, f := range ent.fixes {
-			work.SetVarBounds(f.v, f.val, f.val)
-		}
-		sol, warm := solveNode(work, ws, ent.basis)
-		res.Pivots += sol.Iterations
-		if warm {
-			res.WarmHits++
+		if nw := min(opt.Workers, width); nw <= 1 {
+			for i := 0; i < width; i++ {
+				results[i] = wcs[0].evalNode(m, intVars, &batch[i])
+			}
 		} else {
-			res.ColdRuns++
-		}
-		if sol.Status != lp.Optimal {
-			undoFixes(work, m, ent.fixes)
-			continue
-		}
-		childBasis := ws.FinalBasis(nil)
-		undoFixes(work, m, ent.fixes)
-		if haveInc && !better(sol.Objective, incumbentObj) &&
-			math.Abs(sol.Objective-incumbentObj) > intTol {
-			continue
-		}
-
-		frac := mostFractional(sol.X, intVars)
-		if frac < 0 {
-			// Integral solution.
-			consider(snapIntegers(sol.X, intVars), sol.Objective)
-			continue
-		}
-		if x, obj, ok := roundToFeasible(m, roundWork, ws, intVars, sol.X); ok {
-			consider(x, obj)
-		}
-
-		lbv := math.Floor(sol.X[frac])
-		ubv := lbv + 1
-		varLB, varUB := m.VarBounds(frac)
-		for _, f := range ent.fixes {
-			if f.v == frac {
-				varLB, varUB = f.val, f.val
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(wc *workerCtx) {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= width {
+							return
+						}
+						results[i] = wc.evalNode(m, intVars, &batch[i])
+					}
+				}(wcs[w])
 			}
-		}
-		if lbv >= varLB {
-			down := append(append([]fix(nil), ent.fixes...), fix{v: frac, val: lbv})
-			pq.push(nodeEntry{fixes: down, bound: sol.Objective, depth: ent.depth + 1, basis: childBasis})
-		}
-		if ubv <= varUB {
-			up := append(append([]fix(nil), ent.fixes...), fix{v: frac, val: ubv})
-			pq.push(nodeEntry{fixes: up, bound: sol.Objective, depth: ent.depth + 1, basis: childBasis})
+			wg.Wait()
 		}
 
-		// Termination by gap.
-		if haveInc {
-			bestBound = incumbentObj
-			if pq.len() > 0 {
-				bestBound = pq.peekBound()
+		for i := 0; i < width; i++ {
+			ent := batch[i]
+			nodes++
+			if ent.depth > res.Depth {
+				res.Depth = ent.depth
 			}
-			gap := math.Abs(bestBound-incumbentObj) / math.Max(1, math.Abs(incumbentObj))
-			if gap <= opt.GapTol {
-				res.Status = lp.Optimal
-				res.Objective = incumbentObj
-				res.X = incumbent
-				res.Nodes = nodes
-				res.Proven = true
-				return res, nil
+			// Prune against incumbent.
+			if haveInc && !better(ent.bound, incumbentObj) &&
+				math.Abs(ent.bound-incumbentObj) > 1e-12 {
+				continue
+			}
+			nr := &results[i]
+			res.Pivots += nr.sol.Iterations
+			res.EtaRefreshes += nr.sol.EtaRefreshes
+			if nr.warm {
+				res.WarmHits++
+			} else {
+				res.ColdRuns++
+			}
+			if nr.sol.Status != lp.Optimal {
+				continue
+			}
+			if haveInc && !better(nr.sol.Objective, incumbentObj) &&
+				math.Abs(nr.sol.Objective-incumbentObj) > intTol {
+				continue
+			}
+
+			if nr.frac < 0 {
+				// Integral solution.
+				consider(snapIntegers(nr.sol.X, intVars), nr.sol.Objective)
+				continue
+			}
+			if nr.roundOK {
+				consider(nr.roundX, nr.roundObj)
+			}
+
+			lbv := math.Floor(nr.sol.X[nr.frac])
+			ubv := lbv + 1
+			varLB, varUB := m.VarBounds(nr.frac)
+			for _, f := range ent.fixes {
+				if f.v == nr.frac {
+					varLB, varUB = f.val, f.val
+				}
+			}
+			if lbv >= varLB {
+				down := append(append([]fix(nil), ent.fixes...), fix{v: nr.frac, val: lbv})
+				pq.push(nodeEntry{fixes: down, bound: nr.sol.Objective, depth: ent.depth + 1, basis: nr.childBasis})
+			}
+			if ubv <= varUB {
+				up := append(append([]fix(nil), ent.fixes...), fix{v: nr.frac, val: ubv})
+				pq.push(nodeEntry{fixes: up, bound: nr.sol.Objective, depth: ent.depth + 1, basis: nr.childBasis})
+			}
+
+			// Termination by gap. The conceptual frontier includes the not
+			// yet committed tail of this round's window (popped in heap
+			// order, so batch[i+1] is the best of it) alongside the heap.
+			if haveInc {
+				bestBound := incumbentObj
+				haveBound := false
+				if i+1 < width {
+					bestBound = batch[i+1].bound
+					haveBound = true
+				}
+				if pq.len() > 0 && (!haveBound || better(pq.peekBound(), bestBound)) {
+					bestBound = pq.peekBound()
+					haveBound = true
+				}
+				gap := math.Abs(bestBound-incumbentObj) / math.Max(1, math.Abs(incumbentObj))
+				if gap <= opt.GapTol {
+					res.Status = lp.Optimal
+					res.Objective = incumbentObj
+					res.X = incumbent
+					res.Nodes = nodes
+					res.Proven = true
+					return res, nil
+				}
 			}
 		}
 	}
@@ -243,6 +329,51 @@ func solve(m *lp.Model, intVars []int, opt Options) (*Result, error) {
 		res.Status = lp.IterLimit
 	}
 	return res, nil
+}
+
+// workerCtx is one evaluation worker's private state: a mutable model copy
+// for node relaxations, a second for the rounding heuristic, and a
+// workspace arena. Node evaluation is a pure function of the node entry
+// given these, which is what makes speculative parallel evaluation safe.
+type workerCtx struct {
+	work      *lp.Model
+	roundWork *lp.Model
+	ws        *lp.Workspace
+}
+
+// nodeResult is everything a node evaluation produces; the commit loop
+// decides (against the incumbent state at commit time) what survives.
+type nodeResult struct {
+	sol        *lp.Solution
+	warm       bool
+	childBasis []int
+	frac       int // most-fractional integer variable, -1 when integral
+	roundX     []float64
+	roundObj   float64
+	roundOK    bool
+}
+
+// evalNode evaluates one node's relaxation plus its speculative rounding
+// probe. It mutates only wc's private state (and restores wc.work's bounds
+// from orig before returning).
+func (wc *workerCtx) evalNode(orig *lp.Model, intVars []int, ent *nodeEntry) nodeResult {
+	for _, f := range ent.fixes {
+		wc.work.SetVarBounds(f.v, f.val, f.val)
+	}
+	sol, warm := solveNode(wc.work, wc.ws, ent.basis)
+	undoFixes(wc.work, orig, ent.fixes)
+	nr := nodeResult{sol: sol, warm: warm, frac: -1}
+	if sol.Status != lp.Optimal {
+		return nr
+	}
+	nr.childBasis = wc.ws.FinalBasis(nil)
+	nr.frac = mostFractional(sol.X, intVars)
+	if nr.frac >= 0 {
+		if x, obj, ok := roundToFeasible(orig, wc.roundWork, wc.ws, intVars, sol.X); ok {
+			nr.roundX, nr.roundObj, nr.roundOK = x, obj, true
+		}
+	}
+	return nr
 }
 
 // solveNode evaluates one node relaxation: warm-started phase 2 from the

@@ -1,0 +1,359 @@
+package lp
+
+import "math"
+
+const (
+	// etaRefreshLen caps the product-form eta chain: past this many updates
+	// a fresh LU refactorization is cheaper (and more accurate) than
+	// dragging the chain through every FTRAN/BTRAN.
+	etaRefreshLen = 64
+	// etaDriftLimit bounds the accumulated pivot-magnitude drift
+	// Σ|log2|d_r|| across the eta chain; pivots far from 1 compound error,
+	// so sustained growth or shrinkage forces an early refactorization.
+	etaDriftLimit = 40.0
+)
+
+// basisFactor is the revised simplex's factorization of the basis matrix B:
+// a dense LU with partial pivoting taken at the last refresh, composed with
+// a product-form eta file for the pivots since. FTRAN solves Bx = v and
+// BTRAN solves B'y = v through the pair. The factor is refreshed (refactored
+// from the current basis columns and the eta file discarded) when the chain
+// grows past etaRefreshLen or its accumulated pivot drift passes
+// etaDriftLimit.
+type basisFactor struct {
+	m  int
+	lu []float64 // elimination scratch: m×m row-major dense working copy
+
+	// Double-buffered triangular-solve state: fac is the active
+	// factorization ftran/btran read; spare is the staging buffer factorize
+	// builds into, swapped in only when elimination succeeds. A failed
+	// refactorization (singular basis at tolerance) therefore leaves the
+	// active factors and the eta file fully usable — the solver continues
+	// exactly as if it had not attempted the refresh.
+	fac   triSolve
+	spare triSolve
+
+	// Eta file: update e replaced basis row etaPivRow[e] with a spike whose
+	// pivot entry is etaPivVal[e]; the spike's off-pivot nonzeros are
+	// etaIdx/etaVal[etaPtr[e]:etaPtr[e+1]].
+	etaPivRow []int
+	etaPivVal []float64
+	etaPtr    []int
+	etaIdx    []int
+	etaVal    []float64
+	drift     float64
+
+	// refreshes counts refactorizations since the owner reset it — the
+	// per-solve lp_eta_refreshes statistic.
+	refreshes int
+
+	// failedAtLen is the eta-chain length at the last failed refresh
+	// attempt, or -1; needRefresh backs off until the chain has grown past
+	// it so a stubbornly singular basis does not pay O(m³) per iteration.
+	failedAtLen int
+
+	x []float64 // permutation/solve scratch
+}
+
+// triSolve is one complete set of triangular-solve factors: the pivot
+// permutation plus sparse views of L (by column), U (by row and by column),
+// extracted once per refactorization so the four triangular solves in
+// ftran/btran run over actual nonzeros instead of m² dense entries — the
+// augmentation bases are mostly unit columns (slack and upper-bound rows),
+// so nnz(LU) ≈ m. Index lists are ascending, which keeps every accumulation
+// in the same order as the dense loops (bit-identical results, just without
+// the zero terms).
+type triSolve struct {
+	piv   []int // row swapped with k at elimination step k
+	lcPtr []int // L column k: rows i>k with L[i][k] != 0
+	lcIdx []int
+	lcVal []float64
+	urPtr []int // U row k: columns j>k with U[k][j] != 0
+	urIdx []int
+	urVal []float64
+	ucPtr []int // U column k: rows i<k with U[i][k] != 0
+	ucIdx []int
+	ucVal []float64
+	udiag []float64 // U[k][k]
+}
+
+// factorize rebuilds the LU factors from the current basis columns of sf and
+// discards the eta file. It returns false when the basis matrix is singular
+// at tolerance tol (no usable pivot in some elimination column).
+func (f *basisFactor) factorize(sf *standardForm, tol float64) bool {
+	m := sf.rows
+	f.lu = growF(f.lu, m*m)
+	clearF(f.lu)
+	s := &f.spare
+	s.piv = grow(s.piv, m)
+	for i, col := range sf.basis[:m] {
+		for k := sf.colPtr[col]; k < sf.colPtr[col+1]; k++ {
+			f.lu[sf.rowIdx[k]*m+i] = sf.vals[k]
+		}
+	}
+	s.urPtr = grow(s.urPtr, m+1)
+	s.udiag = growF(s.udiag, m)
+	s.urIdx, s.urVal = s.urIdx[:0], s.urVal[:0]
+	for k := 0; k < m; k++ {
+		p, best := k, math.Abs(f.lu[k*m+k])
+		for i := k + 1; i < m; i++ {
+			if a := math.Abs(f.lu[i*m+k]); a > best {
+				p, best = i, a
+			}
+		}
+		if best < tol {
+			// Singular at tolerance: leave the active factors untouched and
+			// remember the chain length so needRefresh backs off before the
+			// next attempt.
+			f.failedAtLen = len(f.etaPivRow)
+			return false
+		}
+		s.piv[k] = p
+		if p != k {
+			kr := f.lu[k*m : k*m+m]
+			pr := f.lu[p*m : p*m+m]
+			for j := range kr {
+				kr[j], pr[j] = pr[j], kr[j]
+			}
+		}
+		// Row k is final after its pivot step (later steps only swap rows
+		// below k), so the U row and diagonal can be extracted here while the
+		// row is hot in cache. The L multipliers are NOT final yet — a later
+		// step's partial-pivot swap exchanges full rows, multipliers
+		// included — so the L-column view is built in a post-pass instead.
+		s.urPtr[k] = len(s.urIdx)
+		kr := f.lu[k*m : k*m+m]
+		s.udiag[k] = kr[k]
+		for j := k + 1; j < m; j++ {
+			if v := kr[j]; v != 0 {
+				s.urIdx = append(s.urIdx, j)
+				s.urVal = append(s.urVal, v)
+			}
+		}
+		inv := 1 / kr[k]
+		for i := k + 1; i < m; i++ {
+			ir := f.lu[i*m : i*m+m]
+			mult := ir[k] * inv
+			if mult == 0 {
+				continue
+			}
+			ir[k] = mult
+			for j := k + 1; j < m; j++ {
+				ir[j] -= mult * kr[j]
+			}
+		}
+	}
+	s.urPtr[m] = len(s.urIdx)
+	s.buildLColumns(m, f.lu)
+	s.buildUColumns(m)
+	f.m = m
+	f.fac, f.spare = f.spare, f.fac
+	f.etaPivRow = f.etaPivRow[:0]
+	f.etaPivVal = f.etaPivVal[:0]
+	f.etaPtr = append(f.etaPtr[:0], 0)
+	f.etaIdx = f.etaIdx[:0]
+	f.etaVal = f.etaVal[:0]
+	f.drift = 0
+	f.refreshes++
+	f.failedAtLen = -1
+	return true
+}
+
+// buildLColumns extracts the sparse L-column view from the finished dense
+// factors, after every partial-pivot row swap has been applied. Two
+// cache-friendly row-major passes with a counting sort keep it O(m²) reads
+// but O(nnz) writes; column entries come out in ascending row order, the
+// same order a dense column scan would produce.
+func (s *triSolve) buildLColumns(m int, lu []float64) {
+	s.lcPtr = grow(s.lcPtr, m+1)
+	for k := 0; k <= m; k++ {
+		s.lcPtr[k] = 0
+	}
+	nnz := 0
+	for i := 1; i < m; i++ {
+		ir := lu[i*m : i*m+i]
+		for k, v := range ir {
+			if v != 0 {
+				s.lcPtr[k+1]++
+				nnz++
+			}
+		}
+	}
+	for k := 1; k <= m; k++ {
+		s.lcPtr[k] += s.lcPtr[k-1]
+	}
+	s.lcIdx = grow(s.lcIdx, nnz)
+	s.lcVal = growF(s.lcVal, nnz)
+	for i := 1; i < m; i++ {
+		ir := lu[i*m : i*m+i]
+		for k, v := range ir {
+			if v != 0 {
+				at := s.lcPtr[k]
+				s.lcIdx[at] = i
+				s.lcVal[at] = v
+				s.lcPtr[k]++
+			}
+		}
+	}
+	// Rewind the cursors back into pointers.
+	for k := m; k > 0; k-- {
+		s.lcPtr[k] = s.lcPtr[k-1]
+	}
+	s.lcPtr[0] = 0
+}
+
+// buildUColumns derives the U-column view from the U-row view with a
+// counting sort over the O(nnz) row entries — never touching the dense
+// factors. Scanning rows in ascending k keeps each column's row indices
+// ascending, matching the order a dense column scan would produce.
+func (s *triSolve) buildUColumns(m int) {
+	s.ucPtr = grow(s.ucPtr, m+1)
+	nnz := len(s.urIdx)
+	s.ucIdx = grow(s.ucIdx, nnz)
+	s.ucVal = growF(s.ucVal, nnz)
+	for k := 0; k <= m; k++ {
+		s.ucPtr[k] = 0
+	}
+	for _, j := range s.urIdx {
+		s.ucPtr[j+1]++
+	}
+	for k := 1; k <= m; k++ {
+		s.ucPtr[k] += s.ucPtr[k-1]
+	}
+	for k := 0; k < m; k++ {
+		for t := s.urPtr[k]; t < s.urPtr[k+1]; t++ {
+			j := s.urIdx[t]
+			at := s.ucPtr[j]
+			s.ucIdx[at] = k
+			s.ucVal[at] = s.urVal[t]
+			s.ucPtr[j]++
+		}
+	}
+	// Rewind the cursors back into pointers.
+	for k := m; k > 0; k-- {
+		s.ucPtr[k] = s.ucPtr[k-1]
+	}
+	s.ucPtr[0] = 0
+}
+
+// needRefresh reports whether the next pivot should refactorize instead of
+// extending the eta chain.
+func (f *basisFactor) needRefresh() bool {
+	if len(f.etaPivRow) < etaRefreshLen && f.drift <= etaDriftLimit {
+		return false
+	}
+	// After a failed refresh (singular basis at tolerance — possible when a
+	// drifted eta chain admitted a pivot the true basis does not support),
+	// wait for the basis to move several pivots before retrying, so a
+	// stubbornly dependent column set does not cost O(m³) per iteration.
+	return f.failedAtLen < 0 || len(f.etaPivRow) >= f.failedAtLen+8
+}
+
+// update appends a product-form eta for a pivot on row r of the spike
+// d = B⁻¹a_enter. It returns false when the spike's pivot entry is too small
+// for a stable eta, in which case the caller must refactorize from the
+// already-updated basis instead.
+func (f *basisFactor) update(d []float64, r int) bool {
+	pv := d[r]
+	if math.Abs(pv) < pivotEps {
+		return false
+	}
+	f.etaPivRow = append(f.etaPivRow, r)
+	f.etaPivVal = append(f.etaPivVal, pv)
+	for i := 0; i < f.m; i++ {
+		if i != r && d[i] != 0 {
+			f.etaIdx = append(f.etaIdx, i)
+			f.etaVal = append(f.etaVal, d[i])
+		}
+	}
+	f.etaPtr = append(f.etaPtr, len(f.etaIdx))
+	f.drift += math.Abs(math.Log2(math.Abs(pv)))
+	return true
+}
+
+// ftran solves Bx = v in place: LU base solve, then the eta file in order.
+func (f *basisFactor) ftran(x []float64) {
+	m := f.m
+	a := &f.fac
+	for k := 0; k < m; k++ {
+		if p := a.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	for k := 0; k < m; k++ {
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		for t := a.lcPtr[k]; t < a.lcPtr[k+1]; t++ {
+			x[a.lcIdx[t]] -= a.lcVal[t] * xk
+		}
+	}
+	for k := m - 1; k >= 0; k-- {
+		s := x[k]
+		for t := a.urPtr[k]; t < a.urPtr[k+1]; t++ {
+			s -= a.urVal[t] * x[a.urIdx[t]]
+		}
+		if s == 0 { // hardware divides dominate these sparse solves
+			x[k] = 0
+			continue
+		}
+		x[k] = s / a.udiag[k]
+	}
+	for e := 0; e < len(f.etaPivRow); e++ {
+		r := f.etaPivRow[e]
+		if x[r] == 0 {
+			continue
+		}
+		xr := x[r] / f.etaPivVal[e]
+		x[r] = xr
+		if xr == 0 {
+			continue
+		}
+		for k := f.etaPtr[e]; k < f.etaPtr[e+1]; k++ {
+			x[f.etaIdx[k]] -= f.etaVal[k] * xr
+		}
+	}
+}
+
+// btran solves B'y = v in place: the eta file transposed in reverse order,
+// then the LU base transpose solve.
+func (f *basisFactor) btran(x []float64) {
+	m := f.m
+	a := &f.fac
+	for e := len(f.etaPivRow) - 1; e >= 0; e-- {
+		r := f.etaPivRow[e]
+		s := x[r]
+		for k := f.etaPtr[e]; k < f.etaPtr[e+1]; k++ {
+			s -= f.etaVal[k] * x[f.etaIdx[k]]
+		}
+		if s == 0 {
+			x[r] = 0
+			continue
+		}
+		x[r] = s / f.etaPivVal[e]
+	}
+	for k := 0; k < m; k++ {
+		s := x[k]
+		for t := a.ucPtr[k]; t < a.ucPtr[k+1]; t++ {
+			s -= a.ucVal[t] * x[a.ucIdx[t]]
+		}
+		if s == 0 {
+			x[k] = 0
+			continue
+		}
+		x[k] = s / a.udiag[k]
+	}
+	for k := m - 1; k >= 0; k-- {
+		s := x[k]
+		for t := a.lcPtr[k]; t < a.lcPtr[k+1]; t++ {
+			s -= a.lcVal[t] * x[a.lcIdx[t]]
+		}
+		x[k] = s
+	}
+	for k := m - 1; k >= 0; k-- {
+		if p := a.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+}

@@ -1,12 +1,19 @@
 // Package lp implements a general linear-programming model and a two-phase
-// dense tableau simplex solver. It exists because this reproduction is
-// stdlib-only: the paper's ILP and the randomized algorithm's LP relaxation
-// both need a solver, and the Go ecosystem's LP options are out of bounds.
+// revised simplex solver over a sparse column-major constraint matrix. It
+// exists because this reproduction is stdlib-only: the paper's ILP and the
+// randomized algorithm's LP relaxation both need a solver, and the Go
+// ecosystem's LP options are out of bounds.
 //
 // The solver handles minimization and maximization, ≤/=/≥ rows, finite or
 // infinite variable bounds (free variables are split), and reports Optimal,
 // Infeasible, or Unbounded. Dantzig pricing is used initially with a switch
-// to Bland's rule to guarantee termination.
+// to Bland's rule to guarantee termination. The basis is maintained as a
+// dense LU factorization extended by product-form eta updates, refreshed
+// when the eta chain grows long or its pivot magnitudes drift (see
+// factor.go); the augmentation programs are extremely sparse (each
+// placement column touches a handful of rows), which is exactly the regime
+// where pricing over sparse columns beats a dense tableau's O(rows×cols)
+// pivots.
 package lp
 
 import (
@@ -266,8 +273,9 @@ func (m *Model) Clone() *Model {
 
 // Solution is the result of solving a model.
 type Solution struct {
-	Status     Status
-	Objective  float64   // in the model's original sense
-	X          []float64 // one value per model variable
-	Iterations int       // total simplex pivots across both phases
+	Status       Status
+	Objective    float64   // in the model's original sense
+	X            []float64 // one value per model variable
+	Iterations   int       // total simplex pivots across both phases
+	EtaRefreshes int       // basis refactorizations beyond the initial one
 }

@@ -9,60 +9,7 @@ const (
 	pivotEps = 1e-7 // minimum magnitude for a pivot element
 )
 
-// standardForm is the internal min c'y, Ay = b, y >= 0 representation built
-// from a Model. Each model variable maps to either one shifted column
-// (finite lb) or a pair of split columns (free variable).
-//
-// The tableau is stored flat, row-major: row i occupies
-// tab[i*stride : i*stride+cols]. stride is fixed at construction (the full
-// width including artificial columns) while cols shrinks from n+nArt to n
-// when driveOutArtificials truncates the artificial block, so every row
-// kernel works on one contiguous slice. All backing slices live in the
-// owning Workspace and are reused across solves.
-type standardForm struct {
-	tab    []float64 // rows × stride flat tableau (active width: cols)
-	stride int
-	cols   int // active columns: n + nArt, then n after drive-out
-	rows   int
-
-	b        []float64
-	c        []float64 // phase-2 costs per column (length n)
-	n        int       // columns excluding artificials
-	nArt     int       // artificial columns (appended at the end)
-	basis    []int     // basic column per row
-	objShift float64   // constant from lb shifting
-	// mapping back to model variables:
-	posCol []int // column of the positive part of each model var
-	negCol []int // column of the negative part, or -1
-	lbs    []float64
-	flip   bool // true if the model was Maximize (costs were negated)
-}
-
-// row returns the active slice of tableau row i.
-func (sf *standardForm) row(i int) []float64 {
-	off := i * sf.stride
-	return sf.tab[off : off+sf.cols]
-}
-
-// scaleRow is the pivot-row kernel: row *= inv over one contiguous slice.
-func scaleRow(row []float64, inv float64) {
-	for j := range row {
-		row[j] *= inv
-	}
-}
-
-// elimRow is the rank-1 elimination kernel: dst -= f * src over two
-// contiguous equal-length slices.
-func elimRow(dst, src []float64, f float64) {
-	if len(dst) != len(src) {
-		panic("lp: elimRow length mismatch")
-	}
-	for j, s := range src {
-		dst[j] -= f * s
-	}
-}
-
-// Solve optimizes the model with the two-phase simplex method.
+// Solve optimizes the model with the two-phase revised simplex method.
 func (m *Model) Solve() *Solution {
 	return m.SolveWithLimit(0)
 }
@@ -83,9 +30,9 @@ func (m *Model) SolveWithWorkspace(ws *Workspace) *Solution {
 }
 
 // SolveWithLimitWorkspace solves the model with ws owning every piece of
-// scratch storage (tableau, basis, reduced costs). The returned Solution and
-// its X are freshly allocated and safe to retain; everything else is reused
-// by the next solve through ws.
+// scratch storage (sparse matrix, basis factorization, pricing buffers). The
+// returned Solution and its X are freshly allocated and safe to retain;
+// everything else is reused by the next solve through ws.
 func (m *Model) SolveWithLimitWorkspace(ws *Workspace, maxIter int) *Solution {
 	sf, infeasible := m.toStandardForm(ws, true)
 	if infeasible {
@@ -97,308 +44,124 @@ func (m *Model) SolveWithLimitWorkspace(ws *Workspace, maxIter int) *Solution {
 	}
 	iters := 0
 
+	// The initial basis (slacks + artificials) is an identity matrix, so
+	// this first factorization cannot fail; it is excluded from the
+	// refresh count.
+	f := &ws.fact
+	if !f.factorize(sf, 1e-11) {
+		return &Solution{Status: Infeasible, X: make([]float64, len(m.vars))}
+	}
+	f.refreshes = 0
+	copy(sf.beta, sf.rhs[:sf.rows])
+
 	// Phase 1: minimize the sum of artificial variables.
 	if sf.nArt > 0 {
 		phase1 := ws.costs(sf.n + sf.nArt)
 		for j := sf.n; j < sf.n+sf.nArt; j++ {
 			phase1[j] = 1
 		}
-		st, it := sf.simplex(phase1, maxIter, ws)
+		st, it := sf.simplex(f, ws, phase1, maxIter, true)
 		iters += it
 		if st == IterLimit {
-			return &Solution{Status: IterLimit, Iterations: iters, X: make([]float64, len(m.vars))}
+			return &Solution{Status: IterLimit, Iterations: iters, EtaRefreshes: f.refreshes, X: make([]float64, len(m.vars))}
 		}
 		if st == Unbounded {
 			// Phase 1 is bounded below by 0; an unbounded report signals
 			// numerical degeneracy, which we treat as infeasible.
-			return &Solution{Status: Infeasible, Iterations: iters, X: make([]float64, len(m.vars))}
+			return &Solution{Status: Infeasible, Iterations: iters, EtaRefreshes: f.refreshes, X: make([]float64, len(m.vars))}
 		}
 		if sf.phaseObjective(phase1) > 1e-7 {
-			return &Solution{Status: Infeasible, Iterations: iters, X: make([]float64, len(m.vars))}
+			return &Solution{Status: Infeasible, Iterations: iters, EtaRefreshes: f.refreshes, X: make([]float64, len(m.vars))}
 		}
-		sf.driveOutArtificials()
+		sf.driveOutArtificials(f, ws)
 	}
 
 	// Phase 2: minimize original costs.
-	st, it := sf.simplex(sf.c, maxIter, ws)
+	st, it := sf.simplex(f, ws, sf.c, maxIter, false)
 	iters += it
 	switch st {
 	case Unbounded:
-		return &Solution{Status: Unbounded, Iterations: iters, X: make([]float64, len(m.vars))}
+		return &Solution{Status: Unbounded, Iterations: iters, EtaRefreshes: f.refreshes, X: make([]float64, len(m.vars))}
 	case IterLimit:
-		return &Solution{Status: IterLimit, Iterations: iters, X: make([]float64, len(m.vars))}
+		return &Solution{Status: IterLimit, Iterations: iters, EtaRefreshes: f.refreshes, X: make([]float64, len(m.vars))}
 	}
 
-	return sf.solution(m, iters, ws)
+	return sf.solution(m, iters, f, ws)
 }
 
 // solution extracts the optimum into a fresh Solution.
-func (sf *standardForm) solution(m *Model, iters int, ws *Workspace) *Solution {
+func (sf *standardForm) solution(m *Model, iters int, f *basisFactor, ws *Workspace) *Solution {
 	x := sf.extract(len(m.vars), ws)
 	obj := 0.0
 	for j := range m.vars {
 		obj += m.vars[j].obj * x[j]
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: iters}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: iters, EtaRefreshes: f.refreshes}
 }
 
-// toStandardForm converts the model into ws's arena. The bool result reports
-// trivial infeasibility detected during conversion (e.g., empty constraint
-// with an unsatisfiable rhs). When artificials is false the conversion stops
-// before choosing an initial basis: no artificial columns are created and
-// basis is left unassigned (-1), which is the entry state for a warm start.
-func (m *Model) toStandardForm(ws *Workspace, artificials bool) (*standardForm, bool) {
-	nv := len(m.vars)
-	sf := &ws.sf
-	sf.posCol = grow(sf.posCol, nv)
-	sf.negCol = grow(sf.negCol, nv)
-	sf.lbs = growF(sf.lbs, nv)
-	sf.flip = m.sense == Maximize
-	sf.objShift = 0
-
-	// Assign structural columns.
-	col := 0
-	ubV := ws.ubV[:0]
-	ubW := ws.ubW[:0]
-	for j := range m.vars {
-		v := &m.vars[j]
-		lb, ub := v.lb, v.ub
-		switch {
-		case math.IsInf(lb, -1):
-			sf.posCol[j] = col
-			sf.negCol[j] = col + 1
-			sf.lbs[j] = 0
-			col += 2
-			if !math.IsInf(ub, 1) {
-				ubV = append(ubV, j)
-				ubW = append(ubW, ub)
-			}
-		default:
-			sf.posCol[j] = col
-			sf.negCol[j] = -1
-			sf.lbs[j] = lb
-			col++
-			if !math.IsInf(ub, 1) {
-				w := ub - lb
-				if w < 0 {
-					w = 0
-				}
-				ubV = append(ubV, j)
-				ubW = append(ubW, w)
-			}
-		}
-	}
-	ws.ubV, ws.ubW = ubV, ubW
-	nStruct := col
-
-	// Count rows: model constraints + finite upper-bound rows.
-	rows := len(m.cons) + len(ubV)
-	sf.rows = rows
-	b := growF(sf.b, rows)
-	rels := ws.growRels(rows)
-
-	// Objective in min sense, adjusted for lb shifts. c is filled to the full
-	// slack-extended width below once nSlack is known.
-	objShift := 0.0
-
-	// First pass: adjusted right-hand sides, relations, and trivial
-	// infeasibility — everything needed to size the tableau (slack and
-	// artificial counts) before a single coefficient is written.
-	for i := range m.cons {
-		con := &m.cons[i]
-		rhs := con.rhs
-		for _, t := range con.terms {
-			rhs -= t.Coeff * sf.lbs[t.Var]
-		}
-		b[i] = rhs
-		rels[i] = con.rel
-		if len(con.terms) == 0 {
-			switch con.rel {
-			case LE:
-				if rhs < -eps {
-					return nil, true
-				}
-			case GE:
-				if rhs > eps {
-					return nil, true
-				}
-			case EQ:
-				if math.Abs(rhs) > eps {
-					return nil, true
-				}
-			}
-		}
-	}
-	for k := range ubV {
-		i := len(m.cons) + k
-		b[i] = ubW[k]
-		rels[i] = LE
-	}
-
-	// Slack/surplus layout and, when requested, the artificial count: a row
-	// keeps a slack basis iff its slack coefficient is +1 after the b >= 0
-	// normalization, i.e. (LE, b >= 0) or (GE, b < 0). EQ rows and the rest
-	// need an artificial.
-	slackCol := ws.growSlack(rows)
-	nSlack := 0
-	for i := 0; i < rows; i++ {
-		if rels[i] == EQ {
-			slackCol[i] = -1
-			continue
-		}
-		slackCol[i] = nStruct + nSlack
-		nSlack++
-	}
-	total := nStruct + nSlack
-	nArt := 0
-	artRows := ws.artRows[:0]
-	if artificials {
-		for i := 0; i < rows; i++ {
-			slackPlus := (rels[i] == LE) == (b[i] >= 0)
-			if slackCol[i] < 0 || !slackPlus {
-				artRows = append(artRows, i)
-			}
-		}
-		nArt = len(artRows)
-	}
-	ws.artRows = artRows
-
-	// Allocate the flat tableau at full final width and zero it.
-	stride := total + nArt
-	sf.stride = stride
-	sf.cols = stride
-	sf.n = total
-	sf.nArt = nArt
-	sf.tab = growF(sf.tab, rows*stride)
-	clearF(sf.tab[:rows*stride])
-
-	// Costs.
-	c := growF(sf.c, total)
-	clearF(c)
-	for j := range m.vars {
-		coef := m.vars[j].obj
-		if sf.flip {
-			coef = -coef
-		}
-		c[sf.posCol[j]] += coef
-		if sf.negCol[j] >= 0 {
-			c[sf.negCol[j]] -= coef
-		}
-		objShift += coef * sf.lbs[j]
-	}
-	sf.c = c
-	sf.objShift = objShift
-
-	// Structural coefficients.
-	for i := range m.cons {
-		row := sf.tab[i*stride : i*stride+stride]
-		for _, t := range m.cons[i].terms {
-			row[sf.posCol[t.Var]] += t.Coeff
-			if sf.negCol[t.Var] >= 0 {
-				row[sf.negCol[t.Var]] -= t.Coeff
-			}
-		}
-	}
-	for k, vj := range ubV {
-		i := len(m.cons) + k
-		row := sf.tab[i*stride : i*stride+stride]
-		row[sf.posCol[vj]] = 1
-		if sf.negCol[vj] >= 0 {
-			row[sf.negCol[vj]] = -1
-		}
-	}
-
-	// Slack/surplus coefficients.
-	for i := 0; i < rows; i++ {
-		if sc := slackCol[i]; sc >= 0 {
-			if rels[i] == LE {
-				sf.tab[i*stride+sc] = 1
-			} else {
-				sf.tab[i*stride+sc] = -1
-			}
-		}
-	}
-
-	// Normalize to b >= 0 (structural + slack columns only; the artificial
-	// block is written after normalization, exactly like the seed solver).
-	for i := 0; i < rows; i++ {
-		if b[i] < 0 {
-			row := sf.tab[i*stride : i*stride+total]
-			for j := range row {
-				row[j] = -row[j]
-			}
-			b[i] = -b[i]
-		}
-	}
-	sf.b = b
-
-	// Initial basis: slack where usable, fresh artificials elsewhere.
-	basis := grow(sf.basis, rows)
-	if artificials {
-		for i := 0; i < rows; i++ {
-			sc := slackCol[i]
-			if sc >= 0 && sf.tab[i*stride+sc] > 0.5 {
-				basis[i] = sc
-			} else {
-				basis[i] = -1
-			}
-		}
-		for k, i := range artRows {
-			sf.tab[i*stride+total+k] = 1
-			basis[i] = total + k
-		}
-	} else {
-		for i := 0; i < rows; i++ {
-			basis[i] = -1
-		}
-	}
-	sf.basis = basis
-	return sf, false
-}
-
-// simplex runs the primal simplex on the current basis with the given cost
-// vector (length >= n; artificial columns beyond len(costs) are treated as
-// cost 0 — callers pass a full-length vector in phase 1).
-func (sf *standardForm) simplex(costs []float64, maxIter int, ws *Workspace) (Status, int) {
+// simplex runs the revised primal simplex on the current basis and
+// factorization with the given cost vector (length >= n; artificial columns
+// beyond len(costs) are treated as cost 0 — callers pass a full-length
+// vector in phase 1). allowArt permits artificial columns to enter (phase 1
+// only); with it false, artificials stuck in the basis at value zero are
+// forced out on degenerate pivots so they can never regrow.
+func (sf *standardForm) simplex(f *basisFactor, ws *Workspace, costs []float64, maxIter int, allowArt bool) (Status, int) {
 	mRows := sf.rows
-	totalCols := sf.cols
+	nCols := sf.n + sf.nArt
+	if !allowArt {
+		nCols = sf.n
+	}
 	costAt := func(j int) float64 {
 		if j < len(costs) {
 			return costs[j]
 		}
 		return 0
 	}
-
-	// Price out the basis: reduced costs r_j = c_j - c_B' * a_j where a is
-	// the current (transformed) tableau. We recompute r from scratch each
-	// call and maintain it incrementally across pivots.
-	r := ws.reduced(totalCols)
-	for j := 0; j < totalCols; j++ {
-		r[j] = costAt(j)
-	}
-	for i := 0; i < mRows; i++ {
-		cb := costAt(sf.basis[i])
-		if cb == 0 {
-			continue
-		}
-		elimRow(r, sf.row(i), cb)
-	}
+	y := ws.duals(mRows)
+	d := ws.spike(mRows)
 
 	blandAfter := maxIter / 2
 	for iter := 0; iter < maxIter; iter++ {
-		// Entering column.
+		// Refresh the factorization when the eta chain has grown stale, and
+		// recompute beta from scratch to shed accumulated drift. A failed
+		// refresh means the true basis matrix is singular at tolerance —
+		// a drifted eta-chain spike can admit a pivot the exact basis does
+		// not support. factorize leaves the active factors intact in that
+		// case, so continuing on the existing chain is exactly the math of
+		// not having attempted the refresh; subsequent pivots move the
+		// basis and a backed-off retry (see needRefresh) recovers.
+		if f.needRefresh() {
+			if f.factorize(sf, 1e-11) {
+				sf.refreshBeta(f)
+			}
+		}
+
+		// Price: duals y = B⁻ᵀc_B, then reduced costs r_j = c_j − y·a_j per
+		// sparse column. Dantzig picks the most negative (ties to the lowest
+		// column, same as the dense solver); Bland takes over late to
+		// guarantee termination.
+		for i := 0; i < mRows; i++ {
+			y[i] = costAt(sf.basis[i])
+		}
+		f.btran(y)
 		enter := -1
 		if iter < blandAfter {
 			best := -eps
-			for j := 0; j < totalCols; j++ {
-				if r[j] < best {
-					best = r[j]
+			for j := 0; j < nCols; j++ {
+				if sf.inBasis[j] {
+					continue
+				}
+				if r := costAt(j) - sf.colDot(j, y); r < best {
+					best = r
 					enter = j
 				}
 			}
 		} else {
-			for j := 0; j < totalCols; j++ {
-				if r[j] < -eps {
+			for j := 0; j < nCols; j++ {
+				if sf.inBasis[j] {
+					continue
+				}
+				if costAt(j)-sf.colDot(j, y) < -eps {
 					enter = j
 					break
 				}
@@ -408,65 +171,83 @@ func (sf *standardForm) simplex(costs []float64, maxIter int, ws *Workspace) (St
 			return Optimal, iter
 		}
 
-		// Ratio test.
+		// Spike d = B⁻¹a_enter, then the ratio test (lowest basic column on
+		// ties, like the dense solver).
+		sf.scatterCol(enter, d)
+		f.ftran(d)
 		leave := -1
 		bestRatio := math.Inf(1)
 		for i := 0; i < mRows; i++ {
-			aie := sf.tab[i*sf.stride+enter]
-			if aie > pivotEps {
-				ratio := sf.b[i] / aie
-				if ratio < bestRatio-eps ||
-					(ratio < bestRatio+eps && (leave < 0 || sf.basis[i] < sf.basis[leave])) {
-					bestRatio = ratio
-					leave = i
-				}
+			di := d[i]
+			ratio := math.Inf(1)
+			switch {
+			case di > pivotEps:
+				ratio = sf.beta[i] / di
+			case !allowArt && sf.basis[i] >= sf.n && di < -pivotEps:
+				// Basic artificial (value 0, phase 2): it must not grow, so
+				// it leaves on a degenerate pivot even with a negative spike
+				// entry.
+				ratio = sf.beta[i] / -di
+			default:
+				continue
+			}
+			if ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && (leave < 0 || sf.basis[i] < sf.basis[leave])) {
+				bestRatio = ratio
+				leave = i
 			}
 		}
 		if leave < 0 {
 			return Unbounded, iter
 		}
 
-		sf.pivot(leave, enter, r)
+		sf.pivot(f, leave, enter, d)
 	}
 	return IterLimit, maxIter
 }
 
-// pivot performs a tableau pivot on (row, col) and updates reduced costs r
-// (pass nil to skip the bookkeeping). The body is the two kernels: scale the
-// pivot row, then rank-1-eliminate every other row.
-func (sf *standardForm) pivot(row, col int, r []float64) {
-	mRows := sf.rows
-	prow := sf.row(row)
-	piv := prow[col]
-	inv := 1 / piv
-	scaleRow(prow, inv)
-	sf.b[row] *= inv
-	prow[col] = 1 // fight rounding
+// pivot swaps column enter into basis row leave, updates beta by the pivot
+// step θ = β_r/d_r, and extends the eta file (refactorizing instead when the
+// spike pivot is too small for a stable eta).
+func (sf *standardForm) pivot(f *basisFactor, leave, enter int, d []float64) {
+	theta := sf.beta[leave] / d[leave]
+	for i := 0; i < sf.rows; i++ {
+		if i == leave || d[i] == 0 {
+			continue
+		}
+		sf.beta[i] -= theta * d[i]
+		if sf.beta[i] < 0 && sf.beta[i] > -eps {
+			sf.beta[i] = 0
+		}
+	}
+	if theta < 0 && theta > -eps {
+		theta = 0
+	}
+	sf.beta[leave] = theta
+	sf.inBasis[sf.basis[leave]] = false
+	sf.inBasis[enter] = true
+	sf.basis[leave] = enter
+	// update cannot fail here: the ratio test only admits leave rows with
+	// |d[leave]| > pivotEps, the exact threshold update enforces. The
+	// refactorization fallback is belt-and-braces for that invariant.
+	if !f.update(d, leave) {
+		if f.factorize(sf, 1e-11) {
+			sf.refreshBeta(f)
+		}
+	}
+}
 
-	for i := 0; i < mRows; i++ {
-		if i == row {
-			continue
-		}
-		arow := sf.row(i)
-		f := arow[col]
-		if f == 0 {
-			continue
-		}
-		elimRow(arow, prow, f)
-		arow[col] = 0
-		sf.b[i] -= f * sf.b[row]
-		if sf.b[i] < 0 && sf.b[i] > -eps {
-			sf.b[i] = 0
+// refreshBeta recomputes the basic values from the pristine rhs through the
+// current factorization, clamping rounding-noise negatives exactly like the
+// incremental update does.
+func (sf *standardForm) refreshBeta(f *basisFactor) {
+	copy(sf.beta, sf.rhs[:sf.rows])
+	f.ftran(sf.beta)
+	for i := range sf.beta[:sf.rows] {
+		if sf.beta[i] < 0 && sf.beta[i] > -eps {
+			sf.beta[i] = 0
 		}
 	}
-	if r != nil {
-		f := r[col]
-		if f != 0 {
-			elimRow(r, prow, f)
-			r[col] = 0
-		}
-	}
-	sf.basis[row] = col
 }
 
 // phaseObjective evaluates Σ costs over the current basic solution.
@@ -474,79 +255,55 @@ func (sf *standardForm) phaseObjective(costs []float64) float64 {
 	obj := 0.0
 	for i, bj := range sf.basis[:sf.rows] {
 		if bj < len(costs) && costs[bj] != 0 {
-			obj += costs[bj] * sf.b[i]
+			obj += costs[bj] * sf.beta[i]
 		}
 	}
 	return obj
 }
 
-// driveOutArtificials removes artificial columns after a successful phase 1:
-// basic artificials (necessarily at value 0) are pivoted out onto any
-// structural/slack column with a usable pivot element; rows where no such
-// column exists are rank-deficient (redundant constraints) and are deleted.
-// Finally the artificial block is truncated (cols shrinks to n) so the
-// columns can never re-enter in phase 2.
-func (sf *standardForm) driveOutArtificials() {
-	mRows := sf.rows
-	for i := 0; i < mRows; i++ {
-		if sf.basis[i] < sf.n { // structural or slack
+// driveOutArtificials pivots basic artificials (necessarily at value ~0
+// after a successful phase 1) out of the basis: for each such row the first
+// nonbasic structural/slack column with a usable pivot element in that row
+// enters on a degenerate pivot. Rows where no such column exists are
+// rank-deficient (redundant constraints); their artificial stays basic at
+// zero, which is harmless — every phase-2 spike is zero in a redundant row,
+// so the artificial can never change value (the ratio-test guard in simplex
+// is belt and braces).
+func (sf *standardForm) driveOutArtificials(f *basisFactor, ws *Workspace) {
+	var d []float64
+	for i := 0; i < sf.rows; i++ {
+		if sf.basis[i] < sf.n {
 			continue
 		}
-		// Try to pivot in any structural/slack column with nonzero entry.
-		irow := sf.row(i)
+		// rho = row i of B⁻¹; a column qualifies iff rho·a_j is a usable
+		// pivot (that dot is exactly the spike entry d_i it would have).
+		rho := ws.duals(sf.rows)
+		clearF(rho)
+		rho[i] = 1
+		f.btran(rho)
 		for j := 0; j < sf.n; j++ {
-			if math.Abs(irow[j]) > pivotEps {
-				// Manual pivot without reduced-cost bookkeeping (phase-2
-				// simplex recomputes reduced costs from scratch).
-				piv := irow[j]
-				inv := 1 / piv
-				scaleRow(irow, inv)
-				sf.b[i] *= inv
-				irow[j] = 1
-				for i2 := 0; i2 < mRows; i2++ {
-					if i2 == i {
-						continue
-					}
-					arow := sf.row(i2)
-					f := arow[j]
-					if f == 0 {
-						continue
-					}
-					elimRow(arow, irow, f)
-					arow[j] = 0
-					sf.b[i2] -= f * sf.b[i]
-				}
-				sf.basis[i] = j
-				break
+			if sf.inBasis[j] || math.Abs(sf.colDot(j, rho)) <= pivotEps {
+				continue
 			}
+			if d == nil {
+				d = ws.spike(sf.rows)
+			}
+			sf.scatterCol(j, d)
+			f.ftran(d)
+			if math.Abs(d[i]) <= pivotEps {
+				continue // rounding disagreement; try the next column
+			}
+			sf.pivot(f, i, j, d)
+			break
 		}
 	}
-	// Delete rows whose artificial could not be pivoted out (redundant),
-	// compacting the flat tableau in place (same row order as the seed's
-	// slice-of-rows filtering).
-	keep := 0
-	for i := 0; i < mRows; i++ {
-		if sf.basis[i] >= sf.n {
-			continue
-		}
-		if keep != i {
-			copy(sf.tab[keep*sf.stride:keep*sf.stride+sf.cols], sf.tab[i*sf.stride:i*sf.stride+sf.cols])
-			sf.b[keep] = sf.b[i]
-			sf.basis[keep] = sf.basis[i]
-		}
-		keep++
-	}
-	sf.rows = keep
-	// Truncate the artificial block so it can never re-enter.
-	sf.cols = sf.n
-	sf.nArt = 0
 }
 
 // extract reads the model-variable values out of the current basic solution.
 func (sf *standardForm) extract(nVars int, ws *Workspace) []float64 {
 	val := ws.values(sf.n + sf.nArt)
 	for i, bj := range sf.basis[:sf.rows] {
-		v := sf.b[i]
+		v := sf.beta[i]
 		if v < 0 && v > -eps {
 			v = 0
 		}

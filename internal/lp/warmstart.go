@@ -1,11 +1,11 @@
 package lp
 
 // FinalBasis copies the basis left behind by the last solve that went
-// through ws (one basic column index per surviving tableau row), appending
-// into dst. The result identifies an optimal basis that SolveWarm can
-// install into a *similar* model — in branch-and-bound, a child that only
-// changed finite variable bounds, which preserves the standard-form shape
-// (same rows, same columns) and perturbs only the right-hand side.
+// through ws (one basic column index per row), appending into dst. The
+// result identifies an optimal basis that SolveWarm can install into a
+// *similar* model — in branch-and-bound, a child that only changed finite
+// variable bounds, which preserves the standard-form shape (same rows, same
+// columns) and perturbs only the right-hand side.
 func (ws *Workspace) FinalBasis(dst []int) []int {
 	sf := &ws.sf
 	return append(dst[:0], sf.basis[:sf.rows]...)
@@ -14,7 +14,8 @@ func (ws *Workspace) FinalBasis(dst []int) []int {
 // SolveWarm solves the model by installing a previously captured basis and
 // running phase 2 directly, skipping phase 1 entirely. The second result is
 // false when the warm start could not be attempted — the basis does not
-// match the model's standard-form shape, its column set is singular, or the
+// match the model's standard-form shape, references an artificial column
+// (the parent had a rank-deficient row), its column set is singular, or the
 // resulting basic point is not primal feasible — in which case the caller
 // must fall back to the cold two-phase SolveWithLimitWorkspace. When it is
 // true, the returned Solution is exactly what the cold path would conclude
@@ -43,52 +44,40 @@ func (m *Model) SolveWarm(ws *Workspace, basis []int, maxIter int) (*Solution, b
 		}
 	}
 
-	// Install the basis with Gaussian pivots: each basis column is pivoted
-	// into the not-yet-claimed row where it has the largest magnitude
-	// (partial pivoting). A column with no usable pivot means the claimed
-	// basis matrix is singular for this model.
-	used := ws.rowUsed(sf.rows)
-	for _, col := range basis {
-		best, bestAbs := -1, pivotEps
-		for i := 0; i < sf.rows; i++ {
-			if used[i] {
-				continue
-			}
-			a := sf.tab[i*sf.stride+col]
-			if a < 0 {
-				a = -a
-			}
-			if a > bestAbs {
-				bestAbs = a
-				best = i
-			}
-		}
-		if best < 0 {
-			return nil, false
-		}
-		sf.pivot(best, col, nil)
-		used[best] = true
+	// Install the basis by factorizing its column set directly; a failed
+	// factorization means the claimed basis matrix is singular for this
+	// model.
+	copy(sf.basis[:sf.rows], basis)
+	for _, c := range basis {
+		sf.inBasis[c] = true
 	}
+	f := &ws.fact
+	if !f.factorize(sf, pivotEps) {
+		return nil, false
+	}
+	f.refreshes = 0
 
 	// The installed basic point is B⁻¹b; primal simplex needs it
 	// non-negative. Tiny negatives are rounding noise and are clamped the
 	// same way pivot does; anything beyond eps means the parent basis is
 	// infeasible for the child and the cold path must decide.
+	copy(sf.beta, sf.rhs[:sf.rows])
+	f.ftran(sf.beta)
 	for i := 0; i < sf.rows; i++ {
-		if sf.b[i] < 0 {
-			if sf.b[i] < -eps {
+		if sf.beta[i] < 0 {
+			if sf.beta[i] < -eps {
 				return nil, false
 			}
-			sf.b[i] = 0
+			sf.beta[i] = 0
 		}
 	}
 
-	st, iters := sf.simplex(sf.c, maxIter, ws)
+	st, iters := sf.simplex(f, ws, sf.c, maxIter, false)
 	switch st {
 	case Unbounded:
-		return &Solution{Status: Unbounded, Iterations: iters, X: make([]float64, len(m.vars))}, true
+		return &Solution{Status: Unbounded, Iterations: iters, EtaRefreshes: f.refreshes, X: make([]float64, len(m.vars))}, true
 	case IterLimit:
-		return &Solution{Status: IterLimit, Iterations: iters, X: make([]float64, len(m.vars))}, true
+		return &Solution{Status: IterLimit, Iterations: iters, EtaRefreshes: f.refreshes, X: make([]float64, len(m.vars))}, true
 	}
-	return sf.solution(m, iters, ws), true
+	return sf.solution(m, iters, f, ws), true
 }

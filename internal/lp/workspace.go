@@ -2,24 +2,28 @@ package lp
 
 import "sync"
 
-// Workspace is a reusable solve arena: it owns the flat tableau, basis,
-// reduced-cost vector, and every other piece of scratch storage the simplex
-// needs, so repeated solves through one workspace allocate nothing once the
-// buffers have grown to the model's size. A Workspace is not safe for
-// concurrent use; give each goroutine its own (or go through Solve, which
-// draws from an internal sync.Pool).
+// Workspace is a reusable solve arena: it owns the sparse constraint matrix,
+// basis factorization, pricing buffers, and every other piece of scratch
+// storage the revised simplex needs, so repeated solves through one
+// workspace allocate nothing once the buffers have grown to the model's
+// size. A Workspace is not safe for concurrent use; give each goroutine its
+// own (or go through Solve, which draws from an internal sync.Pool).
 type Workspace struct {
-	sf standardForm // tableau, b, c, basis, posCol/negCol/lbs all reused
+	sf   standardForm // CSC matrix, rhs/beta/c, basis — all reused
+	fact basisFactor  // LU factors + eta file
 
 	rels     []Rel // per-row relation scratch
 	slackCol []int // per-row slack column (or -1) scratch
 	artRows  []int // rows needing an artificial
 	ubV      []int // model vars with a finite upper bound
 	ubW      []float64
+	sign     []float64 // per-row ±1 normalization signs
+	cursor   []int     // per-column CSC fill cursor
 	phase1   []float64 // phase-1 cost vector
-	red      []float64 // reduced costs
+	y        []float64 // BTRAN buffer (duals / inverse rows)
+	d        []float64 // FTRAN buffer (entering-column spike)
 	val      []float64 // column values during extraction
-	used     []bool    // rows claimed during warm-start basis install
+	inBasis  []bool    // column basic-membership flags
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
@@ -48,6 +52,31 @@ func (ws *Workspace) growSlack(n int) []int {
 	return ws.slackCol
 }
 
+// growSign returns a length-n row-sign buffer (contents overwritten by the
+// standard-form conversion before any read).
+func (ws *Workspace) growSign(n int) []float64 {
+	ws.sign = growF(ws.sign, n)
+	return ws.sign
+}
+
+// growCursor returns a length-n CSC fill-cursor buffer.
+func (ws *Workspace) growCursor(n int) []int {
+	ws.cursor = grow(ws.cursor, n)
+	return ws.cursor
+}
+
+// growBool returns a cleared length-n basic-membership buffer.
+func (ws *Workspace) growBool(n int) []bool {
+	if cap(ws.inBasis) < n {
+		ws.inBasis = make([]bool, n)
+	}
+	ws.inBasis = ws.inBasis[:n]
+	for i := range ws.inBasis {
+		ws.inBasis[i] = false
+	}
+	return ws.inBasis
+}
+
 // costs returns a zeroed length-n cost vector.
 func (ws *Workspace) costs(n int) []float64 {
 	ws.phase1 = growF(ws.phase1, n)
@@ -55,11 +84,17 @@ func (ws *Workspace) costs(n int) []float64 {
 	return ws.phase1
 }
 
-// reduced returns a length-n reduced-cost buffer (contents undefined; the
-// simplex overwrites every entry before reading).
-func (ws *Workspace) reduced(n int) []float64 {
-	ws.red = growF(ws.red, n)
-	return ws.red
+// duals returns a length-n BTRAN buffer (contents undefined; callers
+// overwrite every entry before the solve reads it).
+func (ws *Workspace) duals(n int) []float64 {
+	ws.y = growF(ws.y, n)
+	return ws.y
+}
+
+// spike returns a length-n FTRAN buffer for the entering column.
+func (ws *Workspace) spike(n int) []float64 {
+	ws.d = growF(ws.d, n)
+	return ws.d
 }
 
 // values returns a zeroed length-n value buffer for solution extraction.
@@ -67,18 +102,6 @@ func (ws *Workspace) values(n int) []float64 {
 	ws.val = growF(ws.val, n)
 	clearF(ws.val)
 	return ws.val
-}
-
-// rowUsed returns a cleared length-n row-claim buffer.
-func (ws *Workspace) rowUsed(n int) []bool {
-	if cap(ws.used) < n {
-		ws.used = make([]bool, n)
-	}
-	ws.used = ws.used[:n]
-	for i := range ws.used {
-		ws.used[i] = false
-	}
-	return ws.used
 }
 
 // grow resizes an int scratch slice to length n, reusing capacity.

@@ -30,6 +30,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("engine_trials_total").Add(160)
 	r.Counter("solver_solve_total", "solver", "ILP").Add(40)
+	// The branch-and-bound / simplex counters ilp.Solve records (their
+	// registration from a real solve is pinned in internal/ilp's tests;
+	// here we pin that the Prometheus path renders them).
+	r.Counter("ilp_warmstart_hits").Add(12)
+	r.Counter("ilp_cold_restarts").Add(3)
+	r.Counter("ilp_bnb_nodes_claimed").Add(15)
+	r.Counter("lp_eta_refreshes").Add(7)
 	h := r.Histogram("solver_duration_seconds", []float64{0.01, 0.1, 1}, "solver", "ILP")
 	h.Observe(0.005)
 	h.Observe(0.5)
@@ -44,6 +51,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE engine_trials_total counter",
 		"engine_trials_total 160",
+		"# TYPE ilp_warmstart_hits counter",
+		"ilp_warmstart_hits 12",
+		"ilp_cold_restarts 3",
+		"ilp_bnb_nodes_claimed 15",
+		"lp_eta_refreshes 7",
 		`solver_solve_total{solver="ILP"} 40`,
 		"# TYPE solver_duration_seconds histogram",
 		`solver_duration_seconds_bucket{solver="ILP",le="0.01"} 1`,
