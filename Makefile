@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check doc-check smoke-serve smoke-recover smoke-replay smoke-chaos check test test-race test-failsoft fuzz bench bench-lp bench-short bench-serve experiments figures clean
+.PHONY: all build vet fmt-check doc-check smoke-serve smoke-recover smoke-replay smoke-chaos smoke-tenants check test test-race test-failsoft test-log fuzz bench bench-lp bench-short bench-serve experiments figures clean
 
 all: build check test test-race
 
@@ -78,9 +78,23 @@ smoke-chaos:
 		-residual 1.0 -log-level error 2>/dev/null
 	@rm -rf chaos_wal chaos.trace augmentd.chaos
 
+# Multi-tenant admission-economics smoke: the augmentd selftest runs a
+# two-tenant mix under fair queueing at 1 and 8 workers (placements AND
+# queue decisions must agree bit-for-bit), then the dessim overload drill
+# replays one 10x-overload request stream through fifo, fair, and knapsack
+# admission and fails unless knapsack >= fair >= fifo holds on
+# tenant-weighted log-gain.
+smoke-tenants:
+	$(GO) run ./cmd/augmentd -selftest -requests 96 -selftest-workers 1,8 \
+		-tenants "gold:weight=4;free:weight=1,rate=2,burst=6" -admission fair \
+		-tenant-mix "free:0.7,gold:0.3" -residual 1.0 \
+		-alert-warn 0.000001 -alert-crit 0.000001 -log-level warn
+	$(GO) run ./cmd/dessim -overload -log-level warn
+
 # Static checks + the serving smoke test + the kill/restore check + the
-# record/replay determinism check + the chaos self-healing drill.
-check: vet fmt-check doc-check smoke-serve smoke-recover smoke-replay smoke-chaos
+# record/replay determinism check + the chaos self-healing drill + the
+# admission-economics smoke.
+check: vet fmt-check doc-check smoke-serve smoke-recover smoke-replay smoke-chaos smoke-tenants
 
 test:
 	$(GO) test ./...
@@ -108,7 +122,8 @@ fuzz:
 
 # Full test log, as referenced by EXPERIMENTS.md.
 test-log:
-	$(GO) test ./... 2>&1 | tee test_output.txt
+	@mkdir -p results
+	$(GO) test ./... 2>&1 | tee results/test_output.txt
 
 # Benchmark run + parsed artifact + regression guard. BENCH_LABEL names the
 # output JSON (BENCH_<label>.json); the run is then diffed against
@@ -125,8 +140,9 @@ BENCH_BASE ?= BENCH_pr4.json
 BENCH_MAX_REGRESS ?= 1.75
 bench:
 	@$(GO) run ./cmd/benchdiff -guard
-	$(GO) test -bench=. -benchmem -count=3 ./... 2>&1 | tee bench_output.txt
-	$(GO) run ./cmd/benchdiff -parse bench_output.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
+	@mkdir -p results
+	$(GO) test -bench=. -benchmem -count=3 ./... 2>&1 | tee results/bench_output.txt
+	$(GO) run ./cmd/benchdiff -parse results/bench_output.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
 	$(GO) run ./cmd/benchdiff -diff -max-regress $(BENCH_MAX_REGRESS) $(BENCH_BASE) BENCH_$(BENCH_LABEL).json
 
 # Solver-only micro-benchmark loop for iterating on internal/lp and
@@ -139,8 +155,9 @@ bench-lp:
 
 # Single-proc-tolerant variant: contention benchmarks skip themselves.
 bench-short:
-	$(GO) test -short -bench=. -benchmem -count=3 ./... 2>&1 | tee bench_output.txt
-	$(GO) run ./cmd/benchdiff -parse bench_output.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
+	@mkdir -p results
+	$(GO) test -short -bench=. -benchmem -count=3 ./... 2>&1 | tee results/bench_output.txt
+	$(GO) run ./cmd/benchdiff -parse results/bench_output.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
 
 # Serving-throughput snapshot: the augmentd selftest prints a benchmark-style
 # line per (workers, batchers) combination that benchdiff parses into
@@ -154,16 +171,17 @@ bench-short:
 # benchdiff -diff guards the replay trajectory alongside serving throughput.
 bench-serve:
 	@rm -rf serve_bench_wal serve_bench.trace
+	@mkdir -p results
 	$(GO) run ./cmd/augmentd -selftest -requests 3000 -batch 1 \
 		-selftest-workers 1 -selftest-batchers 1,4 -wal-dir serve_bench_wal \
 		-aps 20 -cloudlets 0.5 -residual 1.0 -capacity-scale 25000 \
 		-dup-every 0 -release-every 0 -rho 0.9 -chain-min 2 -chain-max 3 \
-		-record serve_bench.trace -log-level warn | tee serve_bench.txt
+		-record serve_bench.trace -log-level warn | tee results/serve_bench.txt
 	$(GO) run ./cmd/augmentd -replay serve_bench.trace -batch 1 \
 		-selftest-workers 1 -selftest-batchers 1,4 \
 		-aps 20 -cloudlets 0.5 -residual 1.0 -capacity-scale 25000 \
-		-log-level warn | tee -a serve_bench.txt
-	$(GO) run ./cmd/benchdiff -parse serve_bench.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
+		-log-level warn | tee -a results/serve_bench.txt
+	$(GO) run ./cmd/benchdiff -parse results/serve_bench.txt -label $(BENCH_LABEL) -out BENCH_$(BENCH_LABEL).json
 	@rm -rf serve_bench_wal serve_bench.trace
 
 # Reproduce every figure and ablation at the paper's trial count (slow).
@@ -174,8 +192,11 @@ experiments:
 figures:
 	$(GO) run ./cmd/experiments -fig all -trials 100 -csvdir results -svgdir results/svg
 
+# Remove generated artifacts only; the committed tables under results/
+# (results/*.csv, results/*.txt, results/svg) stay.
 clean:
-	rm -rf results test_output.txt bench_output.txt serve_bench.txt \
+	rm -rf results/test_output.txt results/bench_output.txt results/serve_bench.txt \
+		test_output.txt bench_output.txt serve_bench.txt \
 		serve_bench_wal smoke_wal smoke_kill.txt smoke_restore.txt augmentd.smoke \
 		serve_bench.trace smoke_replay.trace augmentd.replay \
 		chaos_wal chaos.trace augmentd.chaos

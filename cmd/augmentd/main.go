@@ -28,6 +28,51 @@
 // audit + re-augmentation round, and the run additionally pins a bit-identical
 // chaos log across combinations plus zero silent SLO violations at the end
 // (see `make smoke-chaos`).
+//
+// Flag reference, grouped by concern:
+//
+// Network and admission model. -seed samples the network: -aps access
+// points, -cloudlets cloudlet fraction, -residual residual-capacity
+// fraction, -capacity-scale capacity multiplier; -scenario serves a netio
+// JSON scenario instead. -l bounds secondary placement hops and -admit
+// picks the primary placement policy (random or maxrel).
+//
+// Serving pipeline. -queue bounds the admission queue (full answers 429),
+// -batch and -batch-wait shape micro-batches, -workers sets solver workers
+// per batch and -batchers the concurrent micro-batchers; -solver (or an
+// ad-hoc -fallback chain) serves the augmentations, -deadline is the
+// default per-request solve deadline, and -cache sizes the solver-result
+// LRU.
+//
+// Multi-tenant admission economics. -tenants declares tenants as
+// "name[:weight=W,rate=R,burst=B];..." — weight feeds the fair-queueing
+// quanta and knapsack values; rate/burst arm a token-bucket quota refilled
+// on the virtual batch clock, so quota decisions replay bit-identically.
+// -admission picks the queue discipline: fifo (one arrival-order queue),
+// fair (deficit-round-robin over per-tenant sub-queues), or knapsack (fair
+// queueing plus value-ordered shedding under scarcity). -scarcity-watermark
+// is the residual-capacity fraction below which knapsack shedding engages
+// and -knapsack-window the queued window it packs over. GET /v1/tenants
+// reports per-tenant accounting; quota denials answer 429 + Retry-After.
+//
+// Durability. -wal-dir, -wal-sync, and -snapshot-every configure the
+// write-ahead log (tenant quota state is journaled per epoch); -restore
+// boots from it and -restore-only verifies it and exits.
+//
+// Observability. -obs-addr, -log-level, -trace-slow, -flight.
+//
+// Failure handling. -degraded-factor, -reaug-budget, -alert-warn,
+// -alert-crit, -probe-every tune the watchdog, alerting, and
+// re-augmentation loop.
+//
+// Selftest and replay. -requests, -wave, -dup-every, -release-every, -rho,
+// -chain-min, -chain-max, and -tenant-mix shape the generated stream;
+// -selftest-workers and -selftest-batchers the verified combinations.
+// -record writes a replayable trace, -replay verifies one (-replay-speed
+// paces it), -kill runs the durability drill. -chaos arms the failure
+// drill: -chaos-seed, -chaos-mtbf, -chaos-mttr, -chaos-degraded schedule
+// the outages. -bnb-workers sets parallel branch-and-bound workers per ILP
+// solve (bit-identical for any value).
 package main
 
 import (
@@ -45,6 +90,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/mec"
 	"repro/internal/netio"
@@ -107,8 +153,24 @@ func main() {
 	chaosMTTR := flag.Float64("chaos-mttr", 2, "selftest: mean cloudlet outage length in waves (exponential)")
 	chaosDegraded := flag.Float64("chaos-degraded", 0, "selftest: probability a failure arrives as degraded instead of down")
 	bnbWorkers := flag.Int("bnb-workers", 1, "parallel branch-and-bound component workers per ILP solve (results are bit-identical for any value)")
+	tenantSpec := flag.String("tenants", "", "tenant declarations \"name[:weight=W,rate=R,burst=B];...\" (empty: single default tenant)")
+	admissionMode := flag.String("admission", serve.AdmissionFIFO, "admission queue discipline: fifo, fair, or knapsack")
+	scarcityWatermark := flag.Float64("scarcity-watermark", 0, "residual fraction below which knapsack admission engages (0: serve default 0.25)")
+	knapsackWindow := flag.Int("knapsack-window", 0, "batch window under -admission=knapsack (0: 4x -batch)")
+	tenantMixSpec := flag.String("tenant-mix", "", "selftest: tenant shares for generated requests, e.g. \"gold:0.2,free:0.8\"")
 	flag.Parse()
 	core.SetDefaultBnBWorkers(*bnbWorkers)
+
+	tenants, err := admission.ParseTenants(*tenantSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: -tenants: %v\n", err)
+		os.Exit(2)
+	}
+	tenantMix, err := loadgen.ParseTenantMix(*tenantMixSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "augmentd: -tenant-mix: %v\n", err)
+		os.Exit(2)
+	}
 
 	obsSrv, err := obs.Boot(*logLevel, *obsAddr)
 	if err != nil {
@@ -192,29 +254,33 @@ func main() {
 	}
 	newService := func(w, b int, dir string, restoreState bool, recordPath string) *serve.Service {
 		svc, err := serve.New(buildNetwork(), serve.Options{
-			QueueDepth:      *queueDepth,
-			BatchSize:       *batchSize,
-			BatchWait:       *batchWait,
-			Workers:         w,
-			Batchers:        b,
-			Solver:          resolveSolver(),
-			HopBound:        *hopBound,
-			AdmitPolicy:     *admit,
-			DefaultDeadline: *deadline,
-			CacheSize:       *cacheSize,
-			Seed:            *seed,
-			WALDir:          dir,
-			WALSync:         *walSync,
-			SnapshotEvery:   *snapshotEvery,
-			Restore:         restoreState,
-			TraceDepth:      traceDepth,
-			TraceSlow:       *traceSlow,
-			RecordPath:      recordPath,
-			DegradedFactor:  *degradedFactor,
-			ReaugBudget:     *reaugBudget,
-			AlertWarnFactor: *alertWarn,
-			AlertCritFactor: *alertCrit,
-			ProbeEvery:      probe,
+			QueueDepth:        *queueDepth,
+			BatchSize:         *batchSize,
+			BatchWait:         *batchWait,
+			Workers:           w,
+			Batchers:          b,
+			Solver:            resolveSolver(),
+			HopBound:          *hopBound,
+			AdmitPolicy:       *admit,
+			DefaultDeadline:   *deadline,
+			CacheSize:         *cacheSize,
+			Seed:              *seed,
+			WALDir:            dir,
+			WALSync:           *walSync,
+			SnapshotEvery:     *snapshotEvery,
+			Restore:           restoreState,
+			TraceDepth:        traceDepth,
+			TraceSlow:         *traceSlow,
+			RecordPath:        recordPath,
+			DegradedFactor:    *degradedFactor,
+			ReaugBudget:       *reaugBudget,
+			AlertWarnFactor:   *alertWarn,
+			AlertCritFactor:   *alertCrit,
+			ProbeEvery:        probe,
+			Tenants:           tenants,
+			Admission:         *admissionMode,
+			ScarcityWatermark: *scarcityWatermark,
+			KnapsackWindow:    *knapsackWindow,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "augmentd: %v\n", err)
@@ -236,6 +302,8 @@ func main() {
 			solverName:  resolveSolver().Name(),
 			hopBound:    *hopBound,
 			admitPolicy: *admit,
+			admission:   *admissionMode,
+			tenants:     serve.NormalizedTenants(tenants),
 		}))
 	}
 
@@ -257,6 +325,9 @@ func main() {
 			walDir:       *walDir,
 			kill:         *kill,
 			recordPath:   *record,
+			tenantMix:    tenantMix,
+			multiTenant:  len(tenants) > 0,
+			admission:    *admissionMode,
 			chaos: loadgen.ChaosConfig{
 				Enabled:       *chaos,
 				Seed:          *chaosSeed,
@@ -317,6 +388,9 @@ type selftestConfig struct {
 	walDir       string
 	kill         bool
 	recordPath   string // record the first combination's run to this trace file
+	tenantMix    []loadgen.TenantShare
+	multiTenant  bool   // -tenants was set: print per-tenant accounting
+	admission    string // queue discipline; fifo carries the strict zero-drop bound
 	chaos        loadgen.ChaosConfig
 }
 
@@ -367,6 +441,7 @@ func runSelftest(cfg selftestConfig) int {
 		DuplicateEvery: cfg.dupEvery,
 		ReleaseEvery:   cfg.releaseEvery,
 		Chaos:          cfg.chaos,
+		TenantMix:      cfg.tenantMix,
 	}
 
 	var refLog, refChaos string
@@ -394,13 +469,27 @@ func runSelftest(cfg selftestConfig) int {
 			}
 			svc.Drain()
 			p50, p99, p999 := latencyQuantiles(res.Records)
-			fmt.Printf("selftest workers=%d batchers=%d: %d requests in %v (%.0f req/s), admitted=%d infeasible=%d rejected=%d deadline=%d released=%d cache_hits=%d p50=%v p99=%v p999=%v\n",
+			fmt.Printf("selftest workers=%d batchers=%d: %d requests in %v (%.0f req/s), admitted=%d infeasible=%d rejected=%d (quota=%d) shed=%d deadline=%d released=%d cache_hits=%d p50=%v p99=%v p999=%v\n",
 				w, b, len(res.Records), res.Elapsed.Round(time.Millisecond), res.Throughput,
-				res.Admitted, res.Infeasible, res.Rejected, res.Deadline, res.Released, res.CacheHits,
+				res.Admitted, res.Infeasible, res.Rejected, res.Quota, res.Shed, res.Deadline, res.Released, res.CacheHits,
 				p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
-			if res.Rejected != 0 {
-				fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: %d requests rejected below the queue bound\n", w, b, res.Rejected)
+			// Quota denials are intentional admission economics, not queue
+			// overflow, and under fair or knapsack admission a wave may
+			// overflow one tenant's fair-share sub-queue while the global
+			// queue still has room — those rejections are the discipline
+			// working, and the placement-log comparison still pins them
+			// bit-identical across combinations. The strict zero-drop bound
+			// is a fifo-admission invariant.
+			if cfg.admission == serve.AdmissionFIFO && res.Rejected-res.Quota != 0 {
+				fmt.Fprintf(os.Stderr, "augmentd: selftest workers=%d batchers=%d: %d requests rejected below the queue bound\n", w, b, res.Rejected-res.Quota)
 				ok = false
+			}
+			if cfg.multiTenant {
+				for _, row := range svc.TenantStats().Tenants {
+					fmt.Printf("tenant %s workers=%d batchers=%d: weight=%g admitted=%d rejected_quota=%d rejected_queue=%d shed=%d infeasible=%d weighted_log_gain=%.6f\n",
+						row.Name, w, b, row.Weight, row.Admitted, row.RejectedQuota,
+						row.RejectedQueue, row.Shed, row.Infeasible, row.WeightedLogGain)
+				}
 			}
 			if cfg.chaos.Enabled {
 				fmt.Printf("chaos workers=%d batchers=%d: events=%d destroyed=%d reaug attempted=%d restored=%d degraded=%d lost=%d pending=%d\n",
@@ -518,6 +607,8 @@ type replayConfig struct {
 	solverName  string
 	hopBound    int
 	admitPolicy string
+	admission   string
+	tenants     string // canonical tenant-spec string (serve.NormalizedTenants)
 }
 
 // runReplay drives a recorded request trace through fresh services at every
@@ -546,6 +637,15 @@ func runReplay(cfg replayConfig) int {
 		return 2
 	case meta.AdmitPolicy != cfg.admitPolicy:
 		fmt.Fprintf(os.Stderr, "augmentd: -replay: trace was recorded with -admit %s, not %s\n", meta.AdmitPolicy, cfg.admitPolicy)
+		return 2
+	// Quota and fair-queueing decisions are part of the admission sequence a
+	// replay must reproduce, so the discipline and tenant set are pinned too.
+	// Pre-tenant traces omit both fields; they replay under any setting.
+	case meta.Admission != "" && meta.Admission != cfg.admission:
+		fmt.Fprintf(os.Stderr, "augmentd: -replay: trace was recorded with -admission %s, not %s\n", meta.Admission, cfg.admission)
+		return 2
+	case meta.Tenants != "" && meta.Tenants != cfg.tenants:
+		fmt.Fprintf(os.Stderr, "augmentd: -replay: trace was recorded with tenants %q, not %q\n", meta.Tenants, cfg.tenants)
 		return 2
 	}
 	workerCounts, err := parseCounts(cfg.workerSpec)

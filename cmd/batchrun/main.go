@@ -7,6 +7,13 @@
 //
 //	go run ./cmd/batchrun -n 40 -rho 0.995 -policy all -solver heuristic
 //	go run ./cmd/batchrun -policy all -fail-soft   # a failing policy run becomes a failed row
+//
+// -seed fixes the sampled network and request stream, -residual its initial
+// residual-capacity fraction, and -l the secondary placement hop bound.
+// Shared observability flags: -obs-addr serves /metrics and pprof,
+// -log-level sets the structured log level, -run-manifest writes a JSON run
+// manifest, and -bnb-workers sets the parallel branch-and-bound workers per
+// ILP solve (bit-identical for any value).
 package main
 
 import (

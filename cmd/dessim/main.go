@@ -8,6 +8,24 @@
 //	go run ./cmd/dessim -rate 1.0 -hold 20 -horizon 500 -sweep
 //	go run ./cmd/dessim -faults -mean-up 100 -mean-down 10
 //	go run ./cmd/dessim -ilp -ilp-budget 50ms -faults
+//	go run ./cmd/dessim -overload
+//
+// -rho sets the per-request reliability expectation, -seed the RNG seed,
+// and -warmup the initial span excluded from metrics.
+//
+// -overload runs the multi-tenant admission-economics drill instead of the
+// DES: the same 10x-overload request stream (-overload-requests, default
+// 640) is replayed through fifo, fair, and knapsack admission on an
+// in-process serving stack — a flooding quota-limited low-weight tenant
+// against a minority high-weight one — and the run prints per-policy
+// admissions, denials, sheds, and per-tenant p99 latency, then exits
+// non-zero unless knapsack >= fair >= fifo holds on tenant-weighted
+// log-gain (see `make smoke-tenants`).
+//
+// Shared observability flags: -obs-addr serves /metrics and pprof,
+// -log-level sets the structured log level, -run-manifest writes a JSON run
+// manifest, and -bnb-workers sets the parallel branch-and-bound workers per
+// ILP solve (bit-identical for any value).
 package main
 
 import (
@@ -40,6 +58,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	manifestPath := flag.String("run-manifest", "", "write a JSON run manifest to this path")
 	bnbWorkers := flag.Int("bnb-workers", 1, "parallel branch-and-bound component workers per ILP solve (results are bit-identical for any value)")
+	overload := flag.Bool("overload", false, "run the multi-tenant overload scenario instead of the DES: the same 10x request stream through fifo, fair, and knapsack admission, compared on tenant-weighted log-gain")
+	overloadRequests := flag.Int("overload-requests", 0, "overload scenario request count (0: default 640)")
 	flag.Parse()
 	core.SetDefaultBnBWorkers(*bnbWorkers)
 
@@ -50,6 +70,14 @@ func main() {
 	}
 	if srv != nil {
 		defer srv.Close()
+	}
+
+	if *overload {
+		code := runOverload(*seed, *overloadRequests)
+		if srv != nil {
+			srv.Close()
+		}
+		os.Exit(code)
 	}
 
 	var manifest *obs.Manifest

@@ -1,13 +1,20 @@
-// Command doccheck reports exported identifiers that lack doc comments.
+// Command doccheck reports exported identifiers that lack doc comments and
+// command packages whose documentation does not cover their flags.
 //
-//	go run ./cmd/doccheck ./internal/core ./internal/engine
+//	go run ./cmd/doccheck ./internal/core ./internal/engine ./cmd/augmentd
 //
 // Each argument is a package directory; non-test .go files are parsed with
 // go/parser (no type checking, no external tooling) and every exported
 // top-level declaration — funcs, methods on exported receivers, types, and
 // exported const/var specs — must carry a doc comment on the declaration or
-// the spec. Findings print as file:line: name, and the exit status is 1 when
-// anything is missing, so `make doc-check` can gate on it.
+// the spec. Packages named main are additionally held to the command
+// contract: the package must carry a doc comment, and every flag the package
+// registers through the flag package (flag.String, flag.Bool, flag.Int,
+// flag.Int64, flag.Float64, flag.Duration) must be mentioned in that comment
+// as -name, so `go doc ./cmd/<tool>` is a complete usage reference. Findings
+// print as file:line: name, and the exit status is 1 when anything is
+// missing, so `make doc-check` can gate on it. doccheck takes no flags of
+// its own.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -40,7 +48,7 @@ func main() {
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers without doc comments\n", len(findings))
+		fmt.Fprintf(os.Stderr, "doccheck: %d documentation findings\n", len(findings))
 		os.Exit(1)
 	}
 }
@@ -66,8 +74,96 @@ func checkDir(dir string) ([]string, error) {
 				checkDecl(decl, report)
 			}
 		}
+		if pkg.Name == "main" {
+			checkCommandDoc(pkg, report)
+		}
 	}
 	return findings, nil
+}
+
+// flagConstructors are the flag-package registration funcs whose first
+// argument is the flag name.
+var flagConstructors = map[string]bool{
+	"String": true, "Bool": true, "Int": true, "Int64": true,
+	"Float64": true, "Duration": true,
+}
+
+// checkCommandDoc enforces the command contract on a main package: a package
+// doc comment must exist and mention every registered flag as -name.
+func checkCommandDoc(pkg *ast.Package, report func(token.Pos, string)) {
+	names := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var doc strings.Builder
+	for _, name := range names {
+		if d := pkg.Files[name].Doc; d != nil {
+			doc.WriteString(d.Text())
+		}
+	}
+	if doc.Len() == 0 {
+		report(pkg.Files[names[0]].Package, "package "+pkg.Name+" (no package doc comment on a command)")
+		return
+	}
+	text := doc.String()
+	for _, name := range names {
+		ast.Inspect(pkg.Files[name], func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !flagConstructors[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			flagName, err := strconv.Unquote(lit.Value)
+			if err != nil || flagName == "" {
+				return true
+			}
+			if !mentionsFlag(text, flagName) {
+				report(lit.Pos(), "-"+flagName+" (flag not mentioned in the package doc comment)")
+			}
+			return true
+		})
+	}
+}
+
+// mentionsFlag reports whether doc contains -name as a standalone token
+// (so -requests is not satisfied by a mention of -overload-requests).
+func mentionsFlag(doc, name string) bool {
+	needle := "-" + name
+	for i := 0; ; {
+		j := strings.Index(doc[i:], needle)
+		if j < 0 {
+			return false
+		}
+		j += i
+		before := byte(' ')
+		if j > 0 {
+			before = doc[j-1]
+		}
+		after := byte(' ')
+		if k := j + len(needle); k < len(doc) {
+			after = doc[k]
+		}
+		if !isFlagWordByte(before) && !isFlagWordByte(after) && after != '-' && before != '-' {
+			return true
+		}
+		i = j + 1
+	}
+}
+
+// isFlagWordByte reports whether b could extend a flag name.
+func isFlagWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
 }
 
 // checkDecl reports the undocumented exported names a top-level declaration

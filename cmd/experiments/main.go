@@ -15,6 +15,15 @@
 // bit-identical regardless of worker count. -solvers picks algorithms by
 // registered name (see internal/core's solver registry), e.g.
 // -solvers heuristic,greedy.
+//
+// -seed fixes the base RNG seed and -svgdir writes per-sub-plot SVG charts.
+// -fail-soft drops failing, panicking, or timed-out trials (bounded by
+// -trial-timeout) from the aggregates instead of aborting the sweep; -q
+// suppresses progress lines. Shared observability flags: -obs-addr serves
+// /metrics and pprof, -log-level sets the structured log level,
+// -run-manifest writes a JSON run manifest, and -bnb-workers sets the
+// parallel branch-and-bound workers per ILP solve (bit-identical for any
+// value).
 package main
 
 import (

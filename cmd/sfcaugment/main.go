@@ -5,6 +5,15 @@
 //
 //	go run ./cmd/sfcaugment -sfc 4 -rho 0.995 -alg all -seed 7
 //	go run ./cmd/sfcaugment -fallback "ILP@50ms,Heuristic,Greedy"
+//
+// -l bounds secondary placement hops and -residual sets the sampled
+// network's residual-capacity fraction; -admit picks the primary placement
+// policy (random or maxrel). -load reads the scenario (network + request)
+// from a JSON file instead of sampling, -save writes the sampled scenario
+// out, and -dump prints it to stdout. Shared observability flags: -obs-addr
+// serves /metrics and pprof, -log-level sets the structured log level,
+// -run-manifest writes a JSON run manifest, and -bnb-workers sets the
+// parallel branch-and-bound workers per ILP solve.
 package main
 
 import (

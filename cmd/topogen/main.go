@@ -2,6 +2,9 @@
 // Erdős–Rényi / grid) and dumps them as JSON or Graphviz DOT.
 //
 //	go run ./cmd/topogen -model waxman -n 100 -format dot > net.dot
+//
+// -seed fixes the generator RNG and -p sets the edge probability of the er
+// model.
 package main
 
 import (

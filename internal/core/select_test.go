@@ -1,0 +1,85 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSelectAdmissionAllFit(t *testing.T) {
+	residual := []float64{0, 100, 100}
+	bins := []int{1, 2}
+	cands := []AdmissionCandidate{
+		{Value: 1, Demands: []float64{10, 10}},
+		{Value: 2, Demands: []float64{20}},
+		{Value: 0, Demands: []float64{5}}, // non-positive value: never selected
+	}
+	got := SelectAdmission(residual, bins, cands, 0)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("got %v, want [0 1]", got)
+	}
+}
+
+// TestSelectAdmissionBeatsGreedy pins that the bounded exact search improves
+// on the greedy descent: one high-value candidate blocks two medium ones
+// whose combined value is higher.
+func TestSelectAdmissionBeatsGreedy(t *testing.T) {
+	residual := []float64{0, 10}
+	bins := []int{1}
+	cands := []AdmissionCandidate{
+		{Value: 5, Demands: []float64{6}},
+		{Value: 3, Demands: []float64{5}},
+		{Value: 3, Demands: []float64{5}},
+	}
+	got := SelectAdmission(residual, bins, cands, 0)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("got %v, want [1 2] (total value 6 > greedy's 5)", got)
+	}
+}
+
+func TestSelectAdmissionAllInfeasible(t *testing.T) {
+	residual := []float64{0, 10, 10}
+	bins := []int{1, 2}
+	cands := []AdmissionCandidate{
+		{Value: 4, Demands: []float64{50}},
+		{Value: 2, Demands: []float64{11, 11}},
+	}
+	if got := SelectAdmission(residual, bins, cands, 0); len(got) != 0 {
+		t.Fatalf("got %v, want empty selection", got)
+	}
+	if got := SelectAdmission(residual, nil, cands, 0); got != nil {
+		t.Fatalf("no bins: got %v", got)
+	}
+	if got := SelectAdmission(residual, bins, nil, 0); got != nil {
+		t.Fatalf("no candidates: got %v", got)
+	}
+}
+
+func TestSelectAdmissionDeterministic(t *testing.T) {
+	residual := []float64{0, 30, 20, 0, 25}
+	bins := []int{1, 2, 4}
+	cands := []AdmissionCandidate{
+		{Value: 2.5, Demands: []float64{10, 10}},
+		{Value: 2.5, Demands: []float64{10, 10}},
+		{Value: 1.0, Demands: []float64{15}},
+		{Value: 4.0, Demands: []float64{20, 20}},
+		{Value: 0.5, Demands: []float64{5}},
+	}
+	a := SelectAdmission(residual, bins, cands, 0)
+	b := SelectAdmission(residual, bins, cands, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected a non-empty selection")
+	}
+	// The winning subset's demands must actually pack.
+	total := 0.0
+	for _, i := range a {
+		for _, d := range cands[i].Demands {
+			total += d
+		}
+	}
+	if total > 75 {
+		t.Fatalf("selected demand %v exceeds total residual 75", total)
+	}
+}

@@ -32,6 +32,7 @@ var (
 // pending is one request waiting in the admission queue.
 type pending struct {
 	seq         int
+	tenant      string // resolved tenant name (never empty)
 	sfc         []int
 	expectation float64
 	source      int
@@ -71,10 +72,21 @@ type outcome struct {
 // goroutines that execute batches concurrently against pinned epochs. The
 // commit gate reimposes the batch sequence at install time, so batch k+1's
 // effects land after batch k's no matter which batcher was faster.
+//
+// The queue itself is a tenant-aware admission.FairQueue behind one mutex:
+// FIFO discipline preserves global arrival order exactly; fair/knapsack run
+// deficit round-robin over per-tenant sub-queues. Tenant token buckets are
+// checked at Submit on the virtual batch clock (admission sequence ÷ batch
+// size), so quota decisions are pure functions of the admission order and
+// replay bit-identically. notEmpty is a one-slot wakeup signal: every push
+// sends non-blocking, and the dispatcher re-polls after consuming one, so
+// wakeups are never lost.
 type queue struct {
-	svc  *Service
-	ch   chan *pending
-	jobs chan *batchJob
+	svc      *Service
+	mu       sync.Mutex
+	fq       *admission.FairQueue[*pending]
+	notEmpty chan struct{}
+	jobs     chan *batchJob
 	// slots holds one token per idle batcher: the dispatcher takes a token
 	// before forming a batch and the batcher returns it after committing.
 	// This keeps the queue's backpressure bound exactly at QueueDepth —
@@ -97,12 +109,13 @@ type queue struct {
 
 func newQueue(svc *Service, depth, batchers int) *queue {
 	q := &queue{
-		svc:    svc,
-		ch:     make(chan *pending, depth),
-		jobs:   make(chan *batchJob),
-		slots:  make(chan struct{}, batchers),
-		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
+		svc:      svc,
+		fq:       admission.NewFairQueue[*pending](svc.tenantSpecs(), depth, svc.opt.Admission != AdmissionFIFO),
+		notEmpty: make(chan struct{}, 1),
+		jobs:     make(chan *batchJob),
+		slots:    make(chan struct{}, batchers),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
 	}
 	q.gate.init()
 	q.speculate.Store(true)
@@ -121,20 +134,94 @@ func newQueue(svc *Service, depth, batchers int) *queue {
 	return q
 }
 
-// Submit enqueues p without blocking. A full queue rejects with ErrQueueFull
-// (the caller answers 429 with Retry-After); a draining queue rejects with
-// ErrDraining (503).
+// Submit enqueues p without blocking. A full queue (global bound, or the
+// tenant's fair-share bound) rejects with ErrQueueFull and an empty tenant
+// token bucket with ErrQuotaExceeded — the caller answers 429 with
+// Retry-After for both; a draining queue rejects with ErrDraining (503).
+//
+// The tenant's bucket is refilled on the virtual batch clock — the admission
+// sequence number divided by the batch size — before the take. Sequence
+// numbers are assigned even to rejected submissions and replay reproduces
+// the gaps (AdvanceSeq), so the refill schedule, and therefore every quota
+// decision, is bit-identical between a recorded run and its replay.
 func (q *queue) Submit(p *pending) error {
 	if q.draining.Load() {
 		return ErrDraining
 	}
-	select {
-	case q.ch <- p:
-		metrics.queueDepth.Set(float64(len(q.ch)))
-		metrics.inflight.Add(1)
-		return nil
-	default:
+	ts := q.svc.tenants[p.tenant]
+	q.mu.Lock()
+	if ts.bucket != nil {
+		ts.bucket.Refill(int64(p.seq) / int64(q.svc.opt.BatchSize))
+		if ts.bucket.Tokens() < 1 {
+			q.mu.Unlock()
+			ts.mu.Lock()
+			ts.rejectedQuota++
+			ts.mu.Unlock()
+			ts.ins.rejectedQuota.Inc()
+			metrics.quotaDenials.Inc()
+			return fmt.Errorf("%w: tenant %q", ErrQuotaExceeded, p.tenant)
+		}
+	}
+	if err := q.fq.Push(p.tenant, p); err != nil {
+		q.mu.Unlock()
+		ts.mu.Lock()
+		ts.rejectedQueue++
+		ts.mu.Unlock()
+		ts.ins.rejectedQueue.Inc()
+		if errors.Is(err, admission.ErrTenantSaturated) {
+			return fmt.Errorf("%w: tenant %q fair-share sub-queue full", ErrQueueFull, p.tenant)
+		}
 		return ErrQueueFull
+	}
+	if ts.bucket != nil {
+		ts.bucket.TryTake()
+	}
+	depth, tdepth := q.fq.Len(), q.fq.TenantLen(p.tenant)
+	q.mu.Unlock()
+	metrics.queueDepth.Set(float64(depth))
+	ts.ins.depth.Set(float64(tdepth))
+	metrics.inflight.Add(1)
+	select {
+	case q.notEmpty <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// tryPop dequeues the next request under the configured discipline, updating
+// the per-tenant depth gauge.
+func (q *queue) tryPop() (*pending, bool) {
+	q.mu.Lock()
+	p, tenant, ok := q.fq.Pop()
+	var tdepth int
+	if ok {
+		tdepth = q.fq.TenantLen(tenant)
+	}
+	q.mu.Unlock()
+	if ok {
+		q.svc.tenants[tenant].ins.depth.Set(float64(tdepth))
+	}
+	return p, ok
+}
+
+// Len returns the number of requests currently queued across all tenants.
+func (q *queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.fq.Len()
+}
+
+// popWait blocks until a request is available or the queue is stopping.
+func (q *queue) popWait() (*pending, bool) {
+	for {
+		if p, ok := q.tryPop(); ok {
+			return p, true
+		}
+		select {
+		case <-q.notEmpty:
+		case <-q.stopCh:
+			return nil, false
+		}
 	}
 }
 
@@ -156,10 +243,8 @@ func (q *queue) run() {
 	defer close(q.doneCh)
 	for {
 		<-q.slots // wait for an idle batcher before forming a batch
-		var first *pending
-		select {
-		case first = <-q.ch:
-		case <-q.stopCh:
+		first, ok := q.popWait()
+		if !ok {
 			q.slots <- struct{}{}
 			q.flush()
 			return
@@ -168,37 +253,45 @@ func (q *queue) run() {
 	}
 }
 
-// flush serves every request that made it into the channel before the drain
+// flush serves every request that made it into the queue before the drain
 // flag flipped, then shuts the batcher pool down and waits for the last
 // batch to commit.
 func (q *queue) flush() {
 	for {
-		select {
-		case p := <-q.ch:
-			<-q.slots
-			q.dispatchFrom(p, true)
-		default:
+		p, ok := q.tryPop()
+		if !ok {
 			close(q.jobs)
 			q.wg.Wait()
 			return
 		}
+		<-q.slots
+		q.dispatchFrom(p, true)
 	}
 }
 
 // dispatchFrom collects a batch starting at first and sends it to the
 // batcher pool (blocking when all batchers are busy — the dispatcher is the
 // pool's backpressure). When draining, only immediately available requests
-// join (no timer wait).
+// join (no timer wait). Under the knapsack discipline the dispatcher collects
+// a wider window (Options.KnapsackWindow) so the scarcity-mode knapsack has a
+// meaningful candidate set to choose from; the solve still covers only the
+// admitted subset.
 func (q *queue) dispatchFrom(first *pending, draining bool) {
 	batch := []*pending{first}
 	maxB := q.svc.opt.BatchSize
+	if q.svc.opt.Admission == AdmissionKnapsack {
+		maxB = q.svc.opt.KnapsackWindow
+	}
 	if !draining && maxB > 1 {
 		timer := time.NewTimer(q.svc.opt.BatchWait)
 	collect:
 		for len(batch) < maxB {
-			select {
-			case p := <-q.ch:
+			if p, ok := q.tryPop(); ok {
 				batch = append(batch, p)
+				continue
+			}
+			select {
+			case <-q.notEmpty:
 			case <-timer.C:
 				break collect
 			case <-q.stopCh:
@@ -208,15 +301,16 @@ func (q *queue) dispatchFrom(first *pending, draining bool) {
 		timer.Stop()
 	}
 	for len(batch) < maxB {
-		select {
-		case p := <-q.ch:
-			batch = append(batch, p)
-		default:
-			goto full
+		p, ok := q.tryPop()
+		if !ok {
+			break
 		}
+		batch = append(batch, p)
 	}
-full:
-	metrics.queueDepth.Set(float64(len(q.ch)))
+	q.mu.Lock()
+	depth := q.fq.Len()
+	q.mu.Unlock()
+	metrics.queueDepth.Set(float64(depth))
 	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
 	q.batchSeq++
 	q.jobs <- &batchJob{
@@ -339,6 +433,7 @@ func seededRand(seed int64) *rand.Rand { return rand.New(core.CheapSource(seed))
 // against.
 type batchItem struct {
 	p         *pending
+	shed      bool // dropped by knapsack admission under scarcity (phase 0)
 	req       *mec.Request
 	inst      *core.Instance
 	key       cacheKey
@@ -495,9 +590,13 @@ func (s *Service) deliverOutcomes(job *batchJob, exec *batchExec) {
 			}
 		case http.StatusGatewayTimeout:
 			metrics.deadlineHits.Inc()
+		case http.StatusTooManyRequests:
+			// Knapsack shed — counted per tenant (and in serve_shed_total) by
+			// accountOutcome, not as an infeasibility.
 		default:
 			metrics.infeasible.Inc()
 		}
+		s.accountOutcome(p, &out)
 		metrics.inflight.Add(-1)
 		if p.tr != nil {
 			snap := s.completeTrace(p, job, exec, &out, end)
@@ -567,10 +666,20 @@ func (s *Service) executeBatch(e *epochLedger, job *batchJob, kind string) *batc
 	items := make([]*batchItem, len(job.batch))
 	exec := &batchExec{outcomes: make([]outcome, len(job.batch)), kind: kind, start: time.Now()}
 
+	// Phase 0: knapsack admission under scarcity. The shed mask is a pure
+	// function of (epoch, batch), and executeBatch is re-executed in commit
+	// order when its pinned epoch went stale — so shed decisions inherit the
+	// same bit-identity guarantee as placements.
+	shed := s.knapsackShed(e, job.batch)
+
 	// Phase 1: primaries + instances + cache lookups.
 	for i, p := range job.batch {
 		it := &batchItem{p: p}
 		items[i] = it
+		if shed != nil && shed[i] {
+			it.shed = true
+			continue
+		}
 		req := mec.NewRequest(p.seq, p.sfc, p.expectation, p.source, p.destination)
 		it.req = req
 		before := fork.ResidualSnapshot()
@@ -591,7 +700,7 @@ func (s *Service) executeBatch(e *epochLedger, job *batchJob, kind string) *batc
 	}
 	ledgerHash := hashResiduals(fork.ResidualSnapshot())
 	for _, it := range items {
-		if it.failErr != nil {
+		if it.shed || it.failErr != nil {
 			continue
 		}
 		it.inst = core.NewInstance(fork, it.req, core.Params{L: s.opt.HopBound})
@@ -615,7 +724,7 @@ func (s *Service) executeBatch(e *epochLedger, job *batchJob, kind string) *batc
 	followers := make(map[*batchItem]*batchItem)
 	byKey := make(map[cacheKey]*batchItem)
 	for _, it := range items {
-		if it.failErr != nil || it.hit != nil {
+		if it.shed || it.failErr != nil || it.hit != nil {
 			continue
 		}
 		if s.cacheable {
@@ -698,6 +807,8 @@ func (s *Service) executeBatch(e *epochLedger, job *batchJob, kind string) *batc
 // trace span annotation.
 func solveNoteOf(it *batchItem) string {
 	switch {
+	case it.shed:
+		return "shed"
 	case it.failErr != nil:
 		return "admit_failed"
 	case it.hit != nil:
@@ -785,6 +896,15 @@ func (s *Service) finishItem(work *mec.Network, job *batchJob, it *batchItem, ex
 		return outcome{status: status, errText: err.Error(), cached: cached, solveTime: exec.solveTime}
 	}
 
+	if it.shed {
+		// Phase 0 dropped the request before any primaries were placed —
+		// nothing to roll back; the fork never saw it.
+		return outcome{
+			status:    http.StatusTooManyRequests,
+			errText:   "serve: shed by knapsack admission under scarcity",
+			solveTime: exec.solveTime,
+		}
+	}
 	if it.failErr != nil {
 		return fail(http.StatusUnprocessableEntity, false, fmt.Errorf("admission: %w", it.failErr))
 	}
@@ -835,6 +955,7 @@ func (s *Service) finishItem(work *mec.Network, job *batchJob, it *batchItem, ex
 	}
 	rec := &placed{
 		ID:          it.req.ID,
+		Tenant:      it.p.tenant,
 		SFC:         it.req.SFC,
 		Expectation: it.req.Expectation,
 		Source:      it.req.Source,

@@ -293,6 +293,7 @@ func (q *reaugQueue) add(p *placed) bool {
 		Expectation: p.Expectation,
 		Source:      p.Source,
 		Destination: p.Destination,
+		Tenant:      p.Tenant,
 	}
 	intact := true
 	for _, v := range p.Primaries {

@@ -8,9 +8,11 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,6 +45,39 @@ type Config struct {
 	// transitions applied between waves, each followed by a watchdog audit
 	// and re-augmentation round. See ChaosConfig.
 	Chaos ChaosConfig
+	// TenantMix assigns each generated request a tenant, drawn from these
+	// shares with the generator RNG. Empty leaves requests tenantless (they
+	// resolve to the service's default tenant), which keeps pre-tenant
+	// request streams bit-identical. Duplicated requests repeat their
+	// predecessor's tenant along with its spec.
+	TenantMix []TenantShare
+}
+
+// TenantShare is one tenant's probability mass in a generated mix.
+type TenantShare struct {
+	Name  string
+	Share float64
+}
+
+// ParseTenantMix parses "name:share[,name:share...]" (e.g. "gold:0.2,free:0.8").
+// Shares must be positive; they are normalized, so they need not sum to 1.
+func ParseTenantMix(spec string) ([]TenantShare, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var mix []TenantShare
+	for _, part := range strings.Split(spec, ",") {
+		name, share, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("loadgen: tenant mix entry %q (want name:share)", part)
+		}
+		v, err := strconv.ParseFloat(share, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("loadgen: tenant mix share %q must be a positive number", share)
+		}
+		mix = append(mix, TenantShare{Name: name, Share: v})
+	}
+	return mix, nil
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +107,14 @@ type Record struct {
 	Secondaries [][]int
 	ServedBy    string
 	Cached      bool
+	// Tenant is the tenant the request was billed to (empty without a mix);
+	// Initial is the admitted placement's pre-augmentation reliability u₀.
+	// Quota marks a 429 denied by the tenant's token bucket (vs queue bounds);
+	// Shed marks a 429 shed by knapsack admission after being queued.
+	Tenant  string
+	Initial float64
+	Quota   bool
+	Shed    bool
 	// Latency is enqueue → answer for this request (zero for submissions
 	// rejected at the queue). Feeds the selftest's exact latency quantiles;
 	// excluded from PlacementLog, which must stay timing-independent.
@@ -83,7 +126,9 @@ type Result struct {
 	Records    []Record
 	Admitted   int
 	Infeasible int
-	Rejected   int // 429/503 backpressure rejections
+	Rejected   int // 429/503 backpressure rejections (quota, queue, draining)
+	Quota      int // subset of Rejected denied by a tenant token bucket
+	Shed       int // 429s shed by knapsack admission after being queued
 	Deadline   int
 	Released   int
 	CacheHits  int
@@ -119,12 +164,23 @@ func (r *Result) ChaosLog() string {
 func (r *Result) PlacementLog() string {
 	var b strings.Builder
 	for _, rec := range r.Records {
+		tenant := ""
+		if rec.Tenant != "" {
+			tenant = " tenant=" + rec.Tenant
+		}
 		if rec.Status != http.StatusOK {
-			fmt.Fprintf(&b, "seq=%d status=%d\n", rec.Seq, rec.Status)
+			reason := ""
+			switch {
+			case rec.Quota:
+				reason = " reason=quota"
+			case rec.Shed:
+				reason = " reason=shed"
+			}
+			fmt.Fprintf(&b, "seq=%d status=%d%s%s\n", rec.Seq, rec.Status, reason, tenant)
 			continue
 		}
-		fmt.Fprintf(&b, "seq=%d id=%d rel=%.9f met=%v counts=%v sec=%v by=%s\n",
-			rec.Seq, rec.ID, rec.Reliability, rec.Met, rec.Counts, rec.Secondaries, rec.ServedBy)
+		fmt.Fprintf(&b, "seq=%d id=%d rel=%.9f met=%v counts=%v sec=%v by=%s%s\n",
+			rec.Seq, rec.ID, rec.Reliability, rec.Met, rec.Counts, rec.Secondaries, rec.ServedBy, tenant)
 	}
 	return b.String()
 }
@@ -160,12 +216,16 @@ func Run(svc *serve.Service, cfg Config) (*Result, error) {
 		for i := 0; i < wave; i++ {
 			ar := nextRequest(rng, svc, cfg, submitted, prev)
 			prev = &ar
-			entry := waveEntry{seqIdx: submitted, submitted: time.Now()}
+			entry := waveEntry{seqIdx: submitted, tenant: ar.Tenant, submitted: time.Now()}
 			t, err := svc.Enqueue(ar)
 			if err != nil {
 				res.Rejected++
 				entry.reject = http.StatusTooManyRequests
-				if err == serve.ErrDraining {
+				switch {
+				case errors.Is(err, serve.ErrQuotaExceeded):
+					entry.quota = true
+					res.Quota++
+				case errors.Is(err, serve.ErrDraining):
 					entry.reject = http.StatusServiceUnavailable
 				}
 			} else {
@@ -213,9 +273,11 @@ func Run(svc *serve.Service, cfg Config) (*Result, error) {
 // when it was submitted, and either its ticket or its rejection status.
 type waveEntry struct {
 	seqIdx    int
+	tenant    string
 	submitted time.Time
 	ticket    *serve.Ticket
-	reject    int // non-zero: rejected at submit with this status
+	reject    int  // non-zero: rejected at submit with this status
+	quota     bool // the rejection came from the tenant's token bucket
 }
 
 // collectEntry waits for one wave entry's outcome, appends its record to res
@@ -223,9 +285,10 @@ type waveEntry struct {
 // (0 when the request was rejected or not admitted). Shared by the generator
 // and the replay driver so both produce comparable placement logs.
 func collectEntry(res *Result, e waveEntry) int {
-	rec := Record{Seq: e.seqIdx}
+	rec := Record{Seq: e.seqIdx, Tenant: e.tenant}
 	if e.ticket == nil {
 		rec.Status = e.reject
+		rec.Quota = e.quota
 		res.Records = append(res.Records, rec)
 		return 0
 	}
@@ -241,6 +304,7 @@ func collectEntry(res *Result, e waveEntry) int {
 	case out.Status == http.StatusOK:
 		rec.ID = out.Response.ID
 		rec.Reliability = out.Response.Reliability
+		rec.Initial = out.Response.InitialReliability
 		rec.Met = out.Response.MetExpectation
 		rec.Counts = out.Response.BackupCounts
 		rec.Secondaries = out.Response.Secondaries
@@ -249,6 +313,11 @@ func collectEntry(res *Result, e waveEntry) int {
 		id = out.Response.ID
 	case out.Status == http.StatusGatewayTimeout:
 		res.Deadline++
+	case out.Status == http.StatusTooManyRequests:
+		// Shed by knapsack admission after being queued (submission-time
+		// rejections never get a ticket).
+		rec.Shed = true
+		res.Shed++
 	default:
 		res.Infeasible++
 	}
@@ -270,11 +339,31 @@ func nextRequest(rng *rand.Rand, svc *serve.Service, cfg Config, idx int, prev *
 	for i := range sfc {
 		sfc[i] = rng.Intn(svc.CatalogSize())
 	}
-	return serve.AugmentRequest{
+	ar := serve.AugmentRequest{
 		SFC:         sfc,
 		Expectation: cfg.Expectation,
 		Source:      rng.Intn(svc.NumAPs()),
 		Destination: rng.Intn(svc.NumAPs()),
 		DeadlineMS:  cfg.DeadlineMS,
 	}
+	// Tenant draw happens only with a configured mix, so tenantless configs
+	// consume exactly the RNG stream they always did — existing recorded runs
+	// stay bit-identical.
+	if len(cfg.TenantMix) > 0 {
+		total := 0.0
+		for _, ts := range cfg.TenantMix {
+			total += ts.Share
+		}
+		u := rng.Float64() * total
+		for _, ts := range cfg.TenantMix {
+			if u -= ts.Share; u < 0 {
+				ar.Tenant = ts.Name
+				break
+			}
+		}
+		if ar.Tenant == "" { // float tail: land on the last share
+			ar.Tenant = cfg.TenantMix[len(cfg.TenantMix)-1].Name
+		}
+	}
+	return ar
 }

@@ -106,8 +106,9 @@ func Replay(svc *serve.Service, ops []serve.TraceOp, cfg ReplayConfig) (*Result,
 				Destination: op.Destination,
 				Primaries:   op.Primaries,
 				DeadlineMS:  op.DeadlineMS,
+				Tenant:      op.Tenant,
 			})
-			entry := waveEntry{seqIdx: op.Seq, submitted: time.Now()}
+			entry := waveEntry{seqIdx: op.Seq, tenant: op.Tenant, submitted: time.Now()}
 			if err != nil {
 				// The recorded run admitted this request; a replay rejection
 				// (queue sized differently, draining) is a divergence the

@@ -43,6 +43,12 @@ var metrics = struct {
 	reaugLost          *obs.Counter // sessions abandoned after the re-augmentation budget
 	degradedAnswers    *obs.Counter // fresh admissions answered with u < ρ (Met=false)
 
+	// Multi-tenant admission economics.
+	scarcity     *obs.Gauge   // residual-capacity fraction observed at the last knapsack check
+	scarceMode   *obs.Gauge   // 1 while knapsack admission is engaged, else 0
+	shedTotal    *obs.Counter // requests shed by knapsack admission under scarcity
+	quotaDenials *obs.Counter // submissions rejected by a tenant token bucket
+
 	// Per-stage span handles for the batch pipeline, pre-resolved so the hot
 	// path pays zero lookups/allocations per observation (see obs.SpanHandle).
 	// Stage boundaries are stamped once per batch and observed here; the same
@@ -87,6 +93,10 @@ var metrics = struct {
 	reaugDegradedTotal: obs.Default().Counter("serve_reaug_degraded_total"),
 	reaugLost:          obs.Default().Counter("serve_reaug_lost_total"),
 	degradedAnswers:    obs.Default().Counter("serve_degraded_answers_total"),
+	scarcity:           obs.Default().Gauge("serve_scarcity_fraction"),
+	scarceMode:         obs.Default().Gauge("serve_scarce_mode"),
+	shedTotal:          obs.Default().Counter("serve_shed_total"),
+	quotaDenials:       obs.Default().Counter("serve_quota_denials_total"),
 	stageAdmit:         obs.Default().SpanHandle("serve_admit"),
 	stageSolve:         obs.Default().SpanHandle("serve_solve"),
 	stageCommit:        obs.Default().SpanHandle("serve_commit"),
@@ -110,6 +120,7 @@ func endpointInstrumentsFor(endpoint string) *endpointInstruments {
 		rejected: map[string]*obs.Counter{
 			reasonFull:     r.Counter("serve_rejected_total", "endpoint", endpoint, "reason", reasonFull),
 			reasonDraining: r.Counter("serve_rejected_total", "endpoint", endpoint, "reason", reasonDraining),
+			reasonQuota:    r.Counter("serve_rejected_total", "endpoint", endpoint, "reason", reasonQuota),
 		},
 		duration: r.Histogram("serve_request_duration_seconds", obs.DurationBuckets, "endpoint", endpoint),
 	}
@@ -119,4 +130,30 @@ func endpointInstrumentsFor(endpoint string) *endpointInstruments {
 const (
 	reasonFull     = "queue_full"
 	reasonDraining = "draining"
+	reasonQuota    = "quota"
 )
+
+// tenantInstruments caches one tenant's serve_tenant_* instruments, resolved
+// once at service construction so the hot path pays no registry lookups.
+type tenantInstruments struct {
+	admitted      *obs.Counter // requests admitted and committed for this tenant
+	rejectedQuota *obs.Counter // submissions denied by the tenant's token bucket
+	rejectedQueue *obs.Counter // submissions denied on queue bounds (global or fair-share)
+	shed          *obs.Counter // requests shed by knapsack admission under scarcity
+	infeasible    *obs.Counter // requests answered 422/504 (no feasible augmentation)
+	depth         *obs.Gauge   // requests currently queued for this tenant
+	logGain       *obs.Gauge   // cumulative tenant-weighted reliability log-gain
+}
+
+func tenantInstrumentsFor(name string) tenantInstruments {
+	r := obs.Default()
+	return tenantInstruments{
+		admitted:      r.Counter("serve_tenant_admitted_total", "tenant", name),
+		rejectedQuota: r.Counter("serve_tenant_rejected_total", "tenant", name, "reason", reasonQuota),
+		rejectedQueue: r.Counter("serve_tenant_rejected_total", "tenant", name, "reason", reasonFull),
+		shed:          r.Counter("serve_tenant_shed_total", "tenant", name),
+		infeasible:    r.Counter("serve_tenant_infeasible_total", "tenant", name),
+		depth:         r.Gauge("serve_tenant_queue_depth", "tenant", name),
+		logGain:       r.Gauge("serve_tenant_weighted_log_gain", "tenant", name),
+	}
+}

@@ -41,11 +41,16 @@ type TraceOp struct {
 	// microseconds — what the replay clock advances to.
 	AtUS int64 `json:"at_us"`
 
-	// Meta fields (OpMeta).
+	// Meta fields (OpMeta). Admission and Tenants record the queue
+	// discipline and tenant specification of the recording run — quota and
+	// fair-queueing decisions are part of the admission sequence a replay
+	// must reproduce, so replays verify them alongside seed and solver.
 	Seed        int64  `json:"seed,omitempty"`
 	Solver      string `json:"solver,omitempty"`
 	HopBound    int    `json:"l,omitempty"`
 	AdmitPolicy string `json:"admit,omitempty"`
+	Admission   string `json:"admission,omitempty"`
+	Tenants     string `json:"tenants,omitempty"`
 
 	// Augment fields (OpAugment): Seq is the admission sequence the recording
 	// run assigned — replay reproduces it exactly (including gaps from
@@ -57,6 +62,9 @@ type TraceOp struct {
 	Destination int     `json:"dst"`
 	Primaries   []int   `json:"primaries,omitempty"`
 	DeadlineMS  int     `json:"deadline_ms,omitempty"`
+	// Tenant is the resolved admission-economics principal of an OpAugment
+	// (empty means the default tenant).
+	Tenant string `json:"tenant,omitempty"`
 	// Sync marks an augment the producer waited on before submitting anything
 	// else (re-augmentation enqueues). Micro-batch composition is an input to
 	// every solve — phase 1 charges the whole batch's primaries before any

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/mec"
 	"repro/internal/obs/trace"
@@ -128,6 +129,25 @@ type Options struct {
 	// drives rounds synchronously; cmd/augmentd starts the loop in server
 	// mode).
 	ProbeEvery time.Duration
+
+	// Tenants declares the multi-tenant admission principals (weight, and
+	// optionally a token-bucket quota per tenant). The default tenant is
+	// always present (weight 1 unless declared); requests with an empty or
+	// unknown tenant resolve to it. Empty means single-tenant behavior.
+	Tenants []admission.Tenant
+	// Admission selects the queue discipline: AdmissionFIFO (default; global
+	// arrival order), AdmissionFair (deficit round-robin over per-tenant
+	// sub-queues, weight-proportional), or AdmissionKnapsack (fair queueing
+	// plus scarcity-mode knapsack batch admission).
+	Admission string
+	// ScarcityWatermark is the residual-capacity fraction below which the
+	// knapsack discipline switches from FIFO draining to knapsack admission.
+	// Default 0.25. Only meaningful with AdmissionKnapsack.
+	ScarcityWatermark float64
+	// KnapsackWindow is the batch-window bound under AdmissionKnapsack: the
+	// dispatcher collects up to this many requests per batch so the knapsack
+	// has a candidate set to select from. Default 4×BatchSize.
+	KnapsackWindow int
 }
 
 // withDefaults fills unset options.
@@ -215,6 +235,26 @@ func (o Options) withDefaults() (Options, error) {
 	if o.ReaugBudget < 0 {
 		return o, fmt.Errorf("serve: re-augmentation budget %d must be positive", o.ReaugBudget)
 	}
+	switch o.Admission {
+	case "":
+		o.Admission = AdmissionFIFO
+	case AdmissionFIFO, AdmissionFair, AdmissionKnapsack:
+	default:
+		return o, fmt.Errorf("serve: unknown admission discipline %q (want %s, %s, or %s)",
+			o.Admission, AdmissionFIFO, AdmissionFair, AdmissionKnapsack)
+	}
+	if o.ScarcityWatermark == 0 {
+		o.ScarcityWatermark = 0.25
+	}
+	if o.ScarcityWatermark < 0 || o.ScarcityWatermark > 1 {
+		return o, fmt.Errorf("serve: scarcity watermark %v out of [0,1]", o.ScarcityWatermark)
+	}
+	if o.KnapsackWindow == 0 {
+		o.KnapsackWindow = 4 * o.BatchSize
+	}
+	if o.KnapsackWindow < o.BatchSize {
+		return o, fmt.Errorf("serve: knapsack window %d must be >= batch size %d", o.KnapsackWindow, o.BatchSize)
+	}
 	return o, nil
 }
 
@@ -247,6 +287,15 @@ type Service struct {
 	augmentIns *endpointInstruments
 	releaseIns *endpointInstruments
 	stateIns   *endpointInstruments
+
+	// Multi-tenant admission economics: per-tenant runtime state (name →
+	// state, plus the same states in sorted name order), the network's total
+	// cloudlet capacity (the scarcity denominator), and whether the last
+	// knapsack check ran in scarcity mode.
+	tenants     map[string]*tenantState
+	tenantOrder []*tenantState
+	totalCap    float64
+	scarce      atomic.Bool
 }
 
 // New builds a Service over net. The service owns net's residual ledger from
@@ -293,6 +342,22 @@ func New(net *mec.Network, opt Options) (*Service, error) {
 			DedupWindow: opt.AlertDedup,
 		}),
 	}
+	s.buildTenants()
+	if opt.Restore {
+		// Rebuild quota buckets from the journaled tenant state so a restarted
+		// process continues refusing exactly where the crashed one would have.
+		s.seedTenantQuotas(state.TenantQuotas())
+	}
+	if state.wal != nil {
+		// Journal quota state with each install only when some tenant actually
+		// carries a bucket — the common single-tenant WAL stays lean.
+		for _, ts := range s.tenantOrder {
+			if ts.bucket != nil {
+				state.tenantSnap = s.tenantQuotas
+				break
+			}
+		}
+	}
 	if opt.TraceDepth > 0 {
 		s.flight = trace.NewRecorder(opt.TraceDepth)
 	}
@@ -302,6 +367,8 @@ func New(net *mec.Network, opt Options) (*Service, error) {
 			Solver:      opt.Solver.Name(),
 			HopBound:    opt.HopBound,
 			AdmitPolicy: opt.AdmitPolicy,
+			Admission:   opt.Admission,
+			Tenants:     FormatTenants(s.tenantSpecs()),
 		})
 		if err != nil {
 			return nil, err
@@ -423,6 +490,9 @@ type AugmentRequest struct {
 	// milliseconds (capped below the server's default deadline if one is
 	// configured).
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Tenant names the admission-economics principal this request bills to.
+	// Empty or unknown tenants resolve to the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // AugmentResponse is the JSON body answered by POST /v1/augment on success.
@@ -494,6 +564,7 @@ type errorResponse struct {
 //	POST /v1/release
 //	POST /v1/node
 //	GET  /v1/alerts
+//	GET  /v1/tenants
 //	GET  /v1/state
 //	GET  /v1/healthz
 //	GET  /debug/traces   (when tracing is enabled)
@@ -503,6 +574,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/release", s.handleRelease)
 	mux.HandleFunc("/v1/node", s.handleNode)
 	mux.HandleFunc("/v1/alerts", s.handleAlerts)
+	mux.HandleFunc("/v1/tenants", s.handleTenants)
 	mux.HandleFunc("/v1/state", s.handleState)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	if s.flight != nil {
@@ -629,6 +701,7 @@ func (s *Service) enqueue(ar AugmentRequest, sync bool) (*Ticket, error) {
 	}
 	p := &pending{
 		seq:         int(s.nextSeq.Add(1)),
+		tenant:      s.resolveTenant(ar.Tenant),
 		sfc:         append([]int(nil), ar.SFC...),
 		expectation: ar.Expectation,
 		source:      ar.Source,
@@ -648,6 +721,13 @@ func (s *Service) enqueue(ar AugmentRequest, sync bool) (*Ticket, error) {
 		return nil, err
 	}
 	if s.recorder != nil {
+		// The default tenant is recorded as absence: a replayed empty tenant
+		// resolves to it anyway, and tenantless recordings keep the exact
+		// placement log they had before multi-tenancy existed.
+		tenant := p.tenant
+		if tenant == admission.DefaultTenant {
+			tenant = ""
+		}
 		s.recorder.Record(TraceOp{
 			Op:          OpAugment,
 			Seq:         p.seq,
@@ -657,6 +737,7 @@ func (s *Service) enqueue(ar AugmentRequest, sync bool) (*Ticket, error) {
 			Destination: p.destination,
 			Primaries:   p.primaries,
 			DeadlineMS:  ar.DeadlineMS,
+			Tenant:      tenant,
 			Sync:        sync,
 		})
 	}
@@ -701,6 +782,11 @@ func (s *Service) handleAugment(w http.ResponseWriter, r *http.Request) {
 	t, err := s.Enqueue(ar)
 	switch {
 	case err == nil:
+	case errors.Is(err, ErrQuotaExceeded):
+		s.augmentIns.rejected[reasonQuota].Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
 	case errors.Is(err, ErrQueueFull):
 		s.augmentIns.rejected[reasonFull].Inc()
 		w.Header().Set("Retry-After", "1")
@@ -719,6 +805,10 @@ func (s *Service) handleAugment(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Trace-Id", out.Trace.TraceID)
 	}
 	if out.Status != http.StatusOK {
+		if out.Status == http.StatusTooManyRequests {
+			// Shed by knapsack admission under scarcity — retryable.
+			w.Header().Set("Retry-After", "1")
+		}
 		writeJSON(w, out.Status, errorResponse{Error: out.Err, Cached: out.Cached})
 		return
 	}
@@ -765,7 +855,7 @@ func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
 		Placed:     s.state.PlacedCount(),
 		Epoch:      epoch,
 		StateHash:  fmt.Sprintf("%016x", hash),
-		QueueDepth: len(s.queue.ch),
+		QueueDepth: s.queue.Len(),
 		CacheLen:   s.cache.Len(),
 		Draining:   s.Draining(),
 		Batchers:   s.opt.Batchers,

@@ -12,6 +12,7 @@
 //	POST /v1/release   tear a placed request down, restoring capacity
 //	POST /v1/node      apply a node health transition (down/up/degraded)
 //	GET  /v1/alerts    active alerts + recent transitions (watchdog view)
+//	GET  /v1/tenants   per-tenant quota, queue, and admission statistics
 //	GET  /v1/state     residual ledger, epoch, placement count, WAL status
 //	GET  /v1/healthz   liveness + drain status
 //
@@ -57,6 +58,9 @@ type placed struct {
 	Met         bool
 	Algorithm   string
 	ServedBy    string
+	// Tenant is the admission-economics principal the request was accounted
+	// against (the resolved name — unknown IDs map to the default tenant).
+	Tenant string
 	// perNode is the exact MHz consumed per cloudlet (primaries +
 	// secondaries), measured off the ledger at commit time; releasing the
 	// request returns exactly these amounts.
@@ -110,6 +114,13 @@ type State struct {
 	healthMu sync.RWMutex
 	down     map[int]bool
 	degraded map[int]bool
+
+	// tenantSnap, when set by the owning Service, contributes the per-tenant
+	// token-bucket state journaled with every WAL entry and snapshot, so a
+	// restart resumes quota enforcement. tenantQuota holds the last journaled
+	// state recovered by NewStateFromWAL.
+	tenantSnap  func() []wal.TenantQuota
+	tenantQuota []wal.TenantQuota
 }
 
 // walTicket is one install's pending durability work: the WAL entry to
@@ -224,6 +235,9 @@ func (s *State) installLocked(res []float64, hash uint64, op installOp) *walTick
 		Releases: op.releases,
 		Health:   op.health,
 	}}
+	if s.tenantSnap != nil {
+		t.entry.Tenants = s.tenantSnap()
+	}
 	for _, p := range op.admits {
 		t.entry.Admits = append(t.entry.Admits, toWALRecord(p))
 	}
@@ -295,6 +309,9 @@ func (s *State) captureSnapshotLocked(e *epochLedger) *wal.Snapshot {
 		Residual: e.res,
 		Down:     s.DownNodes(),
 		Degraded: s.DegradedNodes(),
+	}
+	if s.tenantSnap != nil {
+		snap.Tenants = s.tenantSnap()
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -589,6 +606,7 @@ func toWALRecord(p *placed) wal.PlacedRecord {
 		Met:         p.Met,
 		Algorithm:   p.Algorithm,
 		ServedBy:    p.ServedBy,
+		Tenant:      p.Tenant,
 		PerNode:     p.perNode,
 	}
 }
@@ -607,6 +625,7 @@ func fromWALRecord(r wal.PlacedRecord) *placed {
 		Met:         r.Met,
 		Algorithm:   r.Algorithm,
 		ServedBy:    r.ServedBy,
+		Tenant:      r.Tenant,
 		perNode:     r.PerNode,
 	}
 }
@@ -635,6 +654,7 @@ func NewStateFromWAL(net *mec.Network, dir string) (*State, error) {
 		seq = snap.Epoch
 		wantHash = snap.Hash
 		down, degraded = snap.Down, snap.Degraded
+		s.tenantQuota = snap.Tenants
 		for _, r := range snap.Placed {
 			records[r.ID] = fromWALRecord(r)
 		}
@@ -659,6 +679,9 @@ func NewStateFromWAL(net *mec.Network, dir string) (*State, error) {
 		if e.Health != nil {
 			down, degraded = e.Down, e.Degraded
 		}
+		if e.Tenants != nil {
+			s.tenantQuota = e.Tenants
+		}
 		for _, id := range e.Releases {
 			delete(records, id)
 		}
@@ -680,6 +703,11 @@ func NewStateFromWAL(net *mec.Network, dir string) (*State, error) {
 	metrics.epochSeq.Set(float64(seq))
 	return s, nil
 }
+
+// TenantQuotas returns the per-tenant token-bucket state recovered from the
+// WAL (nil on a fresh state or when the log never journaled tenants). The
+// owning Service seeds its buckets from it on restore.
+func (s *State) TenantQuotas() []wal.TenantQuota { return s.tenantQuota }
 
 // MaxPlacedID returns the highest live placement ID (0 when none): after a
 // restore the service resumes its admission sequence above it so new

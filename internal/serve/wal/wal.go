@@ -67,7 +67,18 @@ type PlacedRecord struct {
 	Met         bool            `json:"met"`
 	Algorithm   string          `json:"algorithm"`
 	ServedBy    string          `json:"served_by,omitempty"`
+	Tenant      string          `json:"tenant,omitempty"`
 	PerNode     map[int]float64 `json:"per_node"`
+}
+
+// TenantQuota journals one tenant's token-bucket state (balance and virtual
+// batch-clock position) at install time, so a restarted service resumes
+// quota enforcement where the crashed one stopped instead of granting every
+// tenant a fresh burst.
+type TenantQuota struct {
+	Name   string  `json:"name"`
+	Tokens float64 `json:"tokens"`
+	Tick   int64   `json:"tick"`
 }
 
 // HealthRecord journals one node health transition: the cloudlet and the
@@ -95,6 +106,7 @@ type Entry struct {
 	Updates  []PlacedRecord `json:"updates,omitempty"`
 	Down     []int          `json:"down,omitempty"`
 	Degraded []int          `json:"degraded,omitempty"`
+	Tenants  []TenantQuota  `json:"tenants,omitempty"`
 }
 
 // Snapshot is a full serving-state checkpoint: writing one truncates the log,
@@ -106,6 +118,7 @@ type Snapshot struct {
 	Placed   []PlacedRecord `json:"placed"`
 	Down     []int          `json:"down,omitempty"`
 	Degraded []int          `json:"degraded,omitempty"`
+	Tenants  []TenantQuota  `json:"tenants,omitempty"`
 }
 
 // File names inside the WAL directory.
